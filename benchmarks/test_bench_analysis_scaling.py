@@ -1,0 +1,61 @@
+"""Micro-benchmarks: analysis cost scaling with system size.
+
+Times the individual analysis stages (response-time table, backward
+bounds, Theorem 1 sweep, Theorem 2 sweep) on a fixed 25-task workload
+with pytest-benchmark's regular statistics — these are the pieces a
+downstream user pays per design-space-exploration step, so their cost
+matters independently of the Fig. 6 harness.
+"""
+
+import random
+
+import pytest
+
+from repro.chains.backward import BackwardBoundsCache
+from repro.core.disparity import disparity_bound
+from repro.gen.scenario import generate_random_scenario
+from repro.sched.response_time import analyze_all
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(31)
+    return generate_random_scenario(25, rng)
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_response_time_table(benchmark, workload):
+    tasks = workload.system.graph.tasks
+    table = benchmark(analyze_all, tasks)
+    assert all(name in table for name in workload.system.graph.task_names)
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_backward_bounds_all_chains(benchmark, workload):
+    from repro.model.chain import enumerate_source_chains
+
+    system = workload.system
+    chains = enumerate_source_chains(system.graph, workload.sink)
+
+    def compute():
+        cache = BackwardBoundsCache(system)
+        return [cache.bounds(chain) for chain in chains]
+
+    bounds = benchmark(compute)
+    assert len(bounds) == len(chains)
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_theorem1_task_bound(benchmark, workload):
+    value = benchmark(
+        disparity_bound, workload.system, workload.sink, method="independent"
+    )
+    assert value >= 0
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_theorem2_task_bound(benchmark, workload):
+    value = benchmark(
+        disparity_bound, workload.system, workload.sink, method="forkjoin"
+    )
+    assert value >= 0

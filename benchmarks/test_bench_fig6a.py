@@ -1,0 +1,32 @@
+"""Fig. 6(a): absolute worst-case time disparity on random DAGs.
+
+Regenerates the three series of the paper's Fig. 6(a) — ``Sim``
+(simulated lower bound), ``P-diff`` (Theorem 1), ``S-diff``
+(Theorem 2) — over the number of tasks, and asserts the qualitative
+shape: soundness (Sim below both bounds) and the dominance of S-diff
+over P-diff.
+"""
+
+import pytest
+
+from benchmarks.common import ab_rows_cached
+from repro.experiments.reporting import check_shapes_ab, csv_ab, render_table_ab
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6a_absolute_disparity(benchmark, out_dir):
+    rows = benchmark.pedantic(ab_rows_cached, rounds=1, iterations=1)
+
+    print()
+    print("Fig. 6(a): absolute time disparity (ms), averaged per point")
+    print(render_table_ab(rows))
+    (out_dir / "fig6a.csv").write_text(csv_ab(rows))
+
+    violations = check_shapes_ab(rows)
+    assert not violations, violations
+    # The sweep covers the paper's X range and disparity grows with n.
+    assert rows[0].n_tasks == 5 and rows[-1].n_tasks == 35
+    assert rows[-1].s_diff_ms > rows[0].s_diff_ms
+    # S-diff must be strictly tighter than P-diff somewhere (the
+    # paper's headline improvement).
+    assert any(row.s_diff_ms < row.p_diff_ms for row in rows)

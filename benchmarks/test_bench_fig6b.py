@@ -1,0 +1,43 @@
+"""Fig. 6(b): incremental ratios of P-diff and S-diff over Sim.
+
+The paper reports ``(bound - Sim) / Sim`` and claims S-diff's ratio is
+"in general below 50%" at their replication scale (10-minute runs, 10
+offset draws, 10 graphs per point).  At bench scale Sim explores fewer
+offsets, so the absolute ratios run higher; the asserted shape is the
+ordering (S-ratio <= P-ratio pointwise) and that S-diff improves the
+average ratio.  EXPERIMENTS.md records measured-vs-paper values.
+"""
+
+import pytest
+
+from benchmarks.common import ab_rows_cached
+from repro.experiments.reporting import check_shapes_ab
+
+
+def _ratio_series(rows):
+    return (
+        [row.p_ratio for row in rows],
+        [row.s_ratio for row in rows],
+    )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6b_incremental_ratios(benchmark, out_dir):
+    rows = benchmark.pedantic(ab_rows_cached, rounds=1, iterations=1)
+    p_ratios, s_ratios = _ratio_series(rows)
+
+    print()
+    print("Fig. 6(b): incremental ratio (bound - Sim) / Sim")
+    print(f"{'n_tasks':>8} {'P-ratio':>8} {'S-ratio':>8}")
+    for row in rows:
+        print(f"{row.n_tasks:>8} {row.p_ratio:>8.2f} {row.s_ratio:>8.2f}")
+    lines = ["n_tasks,p_ratio,s_ratio"]
+    lines += [f"{r.n_tasks},{r.p_ratio:.6f},{r.s_ratio:.6f}" for r in rows]
+    (out_dir / "fig6b.csv").write_text("\n".join(lines) + "\n")
+
+    assert not check_shapes_ab(rows)
+    # Pointwise ordering: S-diff never has a larger ratio than P-diff.
+    for p_ratio, s_ratio in zip(p_ratios, s_ratios):
+        assert s_ratio <= p_ratio + 1e-9
+    # And the improvement is real on average.
+    assert sum(s_ratios) < sum(p_ratios)

@@ -1,0 +1,36 @@
+"""Fig. 6(c): absolute disparity of merged chain pairs, with buffers.
+
+Regenerates the four series — ``Sim``, ``S-diff`` (Theorem 2) and
+their buffered counterparts ``Sim-B``, ``S-diff-B`` (Algorithm 1 +
+Theorem 3) — over the tasks-per-chain of two chains merged at one
+sink.  Asserted shape: soundness on both systems, the optimization
+never worsening the bound, and the buffered bound being strictly lower
+somewhere (the paper's headline optimization result).
+"""
+
+import pytest
+
+from benchmarks.common import cd_rows_cached
+from repro.experiments.reporting import check_shapes_cd, csv_cd, render_table_cd
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6c_buffered_disparity(benchmark, out_dir):
+    rows = benchmark.pedantic(cd_rows_cached, rounds=1, iterations=1)
+
+    print()
+    print("Fig. 6(c): absolute time disparity (ms) with/without buffers")
+    print(render_table_cd(rows))
+    (out_dir / "fig6c.csv").write_text(csv_cd(rows))
+
+    violations = check_shapes_cd(rows)
+    assert not violations, violations
+    assert rows[0].tasks_per_chain == 5 and rows[-1].tasks_per_chain == 30
+    # The optimization must strictly reduce the bound on most points.
+    improved = [row for row in rows if row.s_diff_b_ms < row.s_diff_ms]
+    assert len(improved) >= len(rows) // 2
+    # And the *actual* (simulated) disparity should drop on average —
+    # the paper's "most importantly" observation.
+    mean_sim = sum(row.sim_ms for row in rows) / len(rows)
+    mean_sim_b = sum(row.sim_b_ms for row in rows) / len(rows)
+    assert mean_sim_b <= mean_sim * 1.1  # allow sampling noise

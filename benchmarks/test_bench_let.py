@@ -1,0 +1,94 @@
+"""Ablation (extension): LET vs implicit communication semantics.
+
+Not a paper artifact — the paper's related work ([4]/[15]) analyzes age
+latency under the LET paradigm, and this bench quantifies how the two
+communication semantics compare on the *disparity* metric over the same
+random workloads: bound and simulated disparity under each semantics.
+
+Expected shape: both semantics' simulated disparities respect their
+own bounds; neither semantics dominates the other's bound universally
+(LET trades response-time jitter for a full period of delay per hop).
+"""
+
+import random
+
+import pytest
+
+from repro.core.disparity import disparity_bound
+from repro.gen.scenario import ScenarioConfig, generate_random_scenario
+from repro.let import disparity_bound_let
+from repro.model.system import System
+from repro.sim.engine import randomize_offsets, simulate
+from repro.sim.metrics import DisparityMonitor
+from repro.units import seconds, to_ms
+
+
+def run_comparison(n_graphs: int = 5, n_tasks: int = 12, seed: int = 41):
+    rng = random.Random(seed)
+    config = ScenarioConfig(n_ecus=1, use_bus=False)
+    rows = []
+    for index in range(n_graphs):
+        scenario = generate_random_scenario(n_tasks, rng, config)
+        system = scenario.system
+        bound_implicit = disparity_bound(system, scenario.sink, method="forkjoin")
+        bound_let = disparity_bound_let(system, scenario.sink)
+
+        sims = {"implicit": 0, "let": 0}
+        for semantics in sims:
+            worst = 0
+            for _ in range(4):
+                graph = randomize_offsets(system.graph, rng)
+                variant = System(
+                    graph=graph, response_times=system.response_times
+                )
+                monitor = DisparityMonitor([scenario.sink], warmup=seconds(2))
+                simulate(
+                    variant,
+                    seconds(5),
+                    seed=rng.randrange(2**31),
+                    observers=[monitor],
+                    semantics=semantics,
+                )
+                worst = max(worst, monitor.disparity(scenario.sink))
+            sims[semantics] = worst
+        rows.append(
+            {
+                "graph": index,
+                "bound_implicit_ms": to_ms(bound_implicit),
+                "bound_let_ms": to_ms(bound_let),
+                "sim_implicit_ms": to_ms(sims["implicit"]),
+                "sim_let_ms": to_ms(sims["let"]),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_let_vs_implicit(benchmark, out_dir):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    print()
+    print("Ablation: disparity under implicit vs LET communication")
+    header = (
+        f"{'graph':>6} {'bound-imp':>10} {'bound-LET':>10} "
+        f"{'sim-imp':>9} {'sim-LET':>9}   (ms)"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row['graph']:>6} {row['bound_implicit_ms']:>10.1f} "
+            f"{row['bound_let_ms']:>10.1f} {row['sim_implicit_ms']:>9.1f} "
+            f"{row['sim_let_ms']:>9.1f}"
+        )
+    lines = ["graph,bound_implicit_ms,bound_let_ms,sim_implicit_ms,sim_let_ms"]
+    lines += [
+        f"{r['graph']},{r['bound_implicit_ms']:.3f},{r['bound_let_ms']:.3f},"
+        f"{r['sim_implicit_ms']:.3f},{r['sim_let_ms']:.3f}"
+        for r in rows
+    ]
+    (out_dir / "ablation_let.csv").write_text("\n".join(lines) + "\n")
+
+    # Soundness under each semantics.
+    for row in rows:
+        assert row["sim_implicit_ms"] <= row["bound_implicit_ms"] + 1e-9
+        assert row["sim_let_ms"] <= row["bound_let_ms"] + 1e-9

@@ -1,0 +1,60 @@
+"""Runtime claim of Section V: analysis is cheap, simulation is not.
+
+The paper motivates the analytical bounds by noting the simulation
+baseline "is not only unsafe but also time consuming".  This bench
+measures both on the same workloads: wall-time of the full S-diff
+analysis vs wall-time of one 5-second simulated run, and asserts the
+analysis is at least an order of magnitude cheaper at Fig. 6 scale.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core.disparity import disparity_bound
+from repro.gen.scenario import generate_random_scenario
+from repro.model.system import System
+from repro.sim.engine import randomize_offsets, simulate
+from repro.sim.metrics import DisparityMonitor
+from repro.units import seconds
+
+
+def measure(n_tasks: int = 25, n_graphs: int = 3, seed: int = 23):
+    rng = random.Random(seed)
+    scenarios = [generate_random_scenario(n_tasks, rng) for _ in range(n_graphs)]
+
+    started = time.perf_counter()
+    for scenario in scenarios:
+        disparity_bound(scenario.system, scenario.sink, method="forkjoin")
+    analysis_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for scenario in scenarios:
+        graph = randomize_offsets(scenario.system.graph, rng)
+        variant = System(
+            graph=graph, response_times=scenario.system.response_times
+        )
+        monitor = DisparityMonitor([scenario.sink], warmup=seconds(1))
+        simulate(variant, seconds(5), seed=seed, observers=[monitor])
+    simulation_s = time.perf_counter() - started
+    return {"analysis_s": analysis_s, "simulation_s": simulation_s}
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_analysis_vs_simulation_runtime(benchmark, out_dir):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print()
+    print(
+        f"analysis: {result['analysis_s']*1000:.1f} ms total; "
+        f"one 5s-horizon simulation sweep: {result['simulation_s']*1000:.1f} ms"
+    )
+    (out_dir / "runtime.csv").write_text(
+        "analysis_s,simulation_s\n"
+        f"{result['analysis_s']:.6f},{result['simulation_s']:.6f}\n"
+    )
+    # The full analysis must be much cheaper than even one short
+    # simulated run per graph (the paper simulates 10 minutes x 10
+    # offsets x 10 graphs per point).
+    assert result["analysis_s"] * 10 < result["simulation_s"]

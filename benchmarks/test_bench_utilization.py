@@ -1,0 +1,90 @@
+"""Ablation (extension): disparity bounds versus processor load.
+
+WATERS workloads are execution-light (a few percent utilization), so
+the response-time terms of Lemma 4 barely register in the Fig. 6
+numbers.  This bench rescales the same graphs to a range of per-unit
+utilizations (structure, periods and priorities preserved —
+``repro.gen.uunifast.scale_to_utilization``) and tracks both disparity
+bounds, separating the sampling-driven part of the bound (periods)
+from the scheduling-driven part (response times and blocking).
+
+Expected shape: bounds grow monotonically-ish with utilization, with
+the growth concentrated in the P-diff/S-diff *levels* (the ``R`` and
+``W + B`` terms of the same-unit hop budgets); schedulability fails
+somewhere above ~80% (non-preemptive blocking), which the bench
+reports rather than hides.
+"""
+
+import random
+
+import pytest
+
+from repro.core.disparity import disparity_bound
+from repro.gen.graphgen import deploy, fusion_pipeline_graph
+from repro.gen.uunifast import scale_to_utilization
+from repro.model.system import System
+from repro.model.task import ModelError
+from repro.units import to_ms
+
+UTILIZATIONS = (0.05, 0.2, 0.4, 0.6, 0.8)
+
+
+def run_utilization_sweep(n_graphs: int = 4, n_tasks: int = 14, seed: int = 29):
+    rng = random.Random(seed)
+    base_graphs = [
+        deploy(fusion_pipeline_graph(n_tasks, rng), rng, n_ecus=1, use_bus=False)
+        for _ in range(n_graphs)
+    ]
+    rows = []
+    for target in UTILIZATIONS:
+        p_values, s_values, feasible = [], [], 0
+        for graph in base_graphs:
+            scaled = scale_to_utilization(graph, target)
+            try:
+                system = System.build(scaled)
+            except ModelError:
+                continue  # unschedulable at this load
+            feasible += 1
+            sink = system.graph.sinks()[0]
+            p_values.append(to_ms(disparity_bound(system, sink, method="independent")))
+            s_values.append(to_ms(disparity_bound(system, sink, method="forkjoin")))
+        rows.append(
+            {
+                "utilization": target,
+                "feasible": feasible,
+                "p_diff_ms": sum(p_values) / len(p_values) if p_values else None,
+                "s_diff_ms": sum(s_values) / len(s_values) if s_values else None,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_disparity_vs_utilization(benchmark, out_dir):
+    rows = benchmark.pedantic(run_utilization_sweep, rounds=1, iterations=1)
+
+    print()
+    print("Ablation: disparity bounds vs per-unit utilization")
+    print(f"{'U':>5} {'feasible':>9} {'P-diff(ms)':>11} {'S-diff(ms)':>11}")
+    for row in rows:
+        p = f"{row['p_diff_ms']:.1f}" if row["p_diff_ms"] is not None else "-"
+        s = f"{row['s_diff_ms']:.1f}" if row["s_diff_ms"] is not None else "-"
+        print(f"{row['utilization']:>5.2f} {row['feasible']:>9} {p:>11} {s:>11}")
+    lines = ["utilization,feasible,p_diff_ms,s_diff_ms"]
+    for row in rows:
+        p = f"{row['p_diff_ms']:.3f}" if row["p_diff_ms"] is not None else ""
+        s = f"{row['s_diff_ms']:.3f}" if row["s_diff_ms"] is not None else ""
+        lines.append(f"{row['utilization']},{row['feasible']},{p},{s}")
+    (out_dir / "ablation_utilization.csv").write_text("\n".join(lines) + "\n")
+
+    # Everything schedulable at light load.
+    assert rows[0]["feasible"] > 0
+    # Bounds grow with load where feasible on both ends of the sweep.
+    light = [r for r in rows if r["s_diff_ms"] is not None][0]
+    heavy = [r for r in rows if r["s_diff_ms"] is not None][-1]
+    if heavy is not light:
+        assert heavy["s_diff_ms"] >= light["s_diff_ms"]
+    # S-diff never exceeds P-diff.
+    for row in rows:
+        if row["s_diff_ms"] is not None:
+            assert row["s_diff_ms"] <= row["p_diff_ms"] + 1e-9

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""An autonomous-driving pipeline across two ECUs and a CAN bus.
+
+Recreates the flavour of the paper's Fig. 1 (the PerceptIn /
+RTSS 2021 industry challenge application): camera, LiDAR, radar and
+GPS feed per-sensor pre-processing, sensor fusion, perception,
+planning, and control, deployed on two ECUs connected by a CAN bus.
+Cross-ECU edges become periodic message tasks on the bus
+automatically.
+
+The script answers the engineering questions the paper poses:
+
+1. What is the worst-case time disparity at the fusion and control
+   stages (can the perception algorithm trust its inputs)?
+2. Does it meet the synchronization requirement (here: 120 ms)?
+3. What are the end-to-end data-age / reaction-time figures?
+4. Does a randomized simulation respect all bounds?
+
+Run:  python examples/autonomous_driving.py
+"""
+
+import random
+
+from repro import (
+    CauseEffectGraph,
+    DisparityMonitor,
+    Platform,
+    System,
+    Task,
+    check_disparity_requirement,
+    disparity_bound,
+    format_time,
+    ms,
+    randomize_offsets,
+    simulate,
+    source_task,
+    us,
+)
+from repro.chains.latency import max_data_age, max_reaction_time_np
+from repro.model.chain import enumerate_source_chains
+from repro.model.platform import insert_message_tasks
+from repro.sched.priority import assign_rate_monotonic
+from repro.units import seconds
+
+
+def build_pipeline() -> System:
+    graph = CauseEffectGraph()
+    # Sensors (sources): camera 33ms-ish -> use 30ms; LiDAR 100ms;
+    # radar 50ms; GPS 100ms.  Sources are colocated with their first
+    # consumer, so the sensor hop stays ECU-local.
+    graph.add_task(source_task("camera", ms(30), ecu="ecu0"))
+    graph.add_task(source_task("lidar", ms(100), ecu="ecu0"))
+    graph.add_task(source_task("radar", ms(50), ecu="ecu1"))
+    graph.add_task(source_task("gps", ms(100), ecu="ecu1"))
+
+    # Per-sensor pre-processing on the sensor's ECU.
+    graph.add_task(Task("img_proc", ms(30), ms(8), ms(3), ecu="ecu0"))
+    graph.add_task(Task("pcl_proc", ms(100), ms(15), ms(6), ecu="ecu0"))
+    graph.add_task(Task("radar_proc", ms(50), ms(4), ms(1), ecu="ecu1"))
+    graph.add_task(Task("localize", ms(100), ms(10), ms(4), ecu="ecu1"))
+
+    # Fusion + perception on ECU0; planning + control on ECU1.
+    graph.add_task(Task("fusion", ms(50), ms(6), ms(2), ecu="ecu0"))
+    graph.add_task(Task("perception", ms(50), ms(12), ms(5), ecu="ecu0"))
+    # Control runs at 20 ms: under *non-preemptive* scheduling it must
+    # tolerate blocking by one in-flight lower-priority job (up to the
+    # 10 ms localize stage), which a 10 ms period could not absorb —
+    # exactly the blocking term of the response-time analysis.
+    graph.add_task(Task("planning", ms(100), ms(9), ms(4), ecu="ecu1"))
+    graph.add_task(Task("control", ms(20), ms(1), us(300), ecu="ecu1"))
+
+    for src, dst in [
+        ("camera", "img_proc"),
+        ("lidar", "pcl_proc"),
+        ("radar", "radar_proc"),
+        ("gps", "localize"),
+        ("img_proc", "fusion"),
+        ("pcl_proc", "fusion"),
+        ("radar_proc", "fusion"),
+        ("fusion", "perception"),
+        ("perception", "planning"),
+        ("localize", "planning"),
+        ("planning", "control"),
+    ]:
+        graph.add_channel(src, dst)
+
+    platform = Platform.symmetric(2)  # ecu0, ecu1 + can0
+    deployed = insert_message_tasks(graph, platform)
+    deployed = assign_rate_monotonic(deployed)
+    return System.build(deployed)
+
+
+def main() -> None:
+    system = build_pipeline()
+    print("=== deployed pipeline (message tasks inserted on can0) ===")
+    print(system.describe())
+
+    requirement = ms(120)
+    print("\n=== time disparity (Theorem 2) ===")
+    for stage in ("fusion", "perception", "control"):
+        bound = disparity_bound(system, stage, method="forkjoin")
+        verdict = (
+            "OK"
+            if check_disparity_requirement(system, stage, requirement)
+            else "VIOLATED"
+        )
+        print(
+            f"  {stage:<11} worst-case disparity {format_time(bound):>11} "
+            f"(requirement {format_time(requirement)}: {verdict})"
+        )
+
+    print("\n=== buffer design to rein in the fusion disparity ===")
+    from repro import design_buffers_multi
+
+    design = design_buffers_multi(system, "fusion")
+    if design.plan:
+        plan_text = ", ".join(
+            f"{src}->{dst}: cap {capacity}"
+            for (src, dst), capacity in design.plan.items()
+        )
+        print(f"  plan: {plan_text}")
+        print(
+            f"  fusion disparity bound: {format_time(design.bound_before)} -> "
+            f"{format_time(design.bound_after)}"
+        )
+    else:
+        print(
+            "  no buffer plan improves the bound here: the binding pair's"
+            " windows are already within one source period of alignment"
+        )
+
+    print("\n=== end-to-end latency of the camera -> control chains ===")
+    for chain in enumerate_source_chains(system.graph, "control"):
+        if chain.head != "camera":
+            continue
+        age = max_data_age(chain, system)
+        reaction = max_reaction_time_np(chain, system)
+        print(f"  {' -> '.join(chain.tasks)}")
+        print(
+            f"    max data age {format_time(age)}, "
+            f"max reaction time {format_time(reaction)}"
+        )
+
+    print("\n=== simulation check (random offsets, 5 runs x 10s) ===")
+    rng = random.Random(2023)
+    bounds = {
+        stage: disparity_bound(system, stage, method="forkjoin")
+        for stage in ("fusion", "control")
+    }
+    worst = {stage: 0 for stage in bounds}
+    for run in range(5):
+        graph = randomize_offsets(system.graph, rng)
+        variant = System(graph=graph, response_times=system.response_times)
+        monitor = DisparityMonitor(list(bounds), warmup=seconds(2))
+        simulate(variant, seconds(10), seed=run, observers=[monitor])
+        for stage in bounds:
+            worst[stage] = max(worst[stage], monitor.disparity(stage))
+    for stage, bound in bounds.items():
+        print(
+            f"  {stage:<11} observed {format_time(worst[stage]):>11} "
+            f"<= bound {format_time(bound):>11}: {worst[stage] <= bound}"
+        )
+
+
+if __name__ == "__main__":
+    main()

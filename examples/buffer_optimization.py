@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Buffer sizing (Section IV): cut the worst-case time disparity.
+
+Two sensor chains with very different rates merge at one fusion sink —
+the camera path samples at 10 ms while the LiDAR path crawls at 100 ms,
+so the sink fuses a fresh image with a stale point cloud.  Algorithm 1
+enlarges the FIFO on the *fast* chain's head channel so the fusion task
+deliberately reads an older image, aligning the two sampling windows;
+Theorem 3 certifies the improved bound, and the simulation confirms
+the *actual* disparity drops too.
+
+Run:  python examples/buffer_optimization.py
+"""
+
+import random
+
+from repro import (
+    CauseEffectGraph,
+    DisparityMonitor,
+    System,
+    Task,
+    design_buffer_pair,
+    disparity_bound_buffered,
+    format_time,
+    ms,
+    randomize_offsets,
+    simulate,
+    source_task,
+)
+from repro.chains.backward import BackwardBoundsCache
+from repro.core.pairwise import disparity_bound_forkjoin
+from repro.model.chain import enumerate_source_chains
+from repro.units import seconds
+
+
+def build_system() -> System:
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("camera", ms(10), ecu="ecu0", priority=0))
+    graph.add_task(source_task("lidar", ms(100), ecu="ecu0", priority=1))
+    graph.add_task(Task("img", ms(10), ms(1), ms(1), ecu="ecu0", priority=2))
+    graph.add_task(Task("pcl", ms(100), ms(5), ms(2), ecu="ecu0", priority=3))
+    graph.add_task(Task("fusion", ms(50), ms(2), ms(1), ecu="ecu0", priority=4))
+    graph.add_channel("camera", "img")
+    graph.add_channel("lidar", "pcl")
+    graph.add_channel("img", "fusion")
+    graph.add_channel("pcl", "fusion")
+    return System.build(graph)
+
+
+def observed_disparity(system: System, rng: random.Random, warmup) -> int:
+    worst = 0
+    for run in range(6):
+        graph = randomize_offsets(system.graph, rng)
+        variant = System(graph=graph, response_times=system.response_times)
+        monitor = DisparityMonitor(["fusion"], warmup=warmup)
+        simulate(variant, warmup + seconds(6), seed=run, observers=[monitor])
+        worst = max(worst, monitor.disparity("fusion"))
+    return worst
+
+
+def main() -> None:
+    system = build_system()
+    cache = BackwardBoundsCache(system)
+    lam, nu = enumerate_source_chains(system.graph, "fusion")
+
+    base = disparity_bound_forkjoin(lam, nu, cache)
+    print("=== before optimization ===")
+    print(f"  chains: {' -> '.join(lam.tasks)}  |  {' -> '.join(nu.tasks)}")
+    print(f"  S-diff bound: {format_time(base.bound)}")
+    assert base.window_lam is not None and base.window_nu is not None
+    print(
+        f"  sampling windows: lam [{format_time(base.window_lam.lo)}, "
+        f"{format_time(base.window_lam.hi)}], nu [{format_time(base.window_nu.lo)}, "
+        f"{format_time(base.window_nu.hi)}]"
+    )
+
+    result, design = disparity_bound_buffered(lam, nu, cache)
+    print("\n=== Algorithm 1 design ===")
+    if design.channel is None:
+        print("  windows already aligned; no buffer needed")
+        return
+    print(
+        f"  enlarge channel {design.channel[0]} -> {design.channel[1]} "
+        f"to capacity {design.capacity} (shift L = {format_time(design.shift)})"
+    )
+    print(f"  S-diff-B bound (Theorem 3): {format_time(result.bound)}")
+
+    print("\n=== simulated actual disparity (6 runs each) ===")
+    rng = random.Random(99)
+    warmup = seconds(2) + 2 * design.capacity * system.T(design.channel[0])
+    sim_before = observed_disparity(system, rng, warmup)
+    buffered = system.with_buffer_plan(design.plan)
+    sim_after = observed_disparity(buffered, rng, warmup)
+    print(f"  Sim   (register):  {format_time(sim_before)}")
+    print(f"  Sim-B (buffered):  {format_time(sim_after)}")
+    print(
+        f"  bound honored: before {sim_before <= base.bound}, "
+        f"after {sim_after <= result.bound}"
+    )
+
+
+if __name__ == "__main__":
+    main()

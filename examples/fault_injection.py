@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fault injection: how fast does sensor loss break synchronization?
+
+The disparity bounds of the paper hold for a *healthy* system.  When a
+sensor goes dark (glare, connector fault, network burst loss), the
+downstream fusion keeps reading the last sample it got, and the time
+disparity grows by one period of wall clock per period — until the
+requirement is violated.  This script measures the violation latency:
+how long a camera dropout the system can tolerate before the fusion
+stage's inputs drift beyond the synchronization threshold.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro import (
+    CauseEffectGraph,
+    DisparityMonitor,
+    System,
+    Task,
+    disparity_bound,
+    format_time,
+    ms,
+    simulate,
+    source_task,
+)
+from repro.sim.exec_time import wcet_policy
+from repro.sim.faults import FaultPlan, StalenessMonitor
+from repro.units import seconds
+
+
+def build_system() -> System:
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("camera", ms(10), ecu="e", priority=0))
+    graph.add_task(source_task("lidar", ms(50), ecu="e", priority=1, offset=ms(3)))
+    graph.add_task(Task("fusion", ms(50), ms(4), ms(2), ecu="e", priority=2))
+    graph.add_channel("camera", "fusion")
+    graph.add_channel("lidar", "fusion")
+    return System.build(graph)
+
+
+def max_disparity_with_dropout(system: System, dropout: int) -> int:
+    """Max observed fusion disparity with a camera dropout of `dropout` ns."""
+    faults = FaultPlan()
+    if dropout > 0:
+        faults.drop("camera", seconds(2), seconds(2) + dropout)
+    monitor = DisparityMonitor(["fusion"], warmup=seconds(1))
+    simulate(
+        system,
+        seconds(4),
+        policy=wcet_policy,
+        observers=[monitor],
+        faults=faults if dropout > 0 else None,
+    )
+    return monitor.disparity("fusion")
+
+
+def main() -> None:
+    system = build_system()
+    requirement = ms(120)
+    healthy_bound = disparity_bound(system, "fusion")
+    print(f"healthy worst-case disparity bound: {format_time(healthy_bound)}")
+    print(f"synchronization requirement:        {format_time(requirement)}")
+    print()
+
+    print(f"{'camera dropout':>15} {'observed disparity':>19} {'requirement':>12}")
+    for dropout_ms in (0, 20, 50, 100, 200, 500):
+        observed = max_disparity_with_dropout(system, ms(dropout_ms))
+        verdict = "OK" if observed <= requirement else "VIOLATED"
+        print(
+            f"{format_time(ms(dropout_ms)):>15} "
+            f"{format_time(observed):>19} {verdict:>12}"
+        )
+
+    print()
+    print("staleness detail for a 200ms dropout:")
+    faults = FaultPlan().drop("camera", seconds(2), seconds(2) + ms(200))
+    staleness = StalenessMonitor(["fusion"], warmup=seconds(1))
+    simulate(system, seconds(4), policy=wcet_policy, observers=[staleness],
+             faults=faults)
+    for source in ("camera", "lidar"):
+        age = staleness.age_for("fusion", source)
+        print(f"  max age of {source:<7} data read by fusion: {format_time(age)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""LET versus implicit communication: the disparity/latency trade-off.
+
+The Logical Execution Time paradigm (reads at release, publishes at
+the deadline) removes all scheduling jitter from the data flow.  For
+time disparity this cuts both ways:
+
+* sampling windows become narrow and deterministic — the *disparity*
+  bound typically shrinks and no longer depends on priorities or
+  execution times;
+* every non-source hop delays data by one full period — the *data age*
+  grows.
+
+This script quantifies both effects on the same two-sensor pipeline,
+analytically and in simulation.
+
+Run:  python examples/let_vs_implicit.py
+"""
+
+import random
+
+from repro import (
+    CauseEffectGraph,
+    DisparityMonitor,
+    System,
+    Task,
+    disparity_bound,
+    format_time,
+    ms,
+    randomize_offsets,
+    simulate,
+    source_task,
+)
+from repro.chains.backward import BackwardBoundsCache
+from repro.let import disparity_bound_let, let_bounds_cache
+from repro.model.chain import enumerate_source_chains
+from repro.units import seconds
+
+
+def build_system() -> System:
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("cam", ms(10), ecu="e", priority=0))
+    graph.add_task(source_task("lidar", ms(50), ecu="e", priority=1))
+    graph.add_task(Task("img", ms(10), ms(2), ms(1), ecu="e", priority=2))
+    graph.add_task(Task("pcl", ms(50), ms(8), ms(3), ecu="e", priority=3))
+    graph.add_task(Task("fuse", ms(50), ms(4), ms(2), ecu="e", priority=4))
+    graph.add_channel("cam", "img")
+    graph.add_channel("lidar", "pcl")
+    graph.add_channel("img", "fuse")
+    graph.add_channel("pcl", "fuse")
+    return System.build(graph)
+
+
+def simulated_disparity(system: System, semantics: str, seed: int) -> int:
+    rng = random.Random(seed)
+    worst = 0
+    for run in range(6):
+        graph = randomize_offsets(system.graph, rng)
+        variant = System(graph=graph, response_times=system.response_times)
+        monitor = DisparityMonitor(["fuse"], warmup=seconds(1))
+        simulate(variant, seconds(8), seed=run, observers=[monitor],
+                 semantics=semantics)
+        worst = max(worst, monitor.disparity("fuse"))
+    return worst
+
+
+def main() -> None:
+    system = build_system()
+
+    print("=== per-chain backward-time windows ===")
+    implicit_cache = BackwardBoundsCache(system)
+    let_cache = let_bounds_cache(system)
+    for chain in enumerate_source_chains(system.graph, "fuse"):
+        imp = implicit_cache.bounds(chain)
+        let = let_cache.bounds(chain)
+        print(f"  {' -> '.join(chain.tasks)}")
+        print(
+            f"    implicit: [{format_time(imp.bcbt)}, {format_time(imp.wcbt)}]"
+            f"  LET: [{format_time(let.bcbt)}, {format_time(let.wcbt)}]"
+        )
+
+    print("\n=== worst-case time disparity of 'fuse' ===")
+    implicit_bound = disparity_bound(system, "fuse", method="forkjoin")
+    let_bound = disparity_bound_let(system, "fuse")
+    print(f"  implicit (Theorem 2): {format_time(implicit_bound)}")
+    print(f"  LET:                  {format_time(let_bound)}")
+
+    print("\n=== simulated disparity (6 random-offset runs each) ===")
+    for semantics in ("implicit", "let"):
+        observed = simulated_disparity(system, semantics, seed=3)
+        bound = implicit_bound if semantics == "implicit" else let_bound
+        print(
+            f"  {semantics:<9} observed {format_time(observed):>11} "
+            f"<= bound {format_time(bound):>11}: {observed <= bound}"
+        )
+
+    print("\nLET makes the sampling windows deterministic (no response-time")
+    print("terms, no execution jitter) but shifts every window right by one")
+    print("producer period per non-source hop.  Whether the *disparity*")
+    print("improves depends on how the extra shifts balance across the two")
+    print("chains — here the slow LiDAR chain pays more, so implicit")
+    print("communication wins on disparity while LET wins on determinism.")
+
+
+if __name__ == "__main__":
+    main()

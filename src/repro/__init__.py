@@ -1,0 +1,145 @@
+"""repro — worst-case time disparity analysis for cause-effect chains.
+
+A production-quality reproduction of *"Analysis and Optimization of
+Worst-Case Time Disparity in Cause-Effect Chains"* (Jiang, Luo, Guan,
+Dong, Liu, Yi — DATE 2023): system model, non-preemptive response-time
+analysis, backward-time bounds, the P-diff / S-diff disparity theorems,
+the buffer-sizing optimization, a discrete-event simulator with token
+provenance, the WATERS 2015 workload generator, and the Fig. 6
+evaluation harness.
+
+Quickstart::
+
+    import random
+    from repro import disparity_bound, generate_random_scenario
+
+    scenario = generate_random_scenario(12, random.Random(7))
+    bound = disparity_bound(scenario.system, scenario.sink, method="forkjoin")
+"""
+
+from repro.buffers import (
+    BufferDesign,
+    MultiChainDesign,
+    buffered_backward_bounds,
+    design_buffer_pair,
+    design_buffers_multi,
+    disparity_bound_buffered,
+)
+from repro.chains import (
+    BackwardBounds,
+    BackwardBoundsCache,
+    backward_bounds,
+    bcbt_lower,
+    max_data_age,
+    max_reaction_time,
+    wcbt_upper,
+)
+from repro.core import (
+    PairwiseResult,
+    TaskDisparityResult,
+    all_sink_disparities,
+    check_disparity_requirement,
+    disparity_bound,
+    disparity_bound_forkjoin,
+    disparity_bound_independent,
+    worst_case_disparity,
+)
+from repro.gen import (
+    WatersSampler,
+    generate_merged_pair_scenario,
+    generate_random_scenario,
+    merged_chain_pair,
+    random_cause_effect_graph,
+)
+from repro.model import (
+    CauseEffectGraph,
+    Chain,
+    Channel,
+    ModelError,
+    Platform,
+    System,
+    Task,
+    message_task,
+    source_task,
+)
+from repro.exact import (
+    maximize_disparity_offsets,
+    steady_state_disparity,
+)
+from repro.explore import (
+    buffer_capacity_sweep,
+    disparity_margins,
+    period_sensitivity,
+)
+from repro.io import load_graph, save_graph
+from repro.let import disparity_bound_let
+from repro.sim import (
+    BackwardTimeMonitor,
+    DisparityMonitor,
+    Simulator,
+    randomize_offsets,
+    simulate,
+)
+from repro.units import Time, format_time, ms, ns, seconds, to_ms, to_us, us
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BufferDesign",
+    "MultiChainDesign",
+    "buffered_backward_bounds",
+    "design_buffer_pair",
+    "design_buffers_multi",
+    "disparity_bound_buffered",
+    "BackwardBounds",
+    "BackwardBoundsCache",
+    "backward_bounds",
+    "bcbt_lower",
+    "max_data_age",
+    "max_reaction_time",
+    "wcbt_upper",
+    "PairwiseResult",
+    "TaskDisparityResult",
+    "all_sink_disparities",
+    "check_disparity_requirement",
+    "disparity_bound",
+    "disparity_bound_forkjoin",
+    "disparity_bound_independent",
+    "worst_case_disparity",
+    "WatersSampler",
+    "generate_merged_pair_scenario",
+    "generate_random_scenario",
+    "merged_chain_pair",
+    "random_cause_effect_graph",
+    "CauseEffectGraph",
+    "Chain",
+    "Channel",
+    "ModelError",
+    "Platform",
+    "System",
+    "Task",
+    "message_task",
+    "source_task",
+    "maximize_disparity_offsets",
+    "steady_state_disparity",
+    "buffer_capacity_sweep",
+    "disparity_margins",
+    "period_sensitivity",
+    "load_graph",
+    "save_graph",
+    "disparity_bound_let",
+    "BackwardTimeMonitor",
+    "DisparityMonitor",
+    "Simulator",
+    "randomize_offsets",
+    "simulate",
+    "Time",
+    "format_time",
+    "ms",
+    "ns",
+    "seconds",
+    "to_ms",
+    "to_us",
+    "us",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Buffer-sizing optimization (Section IV of the paper)."""
+
+from repro.buffers.bounds import BufferedBounds, buffered_backward_bounds
+from repro.buffers.sizing import (
+    BufferDesign,
+    MultiChainDesign,
+    design_buffer_pair,
+    design_buffers_greedy,
+    design_buffers_multi,
+    disparity_bound_buffered,
+)
+
+__all__ = [
+    "BufferedBounds",
+    "buffered_backward_bounds",
+    "BufferDesign",
+    "MultiChainDesign",
+    "design_buffer_pair",
+    "design_buffers_greedy",
+    "design_buffers_multi",
+    "disparity_bound_buffered",
+]

@@ -1,0 +1,65 @@
+"""Lemma 6: backward-time bounds of a chain with a buffered head channel.
+
+When the input channel of ``pi^2`` is a FIFO of capacity ``n >= 1``, in
+the long term (all buffers full) the reader always peeks the oldest of
+the ``n`` stored tokens, whose timestamp is ``(n-1) T(pi^1)`` earlier
+than the newest arrival.  Both backward-time bounds therefore shift
+right by that amount:
+
+    W(pi)^n = W(pi) + (n-1) T(pi^1)
+    B(pi)^n = B(pi) + (n-1) T(pi^1)
+
+These helpers express the shift explicitly for a *hypothetical*
+capacity without mutating the system — Algorithm 1 uses them to predict
+the effect of a candidate design.  Once a design is applied
+(``System.with_channel_capacity``), the regular bounds of
+:mod:`repro.chains.backward` account for the capacities directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chains.backward import bcbt_lower, wcbt_upper
+from repro.model.chain import Chain
+from repro.model.system import System
+from repro.model.task import ModelError
+from repro.units import Time
+
+
+@dataclass(frozen=True)
+class BufferedBounds:
+    """``[B(pi)^n, W(pi)^n]`` for a head-channel capacity ``n``."""
+
+    chain: Chain
+    capacity: int
+    wcbt: Time
+    bcbt: Time
+
+
+def buffered_backward_bounds(
+    chain: Chain, system: System, capacity: int
+) -> BufferedBounds:
+    """Lemma 6 for a hypothetical head-channel capacity.
+
+    The chain's *current* head-channel capacity in ``system`` must be 1
+    (the base model); the returned bounds describe what the analysis
+    would yield if it were ``capacity``.
+    """
+    if capacity < 1:
+        raise ModelError(f"capacity must be >= 1, got {capacity}")
+    if len(chain) < 2:
+        raise ModelError(f"chain {chain} has no head channel to buffer")
+    current = system.graph.channel(chain.head, chain[1]).capacity
+    if current != 1:
+        raise ModelError(
+            f"head channel of {chain} already has capacity {current}; "
+            f"apply designs to a base (capacity-1) system"
+        )
+    shift = (capacity - 1) * system.T(chain.head)
+    return BufferedBounds(
+        chain=chain,
+        capacity=capacity,
+        wcbt=wcbt_upper(chain, system) + shift,
+        bcbt=bcbt_lower(chain, system) + shift,
+    )

@@ -1,0 +1,184 @@
+"""Backward-time bounds under non-preemptive fixed-priority scheduling.
+
+The *backward time* of an immediate backward job chain
+``len(pi_k) = r(pi_k^{|pi|}) - r(pi_k^1)`` measures how far in the past
+the source datum of an output was released (Section II-C).  The paper
+bounds it from above (Lemma 4) and below (Lemma 5):
+
+* **Lemma 4 (WCBT upper bound).**  ``W(pi) = sum_{i=1}^{|pi|-1} theta_i``
+  where the per-hop budget ``theta_i`` depends on where consecutive
+  tasks run:
+
+  - different units:        ``theta_i = T(pi^i) + R(pi^i)``
+  - same unit, hp producer: ``theta_i = T(pi^i)``
+  - same unit, lp producer: ``theta_i = T(pi^i) + R(pi^i) - (W(pi^i) + B(pi^{i+1}))``
+
+  The same-unit refinements are what make this bound tighter than the
+  scheduling-agnostic state of the art (see :mod:`repro.chains.duerr`).
+
+* **Lemma 5 (BCBT lower bound).**
+  ``B(pi) = sum_{i=1}^{|pi|} B(pi^i) - R(pi^{|pi|})`` — possibly
+  *negative*: the source job of an immediate backward job chain can be
+  released after the tail job (the tail reads data produced by a job
+  that started before it but was released later... strictly, a negative
+  bound simply reflects that release-time differences can invert).
+
+Both bounds apply per chain and are the ``W``/``B`` ingredients of all
+disparity theorems.
+
+**Buffered channels (Lemma 6, generalized).**  Section IV enlarges the
+input channel of a chain's second task to a FIFO of capacity ``n``; in
+the long term (buffer full) a reader always peeks the oldest element,
+whose timestamp trails the newest arrival by ``(n-1)`` producer
+periods, so both bounds shift: ``W(pi)^n = W(pi) + (n-1) T(pi^1)`` and
+``B(pi)^n = B(pi) + (n-1) T(pi^1)``.  The same argument applies to a
+FIFO on *any* hop ``(pi^i, pi^{i+1})`` with shift ``(n-1) T(pi^i)``;
+the functions below therefore account for every channel capacity along
+the chain, with Lemma 6 as the head-channel special case.  The shifted
+*lower* bound is only valid once buffers are full — the simulator's
+metrics use a warm-up horizon accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.model.chain import Chain
+from repro.model.system import System
+from repro.model.task import ModelError
+from repro.units import Time
+
+
+@dataclass(frozen=True)
+class BackwardBounds:
+    """The ``[B(pi), W(pi)]`` interval of a chain's backward time."""
+
+    chain: Chain
+    wcbt: Time
+    bcbt: Time
+
+    def __post_init__(self) -> None:
+        if self.bcbt > self.wcbt:
+            raise ModelError(
+                f"inconsistent backward bounds for {self.chain}: "
+                f"BCBT={self.bcbt} > WCBT={self.wcbt}"
+            )
+
+    @property
+    def width(self) -> Time:
+        """Width of the sampling window this chain induces."""
+        return self.wcbt - self.bcbt
+
+
+def hop_budget(system: System, producer: str, consumer: str) -> Time:
+    """``theta_i`` of Lemma 4 for one hop ``producer -> consumer``.
+
+    The producer must actually precede the consumer in the graph; the
+    caller (``wcbt_upper``) guarantees this by walking a validated
+    chain.
+    """
+    T_p = system.T(producer)
+    R_p = system.R(producer)
+    if not system.same_unit(producer, consumer):
+        return T_p + R_p
+    if system.in_hp(producer, consumer):
+        return T_p
+    # Same unit, producer has lower priority than consumer.
+    return T_p + R_p - (system.W(producer) + system.B(consumer))
+
+
+def buffer_shift(chain: Chain, system: System) -> Time:
+    """Total backward-time shift from buffered channels along the chain.
+
+    ``sum over hops of (capacity - 1) * T(producer)`` — zero for the
+    all-register base model; the head-channel case is Lemma 6.
+    """
+    shift = 0
+    for producer, consumer in chain.edges():
+        capacity = system.graph.channel(producer, consumer).capacity
+        if capacity > 1:
+            shift += (capacity - 1) * system.T(producer)
+    return shift
+
+
+def wcbt_upper(chain: Chain, system: System) -> Time:
+    """Lemma 4 (+ Lemma 6 shift): upper bound ``W(pi)`` on the WCBT."""
+    chain.validate(system.graph)
+    if len(chain) == 1:
+        return 0
+    total = 0
+    for producer, consumer in chain.edges():
+        total += hop_budget(system, producer, consumer)
+    return total + buffer_shift(chain, system)
+
+
+def bcbt_lower(chain: Chain, system: System) -> Time:
+    """Lemma 5 (+ Lemma 6 shift): lower bound ``B(pi)`` on the BCBT.
+
+    With buffered channels the bound holds in the long term only
+    (buffers full); see the module docstring.
+    """
+    chain.validate(system.graph)
+    if len(chain) == 1:
+        return 0
+    total = sum(system.B(name) for name in chain)
+    return total - system.R(chain.tail) + buffer_shift(chain, system)
+
+
+def backward_bounds(chain: Chain, system: System) -> BackwardBounds:
+    """Both bounds of a chain as a :class:`BackwardBounds` record."""
+    return BackwardBounds(
+        chain=chain,
+        wcbt=wcbt_upper(chain, system),
+        bcbt=bcbt_lower(chain, system),
+    )
+
+
+class BackwardBoundsCache:
+    """Memoized per-chain backward bounds.
+
+    The disparity analysis of a task evaluates ``W``/``B`` for every
+    sub-chain of every pair of chains in ``P``; sub-chains repeat
+    heavily across pairs (common prefixes through the fork-join
+    structure), so memoization is a large constant-factor win at Fig. 6
+    scale.
+
+    ``strategy`` computes the bounds for one chain and defaults to the
+    paper's non-preemptive bounds (:func:`backward_bounds`).  Passing a
+    different strategy retargets *every* disparity theorem to another
+    communication/scheduling model — e.g.
+    :func:`repro.let.backward_bounds_let` for Logical Execution Time —
+    because Theorems 1-3 only consume the per-chain ``[B, W]``
+    intervals plus task periodicity.
+    """
+
+    def __init__(self, system: System, strategy=None) -> None:
+        self._system = system
+        self._strategy = strategy if strategy is not None else backward_bounds
+        self._cache: Dict[Tuple[str, ...], BackwardBounds] = {}
+
+    @property
+    def system(self) -> System:
+        """The system the cached bounds were computed against."""
+        return self._system
+
+    def bounds(self, chain: Chain) -> BackwardBounds:
+        """Bounds of ``chain``, computed once and memoized."""
+        key = chain.tasks
+        found = self._cache.get(key)
+        if found is None:
+            found = self._strategy(chain, self._system)
+            self._cache[key] = found
+        return found
+
+    def wcbt(self, chain: Chain) -> Time:
+        """Memoized ``W(chain)``."""
+        return self.bounds(chain).wcbt
+
+    def bcbt(self, chain: Chain) -> Time:
+        """Memoized ``B(chain)``."""
+        return self.bounds(chain).bcbt
+
+    def __len__(self) -> int:
+        return len(self._cache)

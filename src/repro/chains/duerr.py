@@ -1,0 +1,67 @@
+"""Scheduling-agnostic backward-time bounds (Dürr et al. style baseline).
+
+Dürr, von der Brüggen, Chen and Chen ("End-to-end timing analysis of
+sporadic cause-effect chains in distributed systems", TECS 2019) bound
+the maximum data age of a chain regardless of the scheduling algorithm,
+assuming only that every job meets ``R(tau) <= T(tau)``.  The paper
+under reproduction notes (Section III) that those results "can be
+directly applied to compute ``B(pi)`` and ``W(pi)`` with a slight
+modification", and then improves on them by exploiting non-preemptive
+scheduling (our :mod:`repro.chains.backward`).
+
+This module provides the baseline:
+
+* ``wcbt_upper_agnostic`` — per hop, the consumer may read data as old
+  as one producer period plus the producer's response time:
+  ``W_duerr(pi) = sum_{i=1}^{|pi|-1} (T(pi^i) + R(pi^i))``.  This equals
+  Lemma 4 with every hop treated as the "different units" case, i.e.
+  it never benefits from same-unit priority relations.
+* ``bcbt_lower_agnostic`` — without scheduler knowledge, the only safe
+  lower bound on the backward time is ``sum B(pi^i) - R(pi^{|pi|})``
+  exactly as in Lemma 5 (its proof does not use non-preemption), but a
+  deliberately weaker variant ``bcbt_lower_trivial`` (= the no-finish-
+  order-information bound ``-R(pi^{|pi|})``) is also provided for
+  ablation studies of how much BCBT precision matters.
+
+The ablation benchmark ``benchmarks/test_bench_ablation_backward.py``
+quantifies the gap between these baselines and the paper's bounds.
+"""
+
+from __future__ import annotations
+
+from repro.model.chain import Chain
+from repro.model.system import System
+from repro.units import Time
+
+
+def wcbt_upper_agnostic(chain: Chain, system: System) -> Time:
+    """Scheduling-agnostic WCBT bound: every hop costs ``T + R``."""
+    chain.validate(system.graph)
+    if len(chain) == 1:
+        return 0
+    return sum(
+        system.T(producer) + system.R(producer)
+        for producer, _consumer in chain.edges()
+    )
+
+
+def bcbt_lower_agnostic(chain: Chain, system: System) -> Time:
+    """Scheduling-agnostic BCBT bound (Lemma 5 needs no non-preemption)."""
+    chain.validate(system.graph)
+    if len(chain) == 1:
+        return 0
+    return sum(system.B(name) for name in chain) - system.R(chain.tail)
+
+
+def bcbt_lower_trivial(chain: Chain, system: System) -> Time:
+    """Deliberately weak BCBT bound used in ablations.
+
+    Ignores all execution-time information: the backward time can only
+    be shown to exceed ``-R(tail)`` (the tail job finishes within its
+    response time of its release, and its source cannot be released
+    after the tail's finish).
+    """
+    chain.validate(system.graph)
+    if len(chain) == 1:
+        return 0
+    return -system.R(chain.tail)

@@ -1,0 +1,79 @@
+"""End-to-end latency metrics derived from backward time (extension).
+
+The paper's footnote 2 relates the backward time to the classical
+*maximum data age*: the data age of the output of the k-th tail job is
+``f(pi_k^{|pi|}) - r(pi_k^1)``, i.e. the backward time plus the tail
+job's response time.  This module derives the standard end-to-end
+metrics from the backward-time machinery so the library covers the
+wider cause-effect-chain analysis territory the introduction surveys:
+
+* **maximum data age** — freshness of the data an output is based on;
+* **maximum reaction time** — stimulus-to-response latency, bounded by
+  the classical Davare-style composition (one period plus one response
+  time per stage), which is also the standard baseline in the
+  literature the paper cites ([1]-[5]).
+"""
+
+from __future__ import annotations
+
+from repro.chains.backward import wcbt_upper
+from repro.chains.duerr import wcbt_upper_agnostic
+from repro.model.chain import Chain
+from repro.model.system import System
+from repro.units import Time
+
+
+def max_data_age(chain: Chain, system: System) -> Time:
+    """Upper bound on the maximum data age of ``chain``.
+
+    ``age = len(backward chain) + (f(tail) - r(tail)) <= W(pi) + R(tail)``,
+    using the non-preemptive WCBT bound of Lemma 4.
+    """
+    return wcbt_upper(chain, system) + system.R(chain.tail)
+
+
+def max_data_age_agnostic(chain: Chain, system: System) -> Time:
+    """Scheduling-agnostic data-age bound (Dürr-style baseline)."""
+    return wcbt_upper_agnostic(chain, system) + system.R(chain.tail)
+
+
+def max_reaction_time(chain: Chain, system: System) -> Time:
+    """Davare-style maximum reaction time bound.
+
+    A stimulus arriving just after a sampling instant waits up to one
+    full period at every stage and then the stage's response time:
+    ``sum_i (T(pi^i) + R(pi^i))``.  Source stages contribute only their
+    period (``R = 0``).
+    """
+    chain.validate(system.graph)
+    return sum(system.T(name) + system.R(name) for name in chain)
+
+
+def max_reaction_time_np(chain: Chain, system: System) -> Time:
+    """Reaction-time bound sharpened with the non-preemptive hop budgets.
+
+    A stimulus at time ``t`` is captured by a source job released at
+    ``t_r <= t + T(head)``.  Let ``J*`` be the first tail job whose
+    immediate backward job chain originates from a source job released
+    at or after ``t_r``; the preceding tail job's source precedes
+    ``t_r``, so its release is below ``t_r + W(pi)`` (Lemma 4), and
+    ``J*`` is released at most one tail period later and finishes within
+    its response time.  Hence
+
+        reaction <= T(head) + W(pi) + T(tail) + R(tail).
+
+    On chains with same-unit hops this is tighter than the Davare-style
+    :func:`max_reaction_time`; the reported value is the minimum of the
+    two (both are safe).
+    """
+    chain.validate(system.graph)
+    davare = max_reaction_time(chain, system)
+    if len(chain) == 1:
+        return davare
+    sharpened = (
+        system.T(chain.head)
+        + wcbt_upper(chain, system)
+        + system.T(chain.tail)
+        + system.R(chain.tail)
+    )
+    return min(davare, sharpened)

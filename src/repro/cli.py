@@ -1,0 +1,287 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro fig6 --part ab --preset smoke
+    python -m repro fig6 --part cd --preset default --csv out/fig6cd.csv
+    python -m repro analyze --tasks 15 --seed 7
+    python -m repro waters
+
+``fig6`` regenerates the paper's evaluation figures as text tables (and
+optionally CSV); ``analyze`` builds one random scenario and prints the
+full analysis (response times, per-chain backward bounds, P-diff /
+S-diff, buffer design); ``waters`` prints the embedded WATERS 2015
+benchmark tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.units import seconds, to_ms
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments import preset_ab, preset_cd, run_ab, run_cd
+
+    part = args.part
+    csv_path = Path(args.csv) if args.csv else None
+    overrides = {}
+    if args.duration is not None:
+        overrides["sim_duration"] = seconds(args.duration)
+    if args.graphs is not None:
+        overrides["graphs_per_point"] = args.graphs
+    if args.sims is not None:
+        overrides["sims_per_graph"] = args.sims
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+
+    if part in ("ab", "a", "b"):
+        config = preset_ab(args.preset).scaled(**overrides)
+        run_ab(config, out_csv=csv_path, verbose=not args.quiet)
+    if part in ("cd", "c", "d"):
+        config = preset_cd(args.preset).scaled(**overrides)
+        run_cd(config, out_csv=csv_path, verbose=not args.quiet)
+    if part == "all":
+        run_ab(preset_ab(args.preset).scaled(**overrides), verbose=not args.quiet)
+        run_cd(preset_cd(args.preset).scaled(**overrides), verbose=not args.quiet)
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.buffers import design_buffers_multi
+    from repro.chains import BackwardBoundsCache
+    from repro.core import worst_case_disparity
+    from repro.gen import generate_random_scenario
+    from repro.model.chain import enumerate_source_chains
+
+    rng = random.Random(args.seed)
+    if args.input:
+        from repro.io import load_graph
+        from repro.model.system import System
+
+        graph = load_graph(args.input)
+        system = System.build(graph)
+        sinks = system.graph.sinks()
+        sink = args.task if args.task else sinks[0]
+    else:
+        scenario = generate_random_scenario(args.tasks, rng)
+        system = scenario.system
+        sink = args.task if args.task else scenario.sink
+    if args.output:
+        from repro.io import save_graph
+
+        save_graph(system.graph, args.output)
+        print(f"saved workload to {args.output}")
+    print(system.describe())
+    print()
+
+    cache = BackwardBoundsCache(system)
+    chains = enumerate_source_chains(system.graph, sink)
+    print(f"chains into {sink!r}: {len(chains)}")
+    for chain in chains:
+        bounds = cache.bounds(chain)
+        print(
+            f"  {' -> '.join(chain.tasks)}  "
+            f"WCBT={to_ms(bounds.wcbt):.3f}ms BCBT={to_ms(bounds.bcbt):.3f}ms"
+        )
+    print()
+
+    for method, label in (("independent", "P-diff"), ("forkjoin", "S-diff")):
+        result = worst_case_disparity(
+            system, sink, method=method, cache=cache
+        )
+        print(f"{label}: {to_ms(result.bound):.3f}ms over {result.n_pairs} pairs")
+        if result.worst_pair is not None:
+            worst = result.worst_pair
+            print(
+                f"  worst pair: {' -> '.join(worst.lam.tasks)} vs "
+                f"{' -> '.join(worst.nu.tasks)}"
+            )
+    design = design_buffers_multi(system, sink)
+    if design.plan:
+        print(
+            f"buffer design: {design.plan} "
+            f"({to_ms(design.bound_before):.3f}ms -> "
+            f"{to_ms(design.bound_after):.3f}ms)"
+        )
+    else:
+        print("buffer design: no improvement found")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.gen import generate_random_scenario
+    from repro.model.system import System
+    from repro.report import analyze_system, render_report
+    from repro.units import ms as to_ns_ms
+
+    if args.input:
+        from repro.io import load_graph
+
+        system = System.build(load_graph(args.input))
+    else:
+        scenario = generate_random_scenario(args.tasks, random.Random(args.seed))
+        system = scenario.system
+    requirements = {}
+    if args.requirement:
+        for spec in args.requirement:
+            task, _, value = spec.partition("=")
+            if not value:
+                raise SystemExit(
+                    f"--requirement expects TASK=MILLISECONDS, got {spec!r}"
+                )
+            requirements[task] = to_ns_ms(float(value))
+    print(render_report(analyze_system(system, requirements=requirements)))
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.explore import explain_disparity, render_explanation
+    from repro.gen import generate_random_scenario
+    from repro.model.system import System
+
+    if args.input:
+        from repro.io import load_graph
+
+        system = System.build(load_graph(args.input))
+        task = args.task if args.task else system.graph.sinks()[0]
+    else:
+        scenario = generate_random_scenario(args.tasks, random.Random(args.seed))
+        system = scenario.system
+        task = args.task if args.task else scenario.sink
+    print(render_explanation(explain_disparity(system, task)))
+    if args.optimize:
+        from repro.explore import optimize_priorities
+
+        result = optimize_priorities(system, task)
+        print()
+        if result.improved:
+            print(
+                f"priority optimization: {to_ms(result.bound_before):.3f}ms -> "
+                f"{to_ms(result.bound_after):.3f}ms via swaps "
+                f"{list(result.swaps_applied)}"
+            )
+        else:
+            print("priority optimization: no improving swap found")
+    return 0
+
+
+def _cmd_waters(args: argparse.Namespace) -> int:
+    from repro.gen.waters import (
+        ACET_US,
+        BCET_FACTOR_RANGE,
+        PERIOD_SHARE_PERCENT,
+        PERIODS_MS,
+        WCET_FACTOR_RANGE,
+        expected_utilization_per_task,
+    )
+
+    print(f"{'T(ms)':>6} {'share%':>7} {'ACET(us)':>9} "
+          f"{'f_bc range':>14} {'f_wc range':>14}")
+    for period in PERIODS_MS:
+        bc = BCET_FACTOR_RANGE[period]
+        wc = WCET_FACTOR_RANGE[period]
+        print(
+            f"{period:>6} {PERIOD_SHARE_PERCENT[period]:>7.1f} "
+            f"{ACET_US[period]:>9.2f} "
+            f"{f'[{bc[0]:.2f},{bc[1]:.2f}]':>14} "
+            f"{f'[{wc[0]:.2f},{wc[1]:.2f}]':>14}"
+        )
+    print(f"expected per-task utilization: {expected_utilization_per_task():.6f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Worst-case time disparity analysis (DATE 2023 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig6 = subparsers.add_parser("fig6", help="regenerate Fig. 6 series")
+    fig6.add_argument(
+        "--part",
+        choices=("a", "b", "ab", "c", "d", "cd", "all"),
+        default="all",
+        help="which panel(s) to run (a/b share one sweep, as do c/d)",
+    )
+    fig6.add_argument(
+        "--preset",
+        choices=("paper", "default", "smoke"),
+        default="default",
+        help="replication scale (paper = full fidelity, slow)",
+    )
+    fig6.add_argument("--csv", help="write the series to this CSV file")
+    fig6.add_argument("--duration", type=float, help="simulated seconds per run")
+    fig6.add_argument("--graphs", type=int, help="graphs per X point")
+    fig6.add_argument("--sims", type=int, help="simulations per graph")
+    fig6.add_argument("--seed", type=int, help="master seed")
+    fig6.add_argument("--quiet", action="store_true", help="suppress progress")
+    fig6.set_defaults(func=_cmd_fig6)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="analyze one random scenario end to end"
+    )
+    analyze.add_argument("--tasks", type=int, default=12, help="number of tasks")
+    analyze.add_argument("--seed", type=int, default=1, help="random seed")
+    analyze.add_argument(
+        "--input", help="load the workload from this JSON file instead"
+    )
+    analyze.add_argument(
+        "--output", help="save the analyzed workload to this JSON file"
+    )
+    analyze.add_argument(
+        "--task", help="analyzed task (default: the graph's sink)"
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    report = subparsers.add_parser(
+        "report", help="full analysis report of a workload"
+    )
+    report.add_argument("--tasks", type=int, default=12, help="number of tasks")
+    report.add_argument("--seed", type=int, default=1, help="random seed")
+    report.add_argument("--input", help="load the workload from this JSON file")
+    report.add_argument(
+        "--requirement",
+        action="append",
+        metavar="TASK=MS",
+        help="disparity requirement to check (repeatable)",
+    )
+    report.set_defaults(func=_cmd_report)
+
+    diagnose = subparsers.add_parser(
+        "diagnose", help="explain a task's disparity bound and the levers"
+    )
+    diagnose.add_argument("--tasks", type=int, default=12, help="number of tasks")
+    diagnose.add_argument("--seed", type=int, default=1, help="random seed")
+    diagnose.add_argument("--input", help="load the workload from this JSON file")
+    diagnose.add_argument("--task", help="analyzed task (default: the sink)")
+    diagnose.add_argument(
+        "--optimize",
+        action="store_true",
+        help="also run the priority-swap local search",
+    )
+    diagnose.set_defaults(func=_cmd_diagnose)
+
+    waters = subparsers.add_parser(
+        "waters", help="print the embedded WATERS 2015 tables"
+    )
+    waters.set_defaults(func=_cmd_waters)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Task-level worst-case time disparity (Definition 2).
+
+The worst-case time disparity of a task ``tau`` is the maximum, over
+all jobs ``J`` of ``tau``, of the maximum difference among the
+timestamps of all of ``J``'s sources.  Each source is traced through an
+immediate backward job chain along one chain of
+
+    P = { every chain from a source task to tau },
+
+so the task-level bound is the maximum over all unordered pairs of
+distinct chains in ``P`` of the pairwise bound (Theorem 1 or 2).
+
+``method`` selects the estimator:
+
+* ``"independent"`` — Theorem 1 on every pair (paper's *P-diff*);
+* ``"forkjoin"``    — Theorem 2 on every pair (paper's *S-diff*);
+* ``"best"``        — the per-pair minimum of the two (both are safe
+  upper bounds, so their minimum is safe; an extension beyond the
+  paper's reported series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Tuple
+
+from repro.chains.backward import BackwardBoundsCache
+from repro.core.pairwise import (
+    PairwiseResult,
+    disparity_bound_forkjoin,
+    disparity_bound_independent,
+)
+from repro.model.chain import Chain, enumerate_source_chains
+from repro.model.system import System
+from repro.model.task import ModelError
+from repro.units import Time
+
+Method = str
+
+_VALID_METHODS = ("independent", "forkjoin", "best")
+
+
+@dataclass(frozen=True)
+class TaskDisparityResult:
+    """Worst-case disparity bound of one task, with per-pair evidence."""
+
+    task: str
+    method: Method
+    bound: Time
+    chains: Tuple[Chain, ...]
+    pair_results: Tuple[PairwiseResult, ...]
+    worst_pair: Optional[PairwiseResult]
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of chain pairs the maximum ranged over."""
+        return len(self.pair_results)
+
+
+def _pair_bound(
+    lam: Chain,
+    nu: Chain,
+    cache: BackwardBoundsCache,
+    method: Method,
+    truncate_suffix: bool,
+) -> PairwiseResult:
+    if method == "independent":
+        return disparity_bound_independent(lam, nu, cache)
+    if method == "forkjoin":
+        return disparity_bound_forkjoin(lam, nu, cache, truncate_suffix=truncate_suffix)
+    if method == "best":
+        independent = disparity_bound_independent(lam, nu, cache)
+        forkjoin = disparity_bound_forkjoin(
+            lam, nu, cache, truncate_suffix=truncate_suffix
+        )
+        return forkjoin if forkjoin.bound <= independent.bound else independent
+    raise ModelError(f"unknown disparity method {method!r}; use one of {_VALID_METHODS}")
+
+
+def worst_case_disparity(
+    system: System,
+    task: str,
+    *,
+    method: Method = "forkjoin",
+    truncate_suffix: bool = True,
+    cache: Optional[BackwardBoundsCache] = None,
+) -> TaskDisparityResult:
+    """Bound the worst-case time disparity of ``task``.
+
+    Enumerates ``P`` and maximizes the selected pairwise bound over all
+    unordered pairs of distinct chains.  A task reachable from at most
+    one source chain has zero disparity by definition.
+
+    Args:
+        system: The analyzed system.
+        task: Name of the analyzed task.
+        method: ``"independent"`` (P-diff), ``"forkjoin"`` (S-diff) or
+            ``"best"``.
+        truncate_suffix: Truncate shared chain suffixes before the
+            fork-join decomposition (no effect on Theorem 1).
+        cache: Optional shared backward-bounds cache (reuse across
+            tasks of the same system).
+    """
+    if cache is None:
+        cache = BackwardBoundsCache(system)
+    chains = enumerate_source_chains(system.graph, task)
+    pair_results: List[PairwiseResult] = []
+    worst: Optional[PairwiseResult] = None
+    for lam, nu in combinations(chains, 2):
+        result = _pair_bound(lam, nu, cache, method, truncate_suffix)
+        pair_results.append(result)
+        if worst is None or result.bound > worst.bound:
+            worst = result
+    return TaskDisparityResult(
+        task=task,
+        method=method,
+        bound=worst.bound if worst is not None else 0,
+        chains=chains,
+        pair_results=tuple(pair_results),
+        worst_pair=worst,
+    )
+
+
+def disparity_bound(
+    system: System,
+    task: str,
+    *,
+    method: Method = "forkjoin",
+    truncate_suffix: bool = True,
+    cache: Optional[BackwardBoundsCache] = None,
+) -> Time:
+    """Just the numeric bound of :func:`worst_case_disparity`."""
+    return worst_case_disparity(
+        system,
+        task,
+        method=method,
+        truncate_suffix=truncate_suffix,
+        cache=cache,
+    ).bound
+
+
+def all_sink_disparities(
+    system: System,
+    *,
+    method: Method = "forkjoin",
+    truncate_suffix: bool = True,
+) -> Dict[str, TaskDisparityResult]:
+    """Disparity bounds of every sink task, sharing one bounds cache."""
+    cache = BackwardBoundsCache(system)
+    return {
+        sink: worst_case_disparity(
+            system, sink, method=method, truncate_suffix=truncate_suffix, cache=cache
+        )
+        for sink in system.graph.sinks()
+    }
+
+
+def check_disparity_requirement(
+    system: System,
+    task: str,
+    threshold: Time,
+    *,
+    method: Method = "forkjoin",
+) -> bool:
+    """Verify the paper's design requirement: disparity within a range.
+
+    Returns True when the worst-case time disparity bound of ``task``
+    is at most ``threshold`` — the verification question posed at the
+    start of Section III ("whether the time disparity of a task is
+    bounded by a pre-defined value").
+    """
+    return disparity_bound(system, task, method=method) <= threshold

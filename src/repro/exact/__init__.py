@@ -1,0 +1,24 @@
+"""Exact steady-state measurement and offset search (extension)."""
+
+from repro.exact.exhaustive import (
+    ExhaustiveResult,
+    exhaustive_offset_disparity,
+    grid_size,
+)
+from repro.exact.hyperperiod import (
+    SteadyStateResult,
+    steady_state_disparity,
+    warmup_horizon,
+)
+from repro.exact.search import OffsetSearchResult, maximize_disparity_offsets
+
+__all__ = [
+    "ExhaustiveResult",
+    "exhaustive_offset_disparity",
+    "grid_size",
+    "SteadyStateResult",
+    "steady_state_disparity",
+    "warmup_horizon",
+    "OffsetSearchResult",
+    "maximize_disparity_offsets",
+]

@@ -1,0 +1,126 @@
+"""Steady-state disparity of a fully determined system (extension).
+
+With fixed release offsets and a *deterministic* execution-time policy
+(e.g. every job at WCET), a schedulable periodic system reaches a
+steady state in which its behaviour repeats with the hyperperiod ``H``
+(the channel contents, ready queues, and token ages all become
+periodic).  The maximum disparity observed over one steady-state
+hyperperiod is then the *exact* worst-case disparity of that concrete
+system — not a bound, not a sample.
+
+:func:`steady_state_disparity` simulates window after window of length
+``H`` and returns once two consecutive windows agree (with a cap); the
+result is flagged ``converged``.  This machinery gives the offset
+search of :mod:`repro.exact.search` a well-defined objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.model.system import System
+from repro.model.task import ModelError
+from repro.sim.engine import Job, Observer, Simulator
+from repro.sim.exec_time import ExecTimePolicy, wcet_policy
+from repro.sim.provenance import Token, disparity_of
+from repro.units import Time
+
+
+class _WindowedDisparity(Observer):
+    """Max disparity of one task per consecutive time window."""
+
+    def __init__(self, task: str, window: Time, start: Time) -> None:
+        self._task = task
+        self._window = window
+        self._start = start
+        self.per_window: Dict[int, Time] = {}
+
+    def on_job_complete(self, job: Job, token: Token) -> None:
+        if job.task.name != self._task or job.release < self._start:
+            return
+        disparity = disparity_of(token.provenance)
+        if disparity is None:
+            return
+        index = (job.release - self._start) // self._window
+        if disparity > self.per_window.get(index, -1):
+            self.per_window[index] = disparity
+
+
+@dataclass(frozen=True)
+class SteadyStateResult:
+    """Outcome of the steady-state measurement."""
+
+    disparity: Time
+    converged: bool
+    windows_used: int
+    hyperperiod: Time
+
+
+def warmup_horizon(system: System) -> Time:
+    """A horizon after which the pipeline is plausibly in steady state.
+
+    Covers the largest offset, the deepest chain's propagation (two
+    producer periods per hop is the LET/implicit worst case), and the
+    fill time of every FIFO.
+    """
+    graph = system.graph
+    max_offset = max((task.offset for task in graph.tasks), default=0)
+    # Longest path propagation: bounded by 2*sum of all periods along
+    # the deepest chain; bounded above by 2*sum over all tasks.
+    propagation = 2 * sum(task.period for task in graph.tasks)
+    fill = sum(
+        (channel.capacity - 1) * graph.task(channel.src).period
+        for channel in graph.channels
+    )
+    return max_offset + propagation + fill
+
+
+def steady_state_disparity(
+    system: System,
+    task: str,
+    *,
+    policy: ExecTimePolicy = wcet_policy,
+    seed: int = 0,
+    max_windows: int = 8,
+    semantics: str = "implicit",
+) -> SteadyStateResult:
+    """Exact steady-state disparity under a deterministic policy.
+
+    Simulates ``warmup + k*H`` and returns the per-hyperperiod maximum
+    once two consecutive windows agree.  With a *randomized* policy
+    the result is still a valid observed lower bound, but the
+    ``converged`` flag loses its exactness meaning.
+    """
+    if max_windows < 2:
+        raise ModelError(f"max_windows must be >= 2, got {max_windows}")
+    hyperperiod = system.graph.hyperperiod()
+    warmup = warmup_horizon(system)
+    monitor = _WindowedDisparity(task, hyperperiod, warmup)
+    duration = warmup + max_windows * hyperperiod
+    Simulator(
+        system,
+        duration,
+        seed=seed,
+        policy=policy,
+        observers=[monitor],
+        semantics=semantics,
+    ).run()
+
+    values: List[Time] = [
+        monitor.per_window.get(i, 0) for i in range(max_windows)
+    ]
+    for index in range(1, max_windows):
+        if values[index] == values[index - 1]:
+            return SteadyStateResult(
+                disparity=values[index],
+                converged=True,
+                windows_used=index + 1,
+                hyperperiod=hyperperiod,
+            )
+    return SteadyStateResult(
+        disparity=max(values),
+        converged=False,
+        windows_used=max_windows,
+        hyperperiod=hyperperiod,
+    )

@@ -1,0 +1,117 @@
+"""Offset search: a stronger empirical lower bound on disparity.
+
+The paper's ``Sim`` series draws release offsets uniformly at random —
+a weak explorer of the worst case, since the worst alignment of a long
+chain needs many per-hop coincidences.  This module searches the offset
+space directly: the objective is the (deterministic) steady-state
+disparity of :mod:`repro.exact.hyperperiod`, and the optimizer is a
+seeded multi-start coordinate ascent — for each task in turn, try a
+handful of candidate offsets and keep the best.
+
+The result is still a *lower* bound on the true worst case (execution
+times are pinned to WCET during the search), but a substantially
+tighter one than random draws, which narrows the measured gap to the
+analytical upper bounds (see ``benchmarks/test_bench_offset_search.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.exact.hyperperiod import steady_state_disparity
+from repro.model.system import System
+from repro.model.task import ModelError
+from repro.sim.exec_time import ExecTimePolicy, wcet_policy
+from repro.units import Time
+
+
+@dataclass(frozen=True)
+class OffsetSearchResult:
+    """Best offsets found and the disparity they exhibit."""
+
+    offsets: Dict[str, Time]
+    disparity: Time
+    evaluations: int
+
+
+def _apply_offsets(system: System, offsets: Dict[str, Time]) -> System:
+    graph = system.graph.copy()
+    for name, offset in offsets.items():
+        graph.replace_task(graph.task(name).with_offset(offset))
+    return System(graph=graph, response_times=system.response_times)
+
+
+def _random_offsets(system: System, rng: random.Random) -> Dict[str, Time]:
+    return {
+        task.name: rng.randint(1, task.period) for task in system.graph.tasks
+    }
+
+
+def maximize_disparity_offsets(
+    system: System,
+    task: str,
+    rng: random.Random,
+    *,
+    restarts: int = 3,
+    sweeps: int = 2,
+    candidates_per_task: int = 4,
+    policy: ExecTimePolicy = wcet_policy,
+    max_windows: int = 4,
+) -> OffsetSearchResult:
+    """Coordinate-ascent search for offsets maximizing the disparity.
+
+    Args:
+        system: The analyzed system (offsets in it are ignored).
+        task: Task whose disparity is maximized.
+        rng: Randomness for restarts and candidate offsets.
+        restarts: Independent random starting points.
+        sweeps: Coordinate-ascent passes over all tasks per restart.
+        candidates_per_task: Offsets tried per task per pass.
+        policy: Deterministic execution-time policy for the objective.
+        max_windows: Steady-state detection budget per evaluation.
+    """
+    if restarts < 1 or sweeps < 1 or candidates_per_task < 1:
+        raise ModelError("restarts, sweeps and candidates_per_task must be >= 1")
+    evaluations = 0
+
+    def objective(offsets: Dict[str, Time]) -> Time:
+        nonlocal evaluations
+        evaluations += 1
+        return steady_state_disparity(
+            _apply_offsets(system, offsets),
+            task,
+            policy=policy,
+            max_windows=max_windows,
+        ).disparity
+
+    task_names = [t.name for t in system.graph.tasks]
+    best_offsets: Optional[Dict[str, Time]] = None
+    best_value: Time = -1
+
+    for _restart in range(restarts):
+        offsets = _random_offsets(system, rng)
+        value = objective(offsets)
+        for _sweep in range(sweeps):
+            improved = False
+            order = list(task_names)
+            rng.shuffle(order)
+            for name in order:
+                period = system.graph.task(name).period
+                for _ in range(candidates_per_task):
+                    candidate = dict(offsets)
+                    candidate[name] = rng.randint(1, period)
+                    candidate_value = objective(candidate)
+                    if candidate_value > value:
+                        offsets, value = candidate, candidate_value
+                        improved = True
+            if not improved:
+                break
+        if value > best_value:
+            best_offsets, best_value = offsets, value
+
+    assert best_offsets is not None
+    return OffsetSearchResult(
+        offsets=best_offsets, disparity=best_value, evaluations=evaluations
+    )

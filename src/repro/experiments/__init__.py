@@ -1,0 +1,57 @@
+"""Evaluation harness reproducing the paper's Fig. 6."""
+
+from repro.experiments.config import (
+    DEFAULT_AB,
+    DEFAULT_CD,
+    PAPER_AB,
+    PAPER_CD,
+    SMOKE_AB,
+    SMOKE_CD,
+    Fig6ABConfig,
+    Fig6CDConfig,
+)
+from repro.experiments.fig6 import PointAB, PointCD, run_fig6_ab, run_fig6_cd
+from repro.experiments.reporting import (
+    check_shapes_ab,
+    check_shapes_cd,
+    csv_ab,
+    csv_cd,
+    render_table_ab,
+    render_table_cd,
+)
+from repro.experiments.runner import preset_ab, preset_cd, run_ab, run_cd
+from repro.experiments.stats import (
+    RunningStats,
+    Summary,
+    paired_improvement,
+    summarize,
+)
+
+__all__ = [
+    "DEFAULT_AB",
+    "DEFAULT_CD",
+    "PAPER_AB",
+    "PAPER_CD",
+    "SMOKE_AB",
+    "SMOKE_CD",
+    "Fig6ABConfig",
+    "Fig6CDConfig",
+    "PointAB",
+    "PointCD",
+    "run_fig6_ab",
+    "run_fig6_cd",
+    "check_shapes_ab",
+    "check_shapes_cd",
+    "csv_ab",
+    "csv_cd",
+    "render_table_ab",
+    "render_table_cd",
+    "preset_ab",
+    "preset_cd",
+    "run_ab",
+    "run_cd",
+    "RunningStats",
+    "Summary",
+    "paired_improvement",
+    "summarize",
+]

@@ -1,0 +1,294 @@
+"""The Fig. 6 evaluation harness.
+
+Regenerates the four panels of the paper's Fig. 6:
+
+* **(a)** absolute worst-case time disparity over the number of tasks
+  in random single-sink DAGs: simulated lower bound (``Sim``) versus
+  Theorem 1 (``P-diff``) and Theorem 2 (``S-diff``);
+* **(b)** the incremental ratio ``(bound - Sim) / Sim`` of both bounds;
+* **(c)** absolute disparity over the tasks-per-chain of two chains
+  merged at one sink: ``Sim``/``S-diff`` and their buffered
+  counterparts ``Sim-B``/``S-diff-B`` after Algorithm 1;
+* **(d)** the incremental ratios of the unbuffered and buffered pairs.
+
+Per point on the X axis the harness generates ``graphs_per_point``
+scenarios; each is analyzed once and simulated ``sims_per_graph`` times
+with fresh random offsets (as in the paper), taking the per-graph
+maximum observed disparity and averaging across graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.buffers.sizing import design_buffer_pair
+from repro.chains.backward import BackwardBoundsCache
+from repro.core.disparity import disparity_bound
+from repro.core.pairwise import disparity_bound_forkjoin
+from repro.experiments.config import Fig6ABConfig, Fig6CDConfig
+from repro.gen.scenario import (
+    generate_merged_pair_scenario,
+    generate_random_scenario,
+)
+from repro.model.chain import enumerate_source_chains
+from repro.model.system import System
+from repro.sim.engine import randomize_offsets, simulate
+from repro.sim.exec_time import named_policy
+from repro.sim.metrics import DisparityMonitor
+from repro.units import Time, to_ms
+
+
+@dataclass(frozen=True)
+class PointAB:
+    """One X-axis point of Fig. 6 (a)/(b), averaged over graphs (ms).
+
+    The ``*_std_ms`` fields carry the across-graph sample standard
+    deviation (0 when a single graph was measured) — they feed the CSV
+    output so replication dispersion is never lost.
+    """
+
+    n_tasks: int
+    sim_ms: float
+    p_diff_ms: float
+    s_diff_ms: float
+    sim_std_ms: float = 0.0
+    p_diff_std_ms: float = 0.0
+    s_diff_std_ms: float = 0.0
+
+    @property
+    def p_ratio(self) -> float:
+        """Incremental ratio of P-diff over Sim (Fig. 6(b))."""
+        return _ratio(self.p_diff_ms, self.sim_ms)
+
+    @property
+    def s_ratio(self) -> float:
+        """Incremental ratio of S-diff over Sim (Fig. 6(b))."""
+        return _ratio(self.s_diff_ms, self.sim_ms)
+
+
+@dataclass(frozen=True)
+class PointCD:
+    """One X-axis point of Fig. 6 (c)/(d), averaged over graphs (ms)."""
+
+    tasks_per_chain: int
+    sim_ms: float
+    s_diff_ms: float
+    sim_b_ms: float
+    s_diff_b_ms: float
+    sim_std_ms: float = 0.0
+    s_diff_std_ms: float = 0.0
+    sim_b_std_ms: float = 0.0
+    s_diff_b_std_ms: float = 0.0
+
+    @property
+    def s_ratio(self) -> float:
+        """Incremental ratio of S-diff over Sim (Fig. 6(d))."""
+        return _ratio(self.s_diff_ms, self.sim_ms)
+
+    @property
+    def s_b_ratio(self) -> float:
+        """Incremental ratio of S-diff-B over Sim-B (Fig. 6(d))."""
+        return _ratio(self.s_diff_b_ms, self.sim_b_ms)
+
+
+def _ratio(bound_ms: float, sim_ms: float) -> float:
+    if sim_ms <= 0.0:
+        return 0.0
+    return (bound_ms - sim_ms) / sim_ms
+
+
+def _max_observed_disparity(
+    system: System,
+    task: str,
+    *,
+    sims: int,
+    duration: Time,
+    warmup: Time,
+    policy_name: str,
+    rng: random.Random,
+) -> Time:
+    """Max observed disparity over ``sims`` runs with random offsets."""
+    policy = named_policy(policy_name)
+    worst: Time = 0
+    for rep in range(sims):
+        offset_graph = randomize_offsets(system.graph, rng)
+        # Offsets do not change schedulability; skip re-validation and
+        # reuse the cached response times for speed.
+        offset_system = System(
+            graph=offset_graph, response_times=system.response_times
+        )
+        monitor = DisparityMonitor([task], warmup=warmup)
+        simulate(
+            offset_system,
+            duration,
+            seed=rng.randrange(2**31),
+            policy=policy,
+            observers=[monitor],
+        )
+        worst = max(worst, monitor.disparity(task))
+    return worst
+
+
+def _buffer_fill_warmup(system: System, base_warmup: Time, duration: Time) -> Time:
+    """Warm-up long enough for every FIFO to fill (Lemma 6's premise)."""
+    fill = 0
+    for channel in system.graph.channels:
+        if channel.capacity > 1:
+            fill = max(fill, channel.capacity * system.T(channel.src))
+    warmup = base_warmup + 2 * fill
+    # Keep at least half the horizon for measurement.
+    return min(warmup, duration // 2)
+
+
+def run_fig6_ab(
+    config: Fig6ABConfig,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[PointAB]:
+    """Run the Fig. 6 (a)/(b) sweep and return one row per X value."""
+    rng = random.Random(config.seed)
+    rows: List[PointAB] = []
+    for n_tasks in config.x_values:
+        sims: List[float] = []
+        p_diffs: List[float] = []
+        s_diffs: List[float] = []
+        for _ in range(config.graphs_per_point):
+            scenario = generate_random_scenario(n_tasks, rng, config.scenario)
+            cache = BackwardBoundsCache(scenario.system)
+            p_diffs.append(
+                to_ms(
+                    disparity_bound(
+                        scenario.system,
+                        scenario.sink,
+                        method="independent",
+                        cache=cache,
+                    )
+                )
+            )
+            s_diffs.append(
+                to_ms(
+                    disparity_bound(
+                        scenario.system,
+                        scenario.sink,
+                        method="forkjoin",
+                        cache=cache,
+                    )
+                )
+            )
+            sims.append(
+                to_ms(
+                    _max_observed_disparity(
+                        scenario.system,
+                        scenario.sink,
+                        sims=config.sims_per_graph,
+                        duration=config.sim_duration,
+                        warmup=config.warmup,
+                        policy_name=config.policy,
+                        rng=rng,
+                    )
+                )
+            )
+        row = PointAB(
+            n_tasks=n_tasks,
+            sim_ms=_mean(sims),
+            p_diff_ms=_mean(p_diffs),
+            s_diff_ms=_mean(s_diffs),
+            sim_std_ms=_std(sims),
+            p_diff_std_ms=_std(p_diffs),
+            s_diff_std_ms=_std(s_diffs),
+        )
+        rows.append(row)
+        if progress is not None:
+            progress(
+                f"n={n_tasks}: Sim={row.sim_ms:.1f}ms "
+                f"P-diff={row.p_diff_ms:.1f}ms S-diff={row.s_diff_ms:.1f}ms"
+            )
+    return rows
+
+
+def run_fig6_cd(
+    config: Fig6CDConfig,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[PointCD]:
+    """Run the Fig. 6 (c)/(d) sweep and return one row per X value."""
+    rng = random.Random(config.seed)
+    rows: List[PointCD] = []
+    for tasks_per_chain in config.x_values:
+        sims: List[float] = []
+        s_diffs: List[float] = []
+        sims_b: List[float] = []
+        s_diffs_b: List[float] = []
+        for _ in range(config.graphs_per_point):
+            scenario = generate_merged_pair_scenario(
+                tasks_per_chain, rng, config.scenario
+            )
+            system = scenario.system
+            cache = BackwardBoundsCache(system)
+            lam, nu = enumerate_source_chains(system.graph, scenario.sink)
+            base = disparity_bound_forkjoin(lam, nu, cache)
+            design = design_buffer_pair(lam, nu, cache)
+            s_diffs.append(to_ms(base.bound))
+            s_diffs_b.append(to_ms(base.bound - design.shift))
+
+            sims.append(
+                to_ms(
+                    _max_observed_disparity(
+                        system,
+                        scenario.sink,
+                        sims=config.sims_per_graph,
+                        duration=config.sim_duration,
+                        warmup=config.warmup,
+                        policy_name=config.policy,
+                        rng=rng,
+                    )
+                )
+            )
+            buffered = system.with_buffer_plan(design.plan)
+            warmup_b = _buffer_fill_warmup(
+                buffered, config.warmup, config.sim_duration
+            )
+            sims_b.append(
+                to_ms(
+                    _max_observed_disparity(
+                        buffered,
+                        scenario.sink,
+                        sims=config.sims_per_graph,
+                        duration=config.sim_duration,
+                        warmup=warmup_b,
+                        policy_name=config.policy,
+                        rng=rng,
+                    )
+                )
+            )
+        row = PointCD(
+            tasks_per_chain=tasks_per_chain,
+            sim_ms=_mean(sims),
+            s_diff_ms=_mean(s_diffs),
+            sim_b_ms=_mean(sims_b),
+            s_diff_b_ms=_mean(s_diffs_b),
+            sim_std_ms=_std(sims),
+            s_diff_std_ms=_std(s_diffs),
+            sim_b_std_ms=_std(sims_b),
+            s_diff_b_std_ms=_std(s_diffs_b),
+        )
+        rows.append(row)
+        if progress is not None:
+            progress(
+                f"k={tasks_per_chain}: Sim={row.sim_ms:.1f} "
+                f"S-diff={row.s_diff_ms:.1f} Sim-B={row.sim_b_ms:.1f} "
+                f"S-diff-B={row.s_diff_b_ms:.1f} (ms)"
+            )
+    return rows
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _std(values: Sequence[float]) -> float:
+    from repro.experiments.stats import summarize
+
+    return summarize(values).std

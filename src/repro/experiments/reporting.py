@@ -1,0 +1,173 @@
+"""Rendering and persistence of experiment results.
+
+Text tables mirror the series of the paper's figures (one row per X
+value, one column per series); CSV output feeds external plotting.
+``check_shapes_*`` encode the qualitative claims of Section V that a
+successful reproduction must exhibit — the benchmark suite asserts
+them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Sequence
+
+from repro.experiments.fig6 import PointAB, PointCD
+
+
+def render_table_ab(rows: Sequence[PointAB]) -> str:
+    """Fig. 6 (a) + (b) as one aligned text table."""
+    header = (
+        f"{'n_tasks':>8} {'Sim(ms)':>10} {'P-diff(ms)':>11} "
+        f"{'S-diff(ms)':>11} {'P-ratio':>8} {'S-ratio':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.n_tasks:>8} {row.sim_ms:>10.2f} {row.p_diff_ms:>11.2f} "
+            f"{row.s_diff_ms:>11.2f} {row.p_ratio:>8.2f} {row.s_ratio:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table_cd(rows: Sequence[PointCD]) -> str:
+    """Fig. 6 (c) + (d) as one aligned text table."""
+    header = (
+        f"{'k/chain':>8} {'Sim(ms)':>10} {'S-diff(ms)':>11} "
+        f"{'Sim-B(ms)':>10} {'S-diff-B(ms)':>13} {'S-ratio':>8} {'S-B-ratio':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.tasks_per_chain:>8} {row.sim_ms:>10.2f} "
+            f"{row.s_diff_ms:>11.2f} {row.sim_b_ms:>10.2f} "
+            f"{row.s_diff_b_ms:>13.2f} {row.s_ratio:>8.2f} {row.s_b_ratio:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def csv_ab(rows: Sequence[PointAB]) -> str:
+    """Fig. 6 (a)/(b) rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "n_tasks",
+            "sim_ms",
+            "p_diff_ms",
+            "s_diff_ms",
+            "p_ratio",
+            "s_ratio",
+            "sim_std_ms",
+            "p_diff_std_ms",
+            "s_diff_std_ms",
+        ]
+    )
+    for row in rows:
+        writer.writerow(
+            [
+                row.n_tasks,
+                f"{row.sim_ms:.6f}",
+                f"{row.p_diff_ms:.6f}",
+                f"{row.s_diff_ms:.6f}",
+                f"{row.p_ratio:.6f}",
+                f"{row.s_ratio:.6f}",
+                f"{row.sim_std_ms:.6f}",
+                f"{row.p_diff_std_ms:.6f}",
+                f"{row.s_diff_std_ms:.6f}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def csv_cd(rows: Sequence[PointCD]) -> str:
+    """Fig. 6 (c)/(d) rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "tasks_per_chain",
+            "sim_ms",
+            "s_diff_ms",
+            "sim_b_ms",
+            "s_diff_b_ms",
+            "s_ratio",
+            "s_b_ratio",
+            "sim_std_ms",
+            "s_diff_std_ms",
+            "sim_b_std_ms",
+            "s_diff_b_std_ms",
+        ]
+    )
+    for row in rows:
+        writer.writerow(
+            [
+                row.tasks_per_chain,
+                f"{row.sim_ms:.6f}",
+                f"{row.s_diff_ms:.6f}",
+                f"{row.sim_b_ms:.6f}",
+                f"{row.s_diff_b_ms:.6f}",
+                f"{row.s_ratio:.6f}",
+                f"{row.s_b_ratio:.6f}",
+                f"{row.sim_std_ms:.6f}",
+                f"{row.s_diff_std_ms:.6f}",
+                f"{row.sim_b_std_ms:.6f}",
+                f"{row.s_diff_b_std_ms:.6f}",
+            ]
+        )
+    return buffer.getvalue()
+
+
+def check_shapes_ab(rows: Sequence[PointAB]) -> List[str]:
+    """Qualitative claims of Fig. 6 (a)/(b); returns violations.
+
+    * soundness: Sim <= S-diff and Sim <= P-diff at every point;
+    * dominance (aggregate): S-diff <= P-diff at every point.
+    """
+    violations: List[str] = []
+    tolerance = 1e-9
+    for row in rows:
+        if row.sim_ms > row.s_diff_ms + tolerance:
+            violations.append(
+                f"n={row.n_tasks}: Sim {row.sim_ms:.3f} exceeds "
+                f"S-diff {row.s_diff_ms:.3f}"
+            )
+        if row.sim_ms > row.p_diff_ms + tolerance:
+            violations.append(
+                f"n={row.n_tasks}: Sim {row.sim_ms:.3f} exceeds "
+                f"P-diff {row.p_diff_ms:.3f}"
+            )
+        if row.s_diff_ms > row.p_diff_ms + tolerance:
+            violations.append(
+                f"n={row.n_tasks}: S-diff {row.s_diff_ms:.3f} exceeds "
+                f"P-diff {row.p_diff_ms:.3f}"
+            )
+    return violations
+
+
+def check_shapes_cd(rows: Sequence[PointCD]) -> List[str]:
+    """Qualitative claims of Fig. 6 (c)/(d); returns violations.
+
+    * soundness: Sim <= S-diff and Sim-B <= S-diff-B at every point;
+    * the optimization never hurts the bound: S-diff-B <= S-diff.
+    """
+    violations: List[str] = []
+    tolerance = 1e-9
+    for row in rows:
+        if row.sim_ms > row.s_diff_ms + tolerance:
+            violations.append(
+                f"k={row.tasks_per_chain}: Sim {row.sim_ms:.3f} exceeds "
+                f"S-diff {row.s_diff_ms:.3f}"
+            )
+        if row.sim_b_ms > row.s_diff_b_ms + tolerance:
+            violations.append(
+                f"k={row.tasks_per_chain}: Sim-B {row.sim_b_ms:.3f} exceeds "
+                f"S-diff-B {row.s_diff_b_ms:.3f}"
+            )
+        if row.s_diff_b_ms > row.s_diff_ms + tolerance:
+            violations.append(
+                f"k={row.tasks_per_chain}: S-diff-B {row.s_diff_b_ms:.3f} "
+                f"exceeds S-diff {row.s_diff_ms:.3f}"
+            )
+    return violations

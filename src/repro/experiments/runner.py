@@ -1,0 +1,101 @@
+"""High-level experiment runner used by the CLI and the benchmarks."""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.config import (
+    DEFAULT_AB,
+    DEFAULT_CD,
+    PAPER_AB,
+    PAPER_CD,
+    SMOKE_AB,
+    SMOKE_CD,
+    Fig6ABConfig,
+    Fig6CDConfig,
+)
+from repro.experiments.fig6 import PointAB, PointCD, run_fig6_ab, run_fig6_cd
+from repro.experiments.reporting import (
+    check_shapes_ab,
+    check_shapes_cd,
+    csv_ab,
+    csv_cd,
+    render_table_ab,
+    render_table_cd,
+)
+
+_PRESETS_AB = {"paper": PAPER_AB, "default": DEFAULT_AB, "smoke": SMOKE_AB}
+_PRESETS_CD = {"paper": PAPER_CD, "default": DEFAULT_CD, "smoke": SMOKE_CD}
+
+
+def preset_ab(name: str) -> Fig6ABConfig:
+    """Look up an (a)/(b) preset by name."""
+    try:
+        return _PRESETS_AB[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {sorted(_PRESETS_AB)}"
+        ) from None
+
+
+def preset_cd(name: str) -> Fig6CDConfig:
+    """Look up a (c)/(d) preset by name."""
+    try:
+        return _PRESETS_CD[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {sorted(_PRESETS_CD)}"
+        ) from None
+
+
+def run_ab(
+    config: Fig6ABConfig,
+    *,
+    out_csv: Optional[Path] = None,
+    stream=None,
+    verbose: bool = True,
+) -> List[PointAB]:
+    """Run Fig. 6 (a)/(b), print the table, optionally save CSV."""
+    stream = stream if stream is not None else sys.stdout
+    progress = (lambda msg: print(f"  {msg}", file=stream)) if verbose else None
+    started = time.perf_counter()
+    rows = run_fig6_ab(config, progress=progress)
+    elapsed = time.perf_counter() - started
+    print(render_table_ab(rows), file=stream)
+    print(f"[fig6ab] {len(rows)} points in {elapsed:.1f}s", file=stream)
+    violations = check_shapes_ab(rows)
+    for violation in violations:
+        print(f"[fig6ab] SHAPE VIOLATION: {violation}", file=stream)
+    if out_csv is not None:
+        out_csv.parent.mkdir(parents=True, exist_ok=True)
+        out_csv.write_text(csv_ab(rows))
+        print(f"[fig6ab] wrote {out_csv}", file=stream)
+    return rows
+
+
+def run_cd(
+    config: Fig6CDConfig,
+    *,
+    out_csv: Optional[Path] = None,
+    stream=None,
+    verbose: bool = True,
+) -> List[PointCD]:
+    """Run Fig. 6 (c)/(d), print the table, optionally save CSV."""
+    stream = stream if stream is not None else sys.stdout
+    progress = (lambda msg: print(f"  {msg}", file=stream)) if verbose else None
+    started = time.perf_counter()
+    rows = run_fig6_cd(config, progress=progress)
+    elapsed = time.perf_counter() - started
+    print(render_table_cd(rows), file=stream)
+    print(f"[fig6cd] {len(rows)} points in {elapsed:.1f}s", file=stream)
+    violations = check_shapes_cd(rows)
+    for violation in violations:
+        print(f"[fig6cd] SHAPE VIOLATION: {violation}", file=stream)
+    if out_csv is not None:
+        out_csv.parent.mkdir(parents=True, exist_ok=True)
+        out_csv.write_text(csv_cd(rows))
+        print(f"[fig6cd] wrote {out_csv}", file=stream)
+    return rows

@@ -1,0 +1,108 @@
+"""Replication statistics for experiment series.
+
+The Fig. 6 harness averages per-graph results; when comparing runs (or
+judging whether an ablation's improvement is real) the dispersion
+matters too.  This module provides the small, dependency-free pieces:
+
+* :class:`RunningStats` — Welford's online mean/variance;
+* :func:`summarize` — mean, sample standard deviation, and a normal-
+  approximation confidence half-width for a sample;
+* :func:`paired_improvement` — mean and dispersion of per-item paired
+  differences (e.g. ``Sim - Sim-B`` per graph), the right view for
+  "does the optimization help" questions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class RunningStats:
+    """Welford online accumulator for mean and variance."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one value into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold several values into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Running arithmetic mean."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (Bessel-corrected); 0 for fewer than 2 points."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count == 0:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, standard deviation, and a 95% CI half-width."""
+
+    count: int
+    mean: float
+    std: float
+    ci95: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.ci95:.3f} (n={self.count})"
+
+
+#: z-value of the two-sided 95% normal interval.
+_Z95 = 1.959963984540054
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean / std / 95% half-width of a sample (normal approximation)."""
+    stats = RunningStats()
+    stats.extend(values)
+    return Summary(
+        count=stats.count,
+        mean=stats.mean,
+        std=stats.std,
+        ci95=_Z95 * stats.stderr,
+    )
+
+
+def paired_improvement(
+    baseline: Sequence[float], treated: Sequence[float]
+) -> Summary:
+    """Summary of per-item differences ``baseline[i] - treated[i]``.
+
+    Positive means the treatment reduced the metric.  Raises on length
+    mismatch — paired statistics are meaningless otherwise.
+    """
+    if len(baseline) != len(treated):
+        raise ValueError(
+            f"paired samples differ in length: {len(baseline)} vs {len(treated)}"
+        )
+    return summarize([b - t for b, t in zip(baseline, treated)])

@@ -1,0 +1,32 @@
+"""Design-space exploration utilities (extension beyond the paper)."""
+
+from repro.explore.diagnosis import (
+    DisparityExplanation,
+    HopContribution,
+    explain_disparity,
+    render_explanation,
+)
+from repro.explore.priority_opt import PriorityOptResult, optimize_priorities
+from repro.explore.sensitivity import (
+    Margin,
+    SweepPoint,
+    best_capacity,
+    buffer_capacity_sweep,
+    disparity_margins,
+    period_sensitivity,
+)
+
+__all__ = [
+    "DisparityExplanation",
+    "HopContribution",
+    "explain_disparity",
+    "render_explanation",
+    "PriorityOptResult",
+    "optimize_priorities",
+    "Margin",
+    "SweepPoint",
+    "best_capacity",
+    "buffer_capacity_sweep",
+    "disparity_margins",
+    "period_sensitivity",
+]

@@ -1,0 +1,139 @@
+"""Design-space exploration around the disparity bounds (extension).
+
+Section IV's message is that some intuitive design levers (raising a
+task's sampling frequency) do not move the worst-case time disparity,
+while others (buffer sizing) do.  These helpers turn that observation
+into tooling a system designer can sweep:
+
+* :func:`period_sensitivity` — re-analyze a task's disparity bound for
+  several candidate periods of one task (the Fig. 4 experiment as a
+  reusable function);
+* :func:`buffer_capacity_sweep` — disparity bound as a function of one
+  channel's FIFO capacity, exposing the sawtooth the window alignment
+  produces (optimal at Algorithm 1's choice, worse beyond it);
+* :func:`disparity_margins` — per-task slack against a requirement,
+  for requirement budgeting across an application.
+
+All sweeps re-run the full analysis per candidate (response times
+included, since periods change them), so results are exact rather than
+incremental approximations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.disparity import disparity_bound
+from repro.model.system import System
+from repro.model.task import ModelError
+from repro.units import Time
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One candidate design and its resulting disparity bound."""
+
+    value: int
+    bound: Optional[Time]
+    schedulable: bool
+
+
+def period_sensitivity(
+    system: System,
+    task: str,
+    analyzed_task: str,
+    candidate_periods: Sequence[Time],
+    *,
+    method: str = "forkjoin",
+) -> List[SweepPoint]:
+    """Disparity bound of ``analyzed_task`` per candidate ``T(task)``.
+
+    Candidates that make the system unschedulable are reported with
+    ``schedulable=False`` and no bound instead of raising, so a sweep
+    over an aggressive range still yields a complete picture.
+    """
+    results: List[SweepPoint] = []
+    for period in candidate_periods:
+        graph = system.graph.copy()
+        original = graph.task(task)
+        try:
+            graph.replace_task(replace(original, period=period))
+            candidate = System.build(graph)
+            bound = disparity_bound(candidate, analyzed_task, method=method)
+            results.append(SweepPoint(value=period, bound=bound, schedulable=True))
+        except ModelError:
+            results.append(SweepPoint(value=period, bound=None, schedulable=False))
+    return results
+
+
+def buffer_capacity_sweep(
+    system: System,
+    channel: Tuple[str, str],
+    analyzed_task: str,
+    *,
+    max_capacity: int = 12,
+    method: str = "forkjoin",
+) -> List[SweepPoint]:
+    """Disparity bound of ``analyzed_task`` per capacity of ``channel``.
+
+    Buffers do not affect scheduling, so response times are reused.
+    The resulting curve is typically V-shaped: the bound falls while
+    the buffered chain's sampling window approaches the other chains'
+    windows and rises again once it overshoots — with the minimum at
+    the capacity Algorithm 1 computes for the binding pair.
+    """
+    if max_capacity < 1:
+        raise ModelError(f"max_capacity must be >= 1, got {max_capacity}")
+    src, dst = channel
+    system.graph.channel(src, dst)  # existence check
+    results: List[SweepPoint] = []
+    for capacity in range(1, max_capacity + 1):
+        candidate = system.with_channel_capacity(src, dst, capacity)
+        bound = disparity_bound(candidate, analyzed_task, method=method)
+        results.append(SweepPoint(value=capacity, bound=bound, schedulable=True))
+    return results
+
+
+def best_capacity(points: Sequence[SweepPoint]) -> SweepPoint:
+    """The sweep point with the smallest bound (ties: smallest value)."""
+    feasible = [p for p in points if p.bound is not None]
+    if not feasible:
+        raise ModelError("no feasible sweep point")
+    return min(feasible, key=lambda p: (p.bound, p.value))
+
+
+@dataclass(frozen=True)
+class Margin:
+    """Requirement slack of one task: ``threshold - bound``."""
+
+    task: str
+    bound: Time
+    threshold: Time
+
+    @property
+    def slack(self) -> Time:
+        """Remaining budget: ``threshold - bound``."""
+        return self.threshold - self.bound
+
+    @property
+    def satisfied(self) -> bool:
+        """True when the bound meets the threshold."""
+        return self.bound <= self.threshold
+
+
+def disparity_margins(
+    system: System,
+    requirements: Dict[str, Time],
+    *,
+    method: str = "forkjoin",
+) -> List[Margin]:
+    """Check several per-task disparity requirements at once."""
+    from repro.chains.backward import BackwardBoundsCache
+
+    cache = BackwardBoundsCache(system)
+    margins = []
+    for task, threshold in sorted(requirements.items()):
+        bound = disparity_bound(system, task, method=method, cache=cache)
+        margins.append(Margin(task=task, bound=bound, threshold=threshold))
+    return margins

@@ -1,0 +1,61 @@
+"""Workload generation: WATERS 2015 parameters and random graphs."""
+
+from repro.gen.graphgen import (
+    chain_graph,
+    count_source_sink_paths,
+    deploy,
+    from_networkx,
+    merged_chain_pair,
+    random_cause_effect_graph,
+    random_dag_edges,
+    to_networkx,
+)
+from repro.gen.scenario import (
+    Scenario,
+    ScenarioConfig,
+    generate_merged_pair_scenario,
+    generate_random_scenario,
+)
+from repro.gen.graphgen import fusion_pipeline_graph
+from repro.gen.uunifast import (
+    scale_to_utilization,
+    uunifast,
+    uunifast_periodic_taskset,
+)
+from repro.gen.waters import (
+    ACET_US,
+    BCET_FACTOR_RANGE,
+    PERIOD_SHARE_PERCENT,
+    PERIODS_MS,
+    WCET_FACTOR_RANGE,
+    TaskParameters,
+    WatersSampler,
+    expected_utilization_per_task,
+)
+
+__all__ = [
+    "fusion_pipeline_graph",
+    "scale_to_utilization",
+    "uunifast",
+    "uunifast_periodic_taskset",
+    "chain_graph",
+    "count_source_sink_paths",
+    "deploy",
+    "from_networkx",
+    "merged_chain_pair",
+    "random_cause_effect_graph",
+    "random_dag_edges",
+    "to_networkx",
+    "Scenario",
+    "ScenarioConfig",
+    "generate_merged_pair_scenario",
+    "generate_random_scenario",
+    "ACET_US",
+    "BCET_FACTOR_RANGE",
+    "PERIOD_SHARE_PERCENT",
+    "PERIODS_MS",
+    "WCET_FACTOR_RANGE",
+    "TaskParameters",
+    "WatersSampler",
+    "expected_utilization_per_task",
+]

@@ -1,0 +1,134 @@
+"""End-to-end scenario generation for the evaluation harness.
+
+Couples the random structure generators with deployment, validation,
+and schedulability screening, retrying with fresh randomness when a
+draw violates the paper's standing assumptions (every task schedulable,
+path enumeration tractable).  The Fig. 6 harness consumes these
+scenarios; examples and tests use them for realistic inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gen.graphgen import (
+    count_source_sink_paths,
+    fusion_pipeline_graph,
+    merged_chain_pair,
+    random_cause_effect_graph,
+    deploy,
+)
+from repro.model.graph import CauseEffectGraph
+from repro.model.system import System
+from repro.model.task import ModelError
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of the random-graph scenario generator."""
+
+    n_ecus: int = 2
+    use_bus: bool = True
+    #: Graph family: ``"fusion"`` (automotive sensor-fusion pipelines,
+    #: the default — see :func:`repro.gen.graphgen.fusion_pipeline_graph`
+    #: for why) or ``"gnm"`` (the dense_gnm_random_graph construction
+    #: the paper's text names).
+    generator: str = "fusion"
+    #: Edge factor of the ``"gnm"`` family (``m = edge_factor * n``).
+    edge_factor: float = 1.5
+    #: Skip graphs with more source-to-sink paths than this — explicit
+    #: chain enumeration is quadratic in this count per task pair.
+    max_paths: int = 256
+    #: Retries before giving up on generating a valid scenario.
+    max_attempts: int = 64
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A generated, validated, deployed system ready for analysis."""
+
+    system: System
+    sink: str
+    n_tasks_requested: int
+    attempts: int
+
+
+def _try_build(graph: CauseEffectGraph) -> Optional[System]:
+    try:
+        return System.build(graph)
+    except ModelError:
+        return None
+
+
+def generate_random_scenario(
+    n_tasks: int,
+    rng: random.Random,
+    config: ScenarioConfig = ScenarioConfig(),
+) -> Scenario:
+    """A random single-sink scenario with ``n_tasks`` tasks (Fig. 6 a/b).
+
+    Retries (with fresh randomness from ``rng``) until the deployed
+    graph is schedulable and its path count is tractable.
+    """
+    if config.generator not in ("fusion", "gnm"):
+        raise ModelError(
+            f"unknown generator {config.generator!r}; use 'fusion' or 'gnm'"
+        )
+    for attempt in range(1, config.max_attempts + 1):
+        if config.generator == "fusion":
+            graph = fusion_pipeline_graph(n_tasks, rng)
+        else:
+            graph = random_cause_effect_graph(
+                n_tasks, rng, edge_factor=config.edge_factor
+            )
+        sinks = graph.sinks()
+        if len(sinks) != 1:
+            continue
+        sink = sinks[0]
+        if count_source_sink_paths(graph, sink) > config.max_paths:
+            continue
+        deployed = deploy(
+            graph, rng, n_ecus=config.n_ecus, use_bus=config.use_bus
+        )
+        system = _try_build(deployed)
+        if system is None:
+            continue
+        # Deployment may add message tasks; the sink name is unchanged.
+        return Scenario(
+            system=system,
+            sink=sink,
+            n_tasks_requested=n_tasks,
+            attempts=attempt,
+        )
+    raise ModelError(
+        f"failed to generate a valid {n_tasks}-task scenario in "
+        f"{config.max_attempts} attempts"
+    )
+
+
+def generate_merged_pair_scenario(
+    tasks_per_chain: int,
+    rng: random.Random,
+    config: ScenarioConfig = ScenarioConfig(),
+) -> Scenario:
+    """A two-chains-merged-at-one-sink scenario (Fig. 6 c/d)."""
+    for attempt in range(1, config.max_attempts + 1):
+        graph = merged_chain_pair(tasks_per_chain, rng)
+        deployed = deploy(
+            graph, rng, n_ecus=config.n_ecus, use_bus=config.use_bus
+        )
+        system = _try_build(deployed)
+        if system is None:
+            continue
+        return Scenario(
+            system=system,
+            sink="sink",
+            n_tasks_requested=tasks_per_chain,
+            attempts=attempt,
+        )
+    raise ModelError(
+        f"failed to generate a valid merged-pair scenario "
+        f"({tasks_per_chain} tasks/chain) in {config.max_attempts} attempts"
+    )

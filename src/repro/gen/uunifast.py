@@ -1,0 +1,136 @@
+"""UUniFast task-set synthesis (extension substrate).
+
+The WATERS generator fixes execution times by period class, which pins
+the per-unit utilization to a few percent — realistic for automotive
+runnables but useless for studying how the disparity bounds behave as
+the processor *load* grows (response times blow up near saturation,
+and every ``R`` term in Lemma 4 with them).  UUniFast (Bini & Buttazzo,
+"Measuring the performance of schedulability tests", 2005) draws
+``n`` task utilizations uniformly over the simplex summing to ``U``;
+combined with WATERS periods it yields load-controlled workloads.
+
+``scale_to_utilization`` alternatively rescales an existing graph's
+execution times to hit a target per-unit utilization, preserving the
+structure — the form the utilization-sweep ablation uses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.gen.waters import WatersSampler
+from repro.model.graph import CauseEffectGraph
+from repro.model.task import ModelError, Task
+from repro.units import ms
+
+
+def uunifast(n: int, total_utilization: float, rng: random.Random) -> List[float]:
+    """Draw ``n`` utilizations uniformly on the simplex summing to ``U``.
+
+    The classic recurrence: ``sum_i = U``, then repeatedly split off
+    ``sum_{i+1} = sum_i * u^(1/(n-i))`` with ``u`` uniform.
+    """
+    if n < 1:
+        raise ModelError(f"n must be >= 1, got {n}")
+    if total_utilization <= 0:
+        raise ModelError(
+            f"total utilization must be positive, got {total_utilization}"
+        )
+    utilizations: List[float] = []
+    remaining = total_utilization
+    for i in range(1, n):
+        next_remaining = remaining * rng.random() ** (1.0 / (n - i))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+def scale_to_utilization(
+    graph: CauseEffectGraph,
+    target_per_unit: float,
+    *,
+    bcet_fraction: float = 0.25,
+) -> CauseEffectGraph:
+    """Rescale execution times so each unit hits a target utilization.
+
+    Structure, periods, mapping, and priorities are preserved; every
+    non-source task's WCET is scaled by its unit's common factor (so
+    relative weights stay WATERS-shaped) and BCET is set to
+    ``bcet_fraction * WCET``.  Tasks whose scaled WCET would exceed
+    their period are clamped to the period (the caller's
+    schedulability validation then decides).
+    """
+    if not 0 < target_per_unit <= 1.0:
+        raise ModelError(
+            f"target utilization must be in (0, 1], got {target_per_unit}"
+        )
+    if not 0 < bcet_fraction <= 1.0:
+        raise ModelError(
+            f"bcet_fraction must be in (0, 1], got {bcet_fraction}"
+        )
+    current: Dict[str, float] = {}
+    for task in graph.tasks:
+        if task.is_instantaneous or task.ecu is None:
+            continue
+        current[task.ecu] = current.get(task.ecu, 0.0) + task.utilization
+    scaled = graph.copy()
+    for task in graph.tasks:
+        if task.is_instantaneous or task.ecu is None:
+            continue
+        unit_utilization = current[task.ecu]
+        if unit_utilization <= 0:
+            continue
+        factor = target_per_unit / unit_utilization
+        wcet = min(task.period, max(1, round(task.wcet * factor)))
+        bcet = max(1, round(wcet * bcet_fraction))
+        scaled.replace_task(
+            Task(
+                name=task.name,
+                period=task.period,
+                wcet=wcet,
+                bcet=min(bcet, wcet),
+                ecu=task.ecu,
+                priority=task.priority,
+                offset=task.offset,
+                kind=task.kind,
+            )
+        )
+    return scaled
+
+
+def uunifast_periodic_taskset(
+    n: int,
+    total_utilization: float,
+    rng: random.Random,
+    *,
+    ecu: str = "ecu0",
+    bcet_fraction: float = 0.25,
+) -> List[Task]:
+    """A flat UUniFast task set with WATERS periods (no graph edges).
+
+    Useful for pure schedulability studies of the response-time
+    analysis; the cause-effect experiments use
+    :func:`scale_to_utilization` instead.
+    """
+    utilizations = uunifast(n, total_utilization, rng)
+    sampler = WatersSampler(rng)
+    tasks: List[Task] = []
+    for index, utilization in enumerate(utilizations):
+        period = ms(sampler.sample_period_ms())
+        wcet = min(period, max(1, round(utilization * period)))
+        bcet = max(1, round(wcet * bcet_fraction))
+        tasks.append(
+            Task(
+                name=f"u{index}",
+                period=period,
+                wcet=wcet,
+                bcet=min(bcet, wcet),
+                ecu=ecu,
+                priority=index,
+            )
+        )
+    # Rate-monotonic priorities keep the set plausible.
+    ordered = sorted(tasks, key=lambda t: (t.period, t.name))
+    return [task.with_priority(level) for level, task in enumerate(ordered)]

@@ -1,0 +1,19 @@
+"""Persistence: JSON workload files."""
+
+from repro.io.serialize import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "save_graph",
+]

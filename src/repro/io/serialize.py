@@ -1,0 +1,111 @@
+"""JSON (de)serialization of cause-effect graphs and analysis results.
+
+A deployed graph is the complete, self-contained description of a
+system (tasks with mapping/priorities/offsets plus channels with
+capacities); response times and all bounds are derived.  The format is
+a stable, human-editable JSON document so workloads can be shared,
+versioned, and re-analyzed:
+
+```json
+{
+  "format": "repro-cause-effect-graph",
+  "version": 1,
+  "tasks": [{"name": "cam", "period_ns": 10000000, ...}, ...],
+  "channels": [{"src": "cam", "dst": "fuse", "capacity": 1}, ...]
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.model.graph import CauseEffectGraph
+from repro.model.task import ModelError, Task
+
+FORMAT_NAME = "repro-cause-effect-graph"
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: CauseEffectGraph) -> Dict[str, Any]:
+    """Serialize a graph to a JSON-compatible dictionary."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "tasks": [
+            {
+                "name": task.name,
+                "period_ns": task.period,
+                "wcet_ns": task.wcet,
+                "bcet_ns": task.bcet,
+                "ecu": task.ecu,
+                "priority": task.priority,
+                "offset_ns": task.offset,
+                "kind": task.kind,
+            }
+            for task in graph.tasks
+        ],
+        "channels": [
+            {"src": channel.src, "dst": channel.dst, "capacity": channel.capacity}
+            for channel in graph.channels
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> CauseEffectGraph:
+    """Deserialize a graph; validates format markers and structure."""
+    if not isinstance(data, dict):
+        raise ModelError(f"expected a JSON object, got {type(data).__name__}")
+    if data.get("format") != FORMAT_NAME:
+        raise ModelError(
+            f"not a {FORMAT_NAME} document (format={data.get('format')!r})"
+        )
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    graph = CauseEffectGraph()
+    for entry in data.get("tasks", []):
+        try:
+            graph.add_task(
+                Task(
+                    name=entry["name"],
+                    period=int(entry["period_ns"]),
+                    wcet=int(entry["wcet_ns"]),
+                    bcet=int(entry["bcet_ns"]),
+                    ecu=entry.get("ecu"),
+                    priority=entry.get("priority"),
+                    offset=int(entry.get("offset_ns", 0)),
+                    kind=entry.get("kind", "compute"),
+                )
+            )
+        except KeyError as exc:
+            raise ModelError(f"task entry missing field {exc}") from None
+    for entry in data.get("channels", []):
+        try:
+            graph.add_channel(
+                entry["src"], entry["dst"], capacity=int(entry.get("capacity", 1))
+            )
+        except KeyError as exc:
+            raise ModelError(f"channel entry missing field {exc}") from None
+    return graph
+
+
+def save_graph(graph: CauseEffectGraph, path: Union[str, Path]) -> None:
+    """Write a graph to a JSON file."""
+    Path(path).write_text(
+        json.dumps(graph_to_dict(graph), indent=2, sort_keys=False) + "\n"
+    )
+
+
+def load_graph(path: Union[str, Path]) -> CauseEffectGraph:
+    """Read a graph from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"invalid JSON in {path}: {exc}") from None
+    return graph_from_dict(data)

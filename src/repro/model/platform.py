@@ -1,0 +1,236 @@
+"""Hardware platform: ECUs, buses, mapping, and message-task insertion.
+
+The platform of Section II-A: several Electronic Control Units, each
+scheduling its tasks non-preemptively by fixed priority, connected by
+one or more CAN-like buses.  A cross-ECU edge is realized by a periodic
+*message task* on the bus; :func:`insert_message_tasks` rewrites a
+logical graph into a deployed graph where every such edge passes through
+its message task, so every downstream analysis treats bus hops uniformly
+(a bus is just another processing unit, and CAN arbitration is
+non-preemptive fixed-priority).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.model.graph import CauseEffectGraph
+from repro.model.task import ModelError, Task, message_task
+from repro.units import Time, us
+
+
+@dataclass(frozen=True)
+class ProcessingUnit:
+    """A processing unit: an ECU or a bus.
+
+    Both are scheduled non-preemptively by fixed priority, so they share
+    one representation; ``is_bus`` only affects reporting and which unit
+    :func:`insert_message_tasks` routes messages to.
+    """
+
+    name: str
+    is_bus: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("processing unit name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A set of processing units (at least one ECU, optionally buses)."""
+
+    units: Tuple[ProcessingUnit, ...]
+
+    def __post_init__(self) -> None:
+        names = [unit.name for unit in self.units]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate processing unit names: {names}")
+        if not any(not unit.is_bus for unit in self.units):
+            raise ModelError("platform needs at least one ECU")
+
+    @classmethod
+    def symmetric(cls, n_ecus: int, *, bus: bool = True) -> "Platform":
+        """``n_ecus`` identical ECUs plus (optionally) a single CAN bus."""
+        if n_ecus < 1:
+            raise ModelError(f"need at least one ECU, got {n_ecus}")
+        units = [ProcessingUnit(f"ecu{i}") for i in range(n_ecus)]
+        if bus:
+            units.append(ProcessingUnit("can0", is_bus=True))
+        return cls(tuple(units))
+
+    @classmethod
+    def single_ecu(cls) -> "Platform":
+        """A platform with exactly one ECU and no bus."""
+        return cls((ProcessingUnit("ecu0"),))
+
+    @property
+    def ecus(self) -> Tuple[ProcessingUnit, ...]:
+        """The non-bus processing units."""
+        return tuple(unit for unit in self.units if not unit.is_bus)
+
+    @property
+    def buses(self) -> Tuple[ProcessingUnit, ...]:
+        """The bus processing units."""
+        return tuple(unit for unit in self.units if unit.is_bus)
+
+    def unit(self, name: str) -> ProcessingUnit:
+        """Look up a processing unit by name."""
+        for candidate in self.units:
+            if candidate.name == name:
+                return candidate
+        raise ModelError(f"unknown processing unit {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(unit.name == name for unit in self.units)
+
+
+#: Default worst-case transmission time of one CAN frame.  A classical
+#: 500 kbit/s CAN bus transmits a worst-case-stuffed 8-byte data frame
+#: (135 bits) in 270 us; at 1 Mbit/s it is 135 us.  We default to the
+#: 500 kbit/s figure, matching common automotive configurations.
+DEFAULT_FRAME_TIME: Time = us(270)
+
+
+def insert_message_tasks(
+    graph: CauseEffectGraph,
+    platform: Platform,
+    *,
+    bus: Optional[str] = None,
+    frame_time: Time = DEFAULT_FRAME_TIME,
+    priority_start: int = 0,
+) -> CauseEffectGraph:
+    """Rewrite cross-ECU edges through periodic message tasks on a bus.
+
+    For every channel ``src -> dst`` whose endpoint tasks are mapped to
+    different ECUs, the edge is replaced by ``src -> msg -> dst`` where
+    ``msg`` is a message task on ``bus`` with the producer's period (the
+    producer writes one frame per job) and WCET ``frame_time``.  Message
+    priorities are assigned rate-monotonically starting from
+    ``priority_start`` (smaller period = smaller number = higher
+    priority), mirroring how CAN identifiers are commonly assigned.
+
+    Channels with capacity > 1 keep their capacity on the ``msg -> dst``
+    hop (the receiving buffer), while ``src -> msg`` is a plain register.
+
+    Edges between tasks on the same ECU (or involving unmapped /
+    instantaneous source tasks colocated with their consumer) are left
+    untouched — intra-ECU communication has zero delay in the model.
+    """
+    if bus is None:
+        buses = platform.buses
+        if not buses:
+            raise ModelError("platform has no bus; cannot insert message tasks")
+        bus = buses[0].name
+    elif bus not in platform:
+        raise ModelError(f"unknown bus {bus!r}")
+
+    crossing: List[Tuple[str, str]] = []
+    for channel in graph.channels:
+        src_task = graph.task(channel.src)
+        dst_task = graph.task(channel.dst)
+        if src_task.ecu is None or dst_task.ecu is None:
+            raise ModelError(
+                f"cannot deploy: task {channel.src!r} or {channel.dst!r} is unmapped"
+            )
+        if src_task.ecu != dst_task.ecu:
+            crossing.append((channel.src, channel.dst))
+
+    deployed = CauseEffectGraph()
+    for task in graph.tasks:
+        deployed.add_task(task)
+
+    # Rate-monotonic priorities for the new messages, offset so they do
+    # not collide with anything else on the bus.
+    messages: List[Task] = []
+    for src, dst in crossing:
+        producer = graph.task(src)
+        messages.append(
+            message_task(
+                name=f"msg_{src}__{dst}",
+                period=producer.period,
+                transmission_time=frame_time,
+                bus=bus,
+            )
+        )
+    order = sorted(range(len(messages)), key=lambda i: (messages[i].period, messages[i].name))
+    existing_on_bus = sum(1 for t in graph.tasks if t.ecu == bus)
+    for rank, idx in enumerate(order):
+        messages[idx] = messages[idx].with_priority(priority_start + existing_on_bus + rank)
+    for message in messages:
+        deployed.add_task(message)
+
+    crossing_set = set(crossing)
+    msg_by_edge = {
+        (src, dst): f"msg_{src}__{dst}" for src, dst in crossing
+    }
+    for channel in graph.channels:
+        key = (channel.src, channel.dst)
+        if key in crossing_set:
+            msg = msg_by_edge[key]
+            deployed.add_channel(channel.src, msg, capacity=1)
+            deployed.add_channel(msg, channel.dst, capacity=channel.capacity)
+        else:
+            deployed.add_channel(channel.src, channel.dst, capacity=channel.capacity)
+    return deployed
+
+
+def assign_round_robin(
+    graph: CauseEffectGraph,
+    platform: Platform,
+    *,
+    skip_sources: bool = False,
+) -> CauseEffectGraph:
+    """Map tasks to ECUs round-robin in topological order.
+
+    Source tasks can optionally be pinned to the first ECU (they never
+    execute, so their mapping only affects which edges count as
+    cross-ECU; the paper's sensors feed their first compute stage
+    locally, which ``skip_sources=True`` approximates by colocating each
+    source with its first successor).
+    """
+    ecus = platform.ecus
+    mapped = graph.copy()
+    index = 0
+    for name in mapped.topological_order():
+        task = mapped.task(name)
+        if skip_sources and mapped.is_source(name):
+            continue
+        mapped.replace_task(task.with_mapping(ecus[index % len(ecus)].name))
+        index += 1
+    if skip_sources:
+        for name in mapped.task_names:
+            if mapped.is_source(name):
+                succs = mapped.successors(name)
+                ecu = mapped.task(succs[0]).ecu if succs else ecus[0].name
+                mapped.replace_task(mapped.task(name).with_mapping(ecu or ecus[0].name))
+    return mapped
+
+
+def assign_random(
+    graph: CauseEffectGraph,
+    platform: Platform,
+    rng,
+    *,
+    colocate_sources: bool = True,
+) -> CauseEffectGraph:
+    """Map tasks to ECUs uniformly at random (``rng``: random.Random).
+
+    With ``colocate_sources=True`` each source task is placed on the ECU
+    of its first successor, so the sensor-to-first-stage hop stays local.
+    """
+    ecus = platform.ecus
+    mapped = graph.copy()
+    for name in mapped.topological_order():
+        if colocate_sources and mapped.is_source(name):
+            continue
+        ecu = ecus[rng.randrange(len(ecus))].name
+        mapped.replace_task(mapped.task(name).with_mapping(ecu))
+    if colocate_sources:
+        for name in mapped.task_names:
+            if mapped.is_source(name):
+                succs = mapped.successors(name)
+                ecu = mapped.task(succs[0]).ecu if succs else ecus[0].name
+                mapped.replace_task(mapped.task(name).with_mapping(ecu))
+    return mapped

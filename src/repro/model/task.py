@@ -1,0 +1,190 @@
+"""Periodic task model.
+
+A vertex of the cause-effect graph is a periodic task
+``(W(tau), B(tau), T(tau))`` (Section II-A of the paper), statically
+mapped to a processing unit and scheduled there by non-preemptive
+fixed-priority scheduling.  Source tasks — vertices with no incoming
+edges — model external stimuli (sensors): they have ``W = B = 0``,
+consume no processing time, and stamp each produced token with its
+release time.
+
+Cross-ECU communication is modelled, as in the paper, by *message tasks*
+on a bus processing unit; a message task is an ordinary :class:`Task`
+whose ``ecu`` is the bus (see :mod:`repro.model.platform`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.units import Time, format_time
+
+
+class ModelError(ValueError):
+    """Raised when a task, graph, or system violates a model constraint."""
+
+
+@dataclass(frozen=True)
+class Task:
+    """A periodic task (one vertex of the cause-effect graph).
+
+    Attributes:
+        name: Unique identifier within a graph.
+        period: Activation period ``T(tau)`` in integer nanoseconds.
+        wcet: Worst-case execution time ``W(tau)`` in nanoseconds.
+        bcet: Best-case execution time ``B(tau)`` in nanoseconds.
+        ecu: Name of the processing unit the task is mapped to.  ``None``
+            means "not yet mapped"; analyses that need scheduling
+            information reject unmapped tasks.
+        priority: Fixed priority; **smaller value = higher priority**.
+            Must be unique among tasks sharing an ECU.  ``None`` means
+            "not yet assigned".
+        offset: Release offset of the first job relative to system start,
+            in nanoseconds.  Only the simulator consumes offsets; the
+            analyses are offset-agnostic (they hold for every offset
+            assignment, as in the paper).
+        kind: Free-form role tag (``"compute"``, ``"source"``,
+            ``"message"``); informational except that validation checks
+            source conventions.
+    """
+
+    name: str
+    period: Time
+    wcet: Time
+    bcet: Time
+    ecu: Optional[str] = None
+    priority: Optional[int] = None
+    offset: Time = 0
+    kind: str = "compute"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("task name must be non-empty")
+        if self.period <= 0:
+            raise ModelError(f"task {self.name!r}: period must be positive, got {self.period}")
+        if self.wcet < 0:
+            raise ModelError(f"task {self.name!r}: WCET must be non-negative, got {self.wcet}")
+        if self.bcet < 0:
+            raise ModelError(f"task {self.name!r}: BCET must be non-negative, got {self.bcet}")
+        if self.bcet > self.wcet:
+            raise ModelError(
+                f"task {self.name!r}: BCET ({self.bcet}) exceeds WCET ({self.wcet})"
+            )
+        if self.wcet > self.period:
+            raise ModelError(
+                f"task {self.name!r}: WCET ({self.wcet}) exceeds period "
+                f"({self.period}); the task cannot be schedulable"
+            )
+        if self.offset < 0:
+            raise ModelError(f"task {self.name!r}: offset must be non-negative, got {self.offset}")
+
+    @property
+    def utilization(self) -> float:
+        """Processor utilization ``W(tau) / T(tau)``."""
+        return self.wcet / self.period
+
+    @property
+    def is_instantaneous(self) -> bool:
+        """True when the task consumes no processing time (``W = 0``).
+
+        Source tasks are instantaneous by the paper's convention; the
+        simulator completes their jobs at release without occupying an
+        ECU.
+        """
+        return self.wcet == 0
+
+    def with_offset(self, offset: Time) -> "Task":
+        """Return a copy of this task with a different release offset."""
+        return replace(self, offset=offset)
+
+    def with_priority(self, priority: int) -> "Task":
+        """Return a copy of this task with a different priority."""
+        return replace(self, priority=priority)
+
+    def with_mapping(self, ecu: str) -> "Task":
+        """Return a copy of this task mapped to ``ecu``."""
+        return replace(self, ecu=ecu)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by examples and the CLI."""
+        parts = [
+            f"{self.name}",
+            f"T={format_time(self.period)}",
+            f"W={format_time(self.wcet)}",
+            f"B={format_time(self.bcet)}",
+        ]
+        if self.ecu is not None:
+            parts.append(f"ecu={self.ecu}")
+        if self.priority is not None:
+            parts.append(f"prio={self.priority}")
+        return " ".join(parts)
+
+
+def source_task(
+    name: str,
+    period: Time,
+    *,
+    ecu: Optional[str] = None,
+    priority: Optional[int] = None,
+    offset: Time = 0,
+) -> Task:
+    """Construct a source (sensor) task.
+
+    Source tasks follow the paper's convention ``W = B = 0``: they are
+    external stimuli that produce timestamped data without consuming any
+    computing resource.  They may still be nominally mapped to an ECU for
+    bookkeeping, but never occupy it.
+    """
+    return Task(
+        name=name,
+        period=period,
+        wcet=0,
+        bcet=0,
+        ecu=ecu,
+        priority=priority,
+        offset=offset,
+        kind="source",
+    )
+
+
+def message_task(
+    name: str,
+    period: Time,
+    transmission_time: Time,
+    *,
+    bus: str,
+    priority: Optional[int] = None,
+    jitter_free_bcet: Optional[Time] = None,
+    offset: Time = 0,
+) -> Task:
+    """Construct a bus message task for a cross-ECU edge.
+
+    The paper models communication between tasks on different ECUs "as a
+    periodic task on the bus" (Section II-A).  A CAN-like bus arbitrates
+    frames non-preemptively by fixed priority, which is exactly the NP-FP
+    model used for ECUs, so a message is an ordinary task whose ``ecu``
+    is the bus unit.
+
+    Args:
+        name: Message task name.
+        period: Transmission period (typically the producer's period).
+        transmission_time: Worst-case frame transmission time (the WCET
+            on the bus).
+        bus: Name of the bus processing unit.
+        priority: CAN identifier priority (smaller = higher).
+        jitter_free_bcet: Best-case transmission time; defaults to the
+            worst case (fixed frame length).
+        offset: Release offset.
+    """
+    bcet = transmission_time if jitter_free_bcet is None else jitter_free_bcet
+    return Task(
+        name=name,
+        period=period,
+        wcet=transmission_time,
+        bcet=bcet,
+        ecu=bus,
+        priority=priority,
+        offset=offset,
+        kind="message",
+    )

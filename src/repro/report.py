@@ -1,0 +1,147 @@
+"""Full-system analysis reports.
+
+One call produces everything a timing engineer asks of a deployment:
+per-unit utilization and response times, per-sink chain inventory with
+backward-time windows, disparity bounds under both theorems, end-to-end
+latency figures, and (optionally) requirement margins.  The structured
+result renders to aligned plain text for the CLI, logs, and docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.chains.backward import BackwardBoundsCache
+from repro.chains.latency import max_data_age, max_reaction_time_np
+from repro.core.disparity import worst_case_disparity
+from repro.model.chain import Chain, enumerate_source_chains
+from repro.model.system import System
+from repro.sched.utilization import unit_utilizations
+from repro.units import Time, format_time
+
+
+@dataclass(frozen=True)
+class ChainReport:
+    """Per-chain timing facts."""
+
+    chain: Chain
+    wcbt: Time
+    bcbt: Time
+    max_age: Time
+    max_reaction: Time
+
+
+@dataclass(frozen=True)
+class SinkReport:
+    """Disparity and latency summary of one sink task."""
+
+    task: str
+    n_chains: int
+    p_diff: Time
+    s_diff: Time
+    chains: Tuple[ChainReport, ...]
+    requirement: Optional[Time] = None
+
+    @property
+    def requirement_met(self) -> Optional[bool]:
+        """Whether the S-diff bound meets the requirement (None if unset)."""
+        if self.requirement is None:
+            return None
+        return self.s_diff <= self.requirement
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """Complete analysis snapshot of a deployed system."""
+
+    n_tasks: int
+    n_channels: int
+    utilizations: Dict[str, float]
+    response_times: Dict[str, Time]
+    sinks: Tuple[SinkReport, ...]
+
+
+def analyze_system(
+    system: System,
+    *,
+    requirements: Optional[Dict[str, Time]] = None,
+) -> SystemReport:
+    """Run the full analysis battery over every sink of the system."""
+    requirements = requirements or {}
+    cache = BackwardBoundsCache(system)
+    sinks: List[SinkReport] = []
+    for sink in system.graph.sinks():
+        chains = enumerate_source_chains(system.graph, sink)
+        chain_reports = tuple(
+            ChainReport(
+                chain=chain,
+                wcbt=cache.wcbt(chain),
+                bcbt=cache.bcbt(chain),
+                max_age=max_data_age(chain, system),
+                max_reaction=max_reaction_time_np(chain, system),
+            )
+            for chain in chains
+        )
+        p_diff = worst_case_disparity(
+            system, sink, method="independent", cache=cache
+        ).bound
+        s_diff = worst_case_disparity(
+            system, sink, method="forkjoin", cache=cache
+        ).bound
+        sinks.append(
+            SinkReport(
+                task=sink,
+                n_chains=len(chains),
+                p_diff=p_diff,
+                s_diff=s_diff,
+                chains=chain_reports,
+                requirement=requirements.get(sink),
+            )
+        )
+    return SystemReport(
+        n_tasks=len(system.graph),
+        n_channels=len(system.graph.channels),
+        utilizations=unit_utilizations(system.graph.tasks),
+        response_times={
+            task.name: system.R(task.name) for task in system.graph.tasks
+        },
+        sinks=tuple(sinks),
+    )
+
+
+def render_report(report: SystemReport, *, max_chains_per_sink: int = 8) -> str:
+    """Aligned plain-text rendering of a :class:`SystemReport`."""
+    lines: List[str] = []
+    lines.append(
+        f"system: {report.n_tasks} tasks, {report.n_channels} channels"
+    )
+    lines.append("utilization per unit:")
+    for unit, utilization in sorted(report.utilizations.items()):
+        lines.append(f"  {unit:<8} {utilization * 100:6.2f}%")
+    for sink in report.sinks:
+        lines.append("")
+        lines.append(f"sink {sink.task!r}: {sink.n_chains} chains")
+        lines.append(
+            f"  disparity bounds: P-diff {format_time(sink.p_diff)}, "
+            f"S-diff {format_time(sink.s_diff)}"
+        )
+        if sink.requirement is not None:
+            verdict = "OK" if sink.requirement_met else "VIOLATED"
+            lines.append(
+                f"  requirement {format_time(sink.requirement)}: {verdict}"
+            )
+        for chain_report in sink.chains[:max_chains_per_sink]:
+            lines.append(
+                f"  {' -> '.join(chain_report.chain.tasks)}"
+            )
+            lines.append(
+                f"    backward [{format_time(chain_report.bcbt)}, "
+                f"{format_time(chain_report.wcbt)}], "
+                f"age <= {format_time(chain_report.max_age)}, "
+                f"reaction <= {format_time(chain_report.max_reaction)}"
+            )
+        hidden = sink.n_chains - max_chains_per_sink
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more chains")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Scheduling analysis: response times, priorities, utilization."""
+
+from repro.sched.priority import (
+    assign_audsley,
+    assign_deadline_monotonic,
+    assign_rate_monotonic,
+)
+from repro.sched.response_time import (
+    ResponseTimeTable,
+    SchedulabilityError,
+    analyze_all,
+    blocking_factor,
+    higher_priority,
+    is_schedulable,
+    lower_priority,
+    partition_by_unit,
+    response_time_np_fp,
+    response_time_p_fp,
+)
+from repro.sched.utilization import (
+    max_unit_utilization,
+    task_utilization,
+    total_utilization,
+    unit_utilizations,
+    utilization_feasible,
+)
+
+__all__ = [
+    "assign_audsley",
+    "assign_deadline_monotonic",
+    "assign_rate_monotonic",
+    "ResponseTimeTable",
+    "SchedulabilityError",
+    "analyze_all",
+    "blocking_factor",
+    "higher_priority",
+    "is_schedulable",
+    "lower_priority",
+    "partition_by_unit",
+    "response_time_np_fp",
+    "response_time_p_fp",
+    "max_unit_utilization",
+    "task_utilization",
+    "total_utilization",
+    "unit_utilizations",
+    "utilization_feasible",
+]

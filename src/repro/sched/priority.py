@@ -1,0 +1,115 @@
+"""Priority assignment policies.
+
+The paper's analysis consumes a fixed-priority order per processing
+unit (``hp(tau)`` in Lemma 4) but does not prescribe how priorities are
+chosen.  For periodic tasks with implicit deadlines, rate-monotonic
+ordering is the canonical choice and is the default of the experiment
+generators.  Audsley's optimal priority assignment is provided as an
+extension — with non-preemptive blocking, RM is not optimal, and OPA can
+rescue task sets RM rejects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.model.graph import CauseEffectGraph
+from repro.model.task import ModelError, Task
+from repro.sched.response_time import (
+    SchedulabilityError,
+    response_time_np_fp,
+)
+
+
+def assign_rate_monotonic(graph: CauseEffectGraph) -> CauseEffectGraph:
+    """Assign RM priorities per processing unit (ties broken by name).
+
+    Smaller period gets a smaller priority number (= higher priority).
+    Source tasks receive priorities too (harmless: they never compete
+    for the processor), so every task ends up with a total order per
+    unit.
+    """
+    assigned = graph.copy()
+    by_unit: Dict[str, List[Task]] = {}
+    for task in assigned.tasks:
+        if task.ecu is None:
+            raise ModelError(f"task {task.name!r} must be mapped before priority assignment")
+        by_unit.setdefault(task.ecu, []).append(task)
+    for unit_tasks in by_unit.values():
+        ordered = sorted(unit_tasks, key=lambda t: (t.period, t.name))
+        for level, task in enumerate(ordered):
+            assigned.replace_task(task.with_priority(level))
+    return assigned
+
+
+def assign_deadline_monotonic(
+    graph: CauseEffectGraph, deadlines: Dict[str, int]
+) -> CauseEffectGraph:
+    """Assign DM priorities from an explicit deadline map (extension)."""
+    assigned = graph.copy()
+    by_unit: Dict[str, List[Task]] = {}
+    for task in assigned.tasks:
+        if task.ecu is None:
+            raise ModelError(f"task {task.name!r} must be mapped before priority assignment")
+        by_unit.setdefault(task.ecu, []).append(task)
+    for unit_tasks in by_unit.values():
+        ordered = sorted(
+            unit_tasks, key=lambda t: (deadlines.get(t.name, t.period), t.name)
+        )
+        for level, task in enumerate(ordered):
+            assigned.replace_task(task.with_priority(level))
+    return assigned
+
+
+def assign_audsley(graph: CauseEffectGraph) -> CauseEffectGraph:
+    """Audsley's optimal priority assignment under NP-FP (extension).
+
+    Assign the *lowest* priority level to some task that is schedulable
+    at that level (blocking from no one below, interference from all the
+    rest above), then recurse on the remainder.  Raises
+    :class:`SchedulabilityError` when no assignment exists at some
+    level.
+    """
+    assigned = graph.copy()
+    by_unit: Dict[str, List[Task]] = {}
+    for task in assigned.tasks:
+        if task.ecu is None:
+            raise ModelError(f"task {task.name!r} must be mapped before priority assignment")
+        by_unit.setdefault(task.ecu, []).append(task)
+
+    for unit, unit_tasks in by_unit.items():
+        executing = [t for t in unit_tasks if not t.is_instantaneous]
+        instantaneous = [t for t in unit_tasks if t.is_instantaneous]
+        remaining = list(executing)
+        level = len(executing) - 1
+        final: Dict[str, int] = {}
+        while remaining:
+            placed = False
+            # Deterministic order: try larger periods first (RM-like
+            # heuristic keeps the search short on easy sets).
+            for candidate in sorted(remaining, key=lambda t: (-t.period, t.name)):
+                # Trial set: candidate at `level`, all other remaining
+                # tasks anywhere above it (priorities 0..level-1) —
+                # Audsley's test is independent of their relative order.
+                others = [t for t in remaining if t.name != candidate.name]
+                trial = [t.with_priority(i) for i, t in enumerate(others)]
+                trial.append(candidate.with_priority(level))
+                try:
+                    response_time_np_fp(candidate.with_priority(level), trial)
+                except SchedulabilityError:
+                    continue
+                final[candidate.name] = level
+                remaining = others
+                level -= 1
+                placed = True
+                break
+            if not placed:
+                raise SchedulabilityError(
+                    f"no feasible priority assignment on unit {unit!r} at level {level}"
+                )
+        for task in executing:
+            assigned.replace_task(task.with_priority(final[task.name]))
+        # Instantaneous tasks never execute; give them the lowest levels.
+        for extra, task in enumerate(sorted(instantaneous, key=lambda t: t.name)):
+            assigned.replace_task(task.with_priority(len(executing) + extra))
+    return assigned

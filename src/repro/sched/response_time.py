@@ -1,0 +1,233 @@
+"""Worst-case response time analysis.
+
+The paper assumes every task is schedulable (``R(tau) <= T(tau)``) and
+uses the WCRT ``R(tau)`` as an ingredient of the backward-time bounds
+(Lemmas 4 and 5).  This module implements the classical analyses the
+paper cites:
+
+* **Non-preemptive fixed-priority** (the paper's scheduler, and the CAN
+  bus arbitration model): the response time of a job is its queueing
+  delay until it *starts* — lower-priority blocking plus higher-priority
+  interference — plus its own WCET.  With ``R_i <= T_i`` a single-job
+  busy-window suffices; the start-time fixed point is
+
+      s = B_i + sum_{j in hp(i)} (floor(s / T_j) + 1) * W_j
+
+  where ``B_i = max_{l in lp(i)} W_l`` is the non-preemptive blocking
+  factor (one lower-priority job at most, as it cannot be preempted once
+  started).  Then ``R_i = s + W_i``.  This is the standard analysis of
+  Davis et al. for CAN, restricted to the constrained-deadline case.
+
+* **Preemptive fixed-priority** (extension; used for comparisons): the
+  classical Joseph & Pandya recurrence ``R = W_i + sum ceil(R/T_j) W_j``.
+
+With integer nanosecond times, both fixed points are exact.  Tasks with
+``W = 0`` (sources) have ``R = 0``: they complete instantaneously at
+release without occupying the processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.model.task import ModelError, Task
+from repro.units import Time, floor_div
+
+
+class SchedulabilityError(ModelError):
+    """Raised when a response-time fixed point diverges past its bound."""
+
+
+def partition_by_unit(tasks: Iterable[Task]) -> Dict[str, List[Task]]:
+    """Group tasks by processing unit, rejecting unmapped tasks.
+
+    Instantaneous (source) tasks are excluded from every partition: they
+    consume no processor time, so they neither interfere with nor block
+    other tasks.
+    """
+    by_unit: Dict[str, List[Task]] = {}
+    for task in tasks:
+        if task.is_instantaneous:
+            continue
+        if task.ecu is None:
+            raise ModelError(f"task {task.name!r} is not mapped to a processing unit")
+        if task.priority is None:
+            raise ModelError(f"task {task.name!r} has no priority")
+        by_unit.setdefault(task.ecu, []).append(task)
+    for unit, group in by_unit.items():
+        priorities = [t.priority for t in group]
+        if len(set(priorities)) != len(priorities):
+            raise ModelError(f"duplicate priorities on unit {unit!r}: {sorted(priorities)}")
+    return by_unit
+
+
+def higher_priority(task: Task, peers: Sequence[Task]) -> Tuple[Task, ...]:
+    """``hp(task)``: same-unit tasks with higher priority (smaller number)."""
+    assert task.priority is not None
+    return tuple(
+        peer
+        for peer in peers
+        if peer.name != task.name
+        and peer.ecu == task.ecu
+        and peer.priority is not None
+        and peer.priority < task.priority
+    )
+
+
+def lower_priority(task: Task, peers: Sequence[Task]) -> Tuple[Task, ...]:
+    """``lp(task)``: same-unit tasks with lower priority (larger number)."""
+    assert task.priority is not None
+    return tuple(
+        peer
+        for peer in peers
+        if peer.name != task.name
+        and peer.ecu == task.ecu
+        and peer.priority is not None
+        and peer.priority > task.priority
+    )
+
+
+def blocking_factor(task: Task, peers: Sequence[Task]) -> Time:
+    """Non-preemptive blocking: longest lower-priority WCET on the unit.
+
+    At most one lower-priority job can delay ``task``: the one already
+    executing when the job arrives (non-preemption).  We use the full
+    WCET — a safe (by at most one time quantum pessimistic) variant of
+    the usual ``max W_l - epsilon``.
+    """
+    lp = lower_priority(task, peers)
+    if not lp:
+        return 0
+    return max(peer.wcet for peer in lp)
+
+
+def response_time_np_fp(
+    task: Task,
+    peers: Sequence[Task],
+    *,
+    limit_factor: int = 64,
+) -> Time:
+    """WCRT of ``task`` under non-preemptive fixed-priority scheduling.
+
+    ``peers`` is any superset of the tasks on the same unit (other units
+    are filtered out).  Requires the resulting ``R <= T`` (constrained
+    deadline, as the paper assumes); raises
+    :class:`SchedulabilityError` if the fixed point exceeds
+    ``limit_factor * T`` without converging, or converges above ``T``.
+    """
+    if task.is_instantaneous:
+        return 0
+    same_unit = [p for p in peers if p.ecu == task.ecu and not p.is_instantaneous]
+    hp = higher_priority(task, same_unit)
+    blocking = blocking_factor(task, same_unit)
+
+    bound = limit_factor * task.period
+    start = blocking  # queueing delay before the job may start
+    while True:
+        interference = sum(
+            (floor_div(start, peer.period) + 1) * peer.wcet for peer in hp
+        )
+        next_start = blocking + interference
+        if next_start == start:
+            break
+        if next_start > bound:
+            raise SchedulabilityError(
+                f"start-time recurrence for {task.name!r} diverged beyond "
+                f"{limit_factor} periods"
+            )
+        start = next_start
+    response = start + task.wcet
+    if response > task.period:
+        raise SchedulabilityError(
+            f"task {task.name!r} is unschedulable under NP-FP: "
+            f"R={response} > T={task.period}"
+        )
+    return response
+
+
+def response_time_p_fp(
+    task: Task,
+    peers: Sequence[Task],
+    *,
+    limit_factor: int = 64,
+) -> Time:
+    """WCRT under *preemptive* fixed-priority scheduling (extension).
+
+    The classical response-time recurrence; provided for comparison
+    studies (e.g. how much the non-preemptive blocking term costs).
+    """
+    if task.is_instantaneous:
+        return 0
+    same_unit = [p for p in peers if p.ecu == task.ecu and not p.is_instantaneous]
+    hp = higher_priority(task, same_unit)
+
+    from repro.units import ceil_div
+
+    bound = limit_factor * task.period
+    response = task.wcet
+    while True:
+        interference = sum(ceil_div(response, peer.period) * peer.wcet for peer in hp)
+        next_response = task.wcet + interference
+        if next_response == response:
+            break
+        if next_response > bound:
+            raise SchedulabilityError(
+                f"response-time recurrence for {task.name!r} diverged beyond "
+                f"{limit_factor} periods"
+            )
+        response = next_response
+    if response > task.period:
+        raise SchedulabilityError(
+            f"task {task.name!r} is unschedulable under P-FP: "
+            f"R={response} > T={task.period}"
+        )
+    return response
+
+
+@dataclass(frozen=True)
+class ResponseTimeTable:
+    """Cached WCRTs for every task of a system.
+
+    Built once per system and shared by every analysis; the paper's
+    bounds consume ``R(tau)`` repeatedly (per chain hop, per pair of
+    chains), so caching matters at Fig. 6 scale.
+    """
+
+    values: Mapping[str, Time]
+
+    def __getitem__(self, name: str) -> Time:
+        try:
+            return self.values[name]
+        except KeyError:
+            raise ModelError(f"no response time for task {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+
+def analyze_all(
+    tasks: Sequence[Task],
+    *,
+    preemptive: bool = False,
+) -> ResponseTimeTable:
+    """Compute WCRTs for every task (sources get 0) on every unit."""
+    analyzer = response_time_p_fp if preemptive else response_time_np_fp
+    values: Dict[str, Time] = {}
+    by_unit = partition_by_unit(tasks)
+    for task in tasks:
+        if task.is_instantaneous:
+            values[task.name] = 0
+        else:
+            assert task.ecu is not None
+            values[task.name] = analyzer(task, by_unit[task.ecu])
+    return ResponseTimeTable(values=values)
+
+
+def is_schedulable(tasks: Sequence[Task], *, preemptive: bool = False) -> bool:
+    """True when every task meets ``R <= T`` under the chosen scheduler."""
+    try:
+        analyze_all(tasks, preemptive=preemptive)
+    except SchedulabilityError:
+        return False
+    return True

@@ -1,0 +1,44 @@
+"""Utilization accounting and quick schedulability screens.
+
+The experiment generators use these to sanity-check generated systems
+before running the (exact) response-time analysis: a unit whose
+utilization exceeds 1 can never be schedulable, and the report modules
+print per-unit utilization alongside analysis results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.model.task import Task
+from repro.sched.response_time import partition_by_unit
+
+
+def task_utilization(task: Task) -> float:
+    """``W(tau) / T(tau)`` of a single task."""
+    return task.wcet / task.period
+
+
+def unit_utilizations(tasks: Iterable[Task]) -> Dict[str, float]:
+    """Total utilization per processing unit (sources excluded)."""
+    by_unit = partition_by_unit(tasks)
+    return {
+        unit: sum(task_utilization(t) for t in group)
+        for unit, group in by_unit.items()
+    }
+
+
+def total_utilization(tasks: Iterable[Task]) -> float:
+    """Sum of utilizations across all units."""
+    return sum(task_utilization(t) for t in tasks if not t.is_instantaneous)
+
+
+def max_unit_utilization(tasks: Iterable[Task]) -> float:
+    """The most loaded unit's utilization (0.0 for an all-source set)."""
+    utilizations = unit_utilizations(tasks)
+    return max(utilizations.values(), default=0.0)
+
+
+def utilization_feasible(tasks: Iterable[Task]) -> bool:
+    """Necessary condition: no unit over 100% utilized."""
+    return max_unit_utilization(tasks) <= 1.0

@@ -1,0 +1,77 @@
+"""ASCII Gantt rendering of a recorded schedule (debugging/examples).
+
+Turns a :class:`repro.sim.metrics.JobTableMonitor` job table into a
+fixed-width timeline per task — enough to eyeball non-preemptive
+execution, blocking, and the data-flow alignment that drives time
+disparity, without any plotting dependency.
+
+Legend: ``#`` executing, ``.`` released but not yet finished (queued or
+blocked), `` `` idle.  One character per ``resolution`` nanoseconds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.model.task import ModelError
+from repro.sim.metrics import JobTableMonitor
+from repro.units import Time, format_time
+
+
+def render_gantt(
+    monitor: JobTableMonitor,
+    *,
+    start: Time = 0,
+    end: Optional[Time] = None,
+    width: int = 80,
+    tasks: Optional[Sequence[str]] = None,
+) -> str:
+    """Render the recorded jobs as an ASCII Gantt chart.
+
+    Args:
+        monitor: The job table to render.
+        start: Left edge of the window (ns).
+        end: Right edge; defaults to the latest finish recorded.
+        width: Number of characters across the time window.
+        tasks: Row order; defaults to task-name order of appearance.
+    """
+    if not monitor.jobs:
+        return "(no jobs recorded)"
+    if end is None:
+        end = max(job.finish for job in monitor.jobs)
+    if end <= start:
+        raise ModelError(f"empty window [{start}, {end}]")
+    if width < 10:
+        raise ModelError(f"width must be >= 10, got {width}")
+    resolution = max(1, (end - start) // width)
+
+    if tasks is None:
+        seen: List[str] = []
+        for job in monitor.jobs:
+            if job.task not in seen:
+                seen.append(job.task)
+        tasks = seen
+
+    def column(time: Time) -> int:
+        return min(width - 1, max(0, (time - start) // resolution))
+
+    lines: List[str] = []
+    header = (
+        f"gantt [{format_time(start)} .. {format_time(end)}] "
+        f"({format_time(resolution)}/char)"
+    )
+    lines.append(header)
+    label_width = max(len(name) for name in tasks) + 1
+    for name in tasks:
+        row = [" "] * width
+        for job in monitor.by_task(name):
+            if job.finish < start or job.release > end:
+                continue
+            for c in range(column(job.release), column(job.finish) + 1):
+                if row[c] == " ":
+                    row[c] = "."
+            for c in range(column(job.start), column(job.finish) + 1):
+                row[c] = "#"
+        lines.append(f"{name:<{label_width}}|{''.join(row)}|")
+    lines.append(f"{'':<{label_width}}|{'-' * width}|")
+    return "\n".join(lines)

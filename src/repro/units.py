@@ -1,0 +1,126 @@
+"""Time units and integer-time arithmetic.
+
+Everything inside this library uses **integer nanoseconds** as its time
+base.  The WATERS 2015 benchmark specifies average execution times in
+(fractional) microseconds and periods in milliseconds; converting both to
+integer nanoseconds at the boundary keeps every analysis formula — the
+floor/ceiling divisions of Theorem 2, the window arithmetic of
+Algorithm 1 — exact, with no floating-point comparisons anywhere in the
+analysis path.
+
+The public helpers convert *into* nanoseconds (``ms``, ``us``, ``ns``) and
+*out of* nanoseconds (``to_ms``, ``to_us``) for reporting.  ``ceil_div``
+and ``floor_div`` implement mathematically correct integer division for
+possibly-negative numerators, which Python's ``//`` already provides for
+floors but not for ceilings.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+#: Number of nanoseconds per microsecond / millisecond / second.
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+Time = int
+"""Type alias: a point in time or a duration, in integer nanoseconds."""
+
+
+def ns(value: float) -> Time:
+    """Convert a value expressed in nanoseconds to integer nanoseconds."""
+    return round(value)
+
+
+def us(value: float) -> Time:
+    """Convert microseconds to integer nanoseconds."""
+    return round(value * NS_PER_US)
+
+
+def ms(value: float) -> Time:
+    """Convert milliseconds to integer nanoseconds."""
+    return round(value * NS_PER_MS)
+
+
+def seconds(value: float) -> Time:
+    """Convert seconds to integer nanoseconds."""
+    return round(value * NS_PER_S)
+
+
+def to_us(value: Time) -> float:
+    """Convert integer nanoseconds to (float) microseconds for reporting."""
+    return value / NS_PER_US
+
+
+def to_ms(value: Time) -> float:
+    """Convert integer nanoseconds to (float) milliseconds for reporting."""
+    return value / NS_PER_MS
+
+
+def to_s(value: Time) -> float:
+    """Convert integer nanoseconds to (float) seconds for reporting."""
+    return value / NS_PER_S
+
+
+def floor_div(numerator: int, denominator: int) -> int:
+    """Mathematical floor of ``numerator / denominator``.
+
+    Python's ``//`` already floors toward negative infinity, which is the
+    mathematically correct behaviour needed by Theorem 2's ``y_j``
+    recursion; this wrapper exists for symmetry with :func:`ceil_div` and
+    to validate the denominator.
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return numerator // denominator
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Mathematical ceiling of ``numerator / denominator``.
+
+    Required by Theorem 2's ``x_j`` recursion, where the numerator can be
+    negative (best-case backward times may be negative).
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -((-numerator) // denominator)
+
+
+def exact_ratio(numerator: int, denominator: int) -> Fraction:
+    """Exact rational ``numerator / denominator`` (for reporting only)."""
+    return Fraction(numerator, denominator)
+
+
+def lcm(*values: int) -> int:
+    """Least common multiple of one or more positive integers.
+
+    Used to compute hyperperiods for simulation horizons and warm-up
+    windows.
+    """
+    if not values:
+        raise ValueError("lcm() requires at least one value")
+    result = 1
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"lcm() requires positive values, got {value}")
+        result = _lcm2(result, value)
+    return result
+
+
+def _lcm2(a: int, b: int) -> int:
+    from math import gcd
+
+    return a // gcd(a, b) * b
+
+
+def format_time(value: Time) -> str:
+    """Human-readable rendering of a duration in the most natural unit."""
+    magnitude = abs(value)
+    if magnitude >= NS_PER_S:
+        return f"{value / NS_PER_S:.3f}s"
+    if magnitude >= NS_PER_MS:
+        return f"{value / NS_PER_MS:.3f}ms"
+    if magnitude >= NS_PER_US:
+        return f"{value / NS_PER_US:.3f}us"
+    return f"{value}ns"

@@ -1,0 +1,81 @@
+"""Tests for CAN-bus behaviour: contention, blocking, end-to-end flow."""
+
+import pytest
+
+from repro.model.graph import CauseEffectGraph
+from repro.model.system import System
+from repro.model.task import Task, message_task, source_task
+from repro.sim.engine import simulate
+from repro.sim.exec_time import wcet_policy
+from repro.sim.metrics import BackwardTimeMonitor, JobTableMonitor
+from repro.units import ms, us
+
+
+def build_bus_system(msg1_offset=0):
+    """Two sensor streams crossing one CAN bus to two consumers."""
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("s1", ms(10), ecu="ecu0", priority=0,
+                               offset=msg1_offset))
+    graph.add_task(source_task("s2", ms(10), ecu="ecu0", priority=1))
+    graph.add_task(
+        message_task("m1", ms(10), us(270), bus="can0", priority=0,
+                     offset=msg1_offset)
+    )
+    graph.add_task(message_task("m2", ms(10), us(270), bus="can0", priority=1))
+    graph.add_task(Task("c1", ms(10), us(100), us(100), ecu="ecu1", priority=0))
+    graph.add_task(Task("c2", ms(10), us(100), us(100), ecu="ecu1", priority=1))
+    graph.add_channel("s1", "m1")
+    graph.add_channel("s2", "m2")
+    graph.add_channel("m1", "c1")
+    graph.add_channel("m2", "c2")
+    return System.build(graph)
+
+
+class TestBusContention:
+    def test_priority_arbitration(self):
+        system = build_bus_system()
+        monitor = JobTableMonitor()
+        simulate(system, ms(9), observers=[monitor], policy=wcet_policy)
+        m1 = monitor.by_task("m1")[0]
+        m2 = monitor.by_task("m2")[0]
+        # m1 wins arbitration; m2 transmits right after.
+        assert (m1.start, m1.finish) == (0, us(270))
+        assert (m2.start, m2.finish) == (us(270), us(540))
+
+    def test_non_preemptive_transmission(self):
+        # m2 starts first (m1 released mid-frame); a CAN frame in
+        # flight is never aborted by a higher-priority identifier.
+        system = build_bus_system(msg1_offset=us(100))
+        monitor = JobTableMonitor()
+        simulate(system, ms(9), observers=[monitor], policy=wcet_policy)
+        m1 = monitor.by_task("m1")[0]
+        m2 = monitor.by_task("m2")[0]
+        assert (m2.start, m2.finish) == (0, us(270))
+        assert (m1.start, m1.finish) == (us(270), us(540))
+
+    def test_response_time_analysis_matches(self):
+        system = build_bus_system()
+        # m1: blocked by one m2 frame at worst: R = 270 + 270 = 540us.
+        assert system.R("m1") == us(540)
+        # m2: one m1 frame of interference: s = 270, R = 540us.
+        assert system.R("m2") == us(540)
+
+    def test_end_to_end_data_flow_over_bus(self):
+        system = build_bus_system()
+        monitor = BackwardTimeMonitor(["c1"], warmup=ms(20))
+        simulate(system, ms(100), observers=[monitor], policy=wcet_policy)
+        observed = monitor.range_for("c1", "s1")
+        assert observed.samples > 0
+        # Consumer sees sensor data via the bus; the backward time is
+        # bounded by the analytical WCBT of the deployed chain.
+        from repro.chains.backward import wcbt_upper
+        from repro.model.chain import Chain
+
+        chain = Chain.of("s1", "m1", "c1")
+        assert observed.hi <= wcbt_upper(chain, system)
+
+    def test_schedule_invariants(self):
+        system = build_bus_system()
+        monitor = JobTableMonitor()
+        simulate(system, ms(50), observers=[monitor], policy=wcet_policy)
+        monitor.check_invariants({"s1", "s2"})

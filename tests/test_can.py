@@ -1,0 +1,74 @@
+"""Tests for CAN frame timing."""
+
+import pytest
+
+from repro.model.can import (
+    BITRATE_1M,
+    BITRATE_500K,
+    best_case_frame_time,
+    frame_bits,
+    frame_time,
+)
+from repro.model.task import ModelError
+from repro.units import us
+
+
+class TestFrameBits:
+    def test_standard_8_bytes(self):
+        # The classical 135-bit worst case.
+        assert frame_bits(8) == 135
+
+    def test_standard_0_bytes(self):
+        # 47 framing bits + floor(33/4) = 8 stuff bits.
+        assert frame_bits(0) == 55
+
+    def test_extended_8_bytes(self):
+        # 64 + 67 + floor(117/4) = 160.
+        assert frame_bits(8, extended_id=True) == 160
+
+    def test_monotone_in_payload(self):
+        values = [frame_bits(n) for n in range(9)]
+        assert values == sorted(values)
+
+    def test_extended_larger(self):
+        for n in range(9):
+            assert frame_bits(n, extended_id=True) > frame_bits(n)
+
+    def test_payload_range_enforced(self):
+        with pytest.raises(ModelError):
+            frame_bits(9)
+        with pytest.raises(ModelError):
+            frame_bits(-1)
+
+
+class TestFrameTime:
+    def test_500k_8_bytes(self):
+        assert frame_time(8, BITRATE_500K) == us(270)
+
+    def test_1m_8_bytes(self):
+        assert frame_time(8, BITRATE_1M) == us(135)
+
+    def test_ceiling_rounding(self):
+        # 55 bits at 1 Mbit/s = 55 us exactly; at 999999 bit/s it must
+        # round *up*.
+        assert frame_time(0, BITRATE_1M) == us(55)
+        assert frame_time(0, 999_999) > us(55)
+
+    def test_best_case_below_worst_case(self):
+        for n in range(9):
+            assert best_case_frame_time(n) <= frame_time(n)
+
+    def test_best_case_no_stuffing(self):
+        # 64 + 47 = 111 bits at 1 Mbit/s.
+        assert best_case_frame_time(8, BITRATE_1M) == us(111)
+
+    def test_invalid_bitrate(self):
+        with pytest.raises(ModelError):
+            frame_time(8, 0)
+        with pytest.raises(ModelError):
+            best_case_frame_time(8, -1)
+
+    def test_matches_default_frame_time_constant(self):
+        from repro.model.platform import DEFAULT_FRAME_TIME
+
+        assert frame_time(8, BITRATE_500K) == DEFAULT_FRAME_TIME

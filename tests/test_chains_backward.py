@@ -1,0 +1,158 @@
+"""Tests for the backward-time bounds (Lemmas 4, 5, 6) — exact values.
+
+The diamond fixture has unit execution times and priorities ascending
+along every chain, so each same-unit hop budget of Lemma 4 is exactly
+``T(producer)`` and all fixed points are computable by hand (see the
+inline derivations).
+"""
+
+import pytest
+
+from repro.chains.backward import (
+    BackwardBounds,
+    BackwardBoundsCache,
+    backward_bounds,
+    bcbt_lower,
+    buffer_shift,
+    hop_budget,
+    wcbt_upper,
+)
+from repro.model.chain import Chain
+from repro.model.graph import CauseEffectGraph
+from repro.model.system import System
+from repro.model.task import ModelError, Task, source_task
+from repro.units import ms
+
+
+class TestResponseTimesOfFixture:
+    """Pin down the WCRTs the bound tests below rely on."""
+
+    def test_diamond_response_times(self, diamond_system):
+        assert diamond_system.R("a") == ms(2)
+        assert diamond_system.R("b") == ms(3)
+        assert diamond_system.R("m") == ms(4)
+        assert diamond_system.R("x") == ms(5)
+        assert diamond_system.R("y") == ms(6)
+        assert diamond_system.R("sink") == ms(6)
+
+
+class TestHopBudget:
+    def test_hp_producer_same_unit(self, diamond_system):
+        # a (prio 1) in hp(m) (prio 3): theta = T(a).
+        assert hop_budget(diamond_system, "a", "m") == ms(10)
+
+    def test_source_producer(self, diamond_system):
+        assert hop_budget(diamond_system, "s", "a") == ms(10)
+
+    def test_lp_producer_same_unit(self):
+        # Producer with LOWER priority than consumer:
+        # theta = T + R - (W(prod) + B(cons)).
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("s", ms(10), ecu="e", priority=0))
+        graph.add_task(Task("cons", ms(10), ms(1), ms(1), ecu="e", priority=1))
+        graph.add_task(Task("prod", ms(20), ms(2), ms(2), ecu="e", priority=2))
+        graph.add_channel("s", "prod")
+        graph.add_channel("prod", "cons")
+        system = System.build(graph)
+        # R(prod): blocking 0 (lowest), hp = {cons}: s = (floor(s/10)+1)*1
+        # -> s=1, R=3.
+        assert system.R("prod") == ms(3)
+        assert hop_budget(system, "prod", "cons") == ms(20) + ms(3) - (ms(2) + ms(1))
+
+    def test_cross_unit(self):
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("s", ms(10), ecu="e1", priority=0))
+        graph.add_task(Task("p", ms(10), ms(1), ms(1), ecu="e1", priority=1))
+        graph.add_task(Task("c", ms(10), ms(1), ms(1), ecu="e2", priority=0))
+        graph.add_channel("s", "p")
+        graph.add_channel("p", "c")
+        system = System.build(graph)
+        assert hop_budget(system, "p", "c") == ms(10) + system.R("p")
+
+
+class TestWcbtUpper:
+    def test_chain_through_x(self, diamond_system):
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        assert wcbt_upper(chain, diamond_system) == ms(60)
+
+    def test_chain_through_y(self, diamond_system):
+        chain = Chain.of("s", "b", "m", "y", "sink")
+        assert wcbt_upper(chain, diamond_system) == ms(90)
+
+    def test_singleton_chain(self, diamond_system):
+        assert wcbt_upper(Chain.of("s"), diamond_system) == 0
+
+    def test_subchain_additivity(self, diamond_system):
+        # Lemma 4 is a sum over hops, so W is additive over a split.
+        full = Chain.of("s", "a", "m", "x", "sink")
+        first = Chain.of("s", "a", "m")
+        second = Chain.of("m", "x", "sink")
+        assert wcbt_upper(full, diamond_system) == wcbt_upper(
+            first, diamond_system
+        ) + wcbt_upper(second, diamond_system)
+
+    def test_invalid_chain_rejected(self, diamond_system):
+        with pytest.raises(ModelError):
+            wcbt_upper(Chain.of("s", "m"), diamond_system)
+
+
+class TestBcbtLower:
+    def test_chain_through_x(self, diamond_system):
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        # sum(B) = 0+1+1+1+1 = 4; R(sink) = 6.
+        assert bcbt_lower(chain, diamond_system) == -ms(2)
+
+    def test_can_be_negative(self, diamond_system):
+        assert bcbt_lower(Chain.of("s", "a"), diamond_system) == ms(1) - ms(2)
+
+    def test_singleton(self, diamond_system):
+        assert bcbt_lower(Chain.of("s"), diamond_system) == 0
+
+
+class TestBufferShift:
+    def test_no_buffers(self, diamond_system):
+        assert buffer_shift(Chain.of("s", "a", "m"), diamond_system) == 0
+
+    def test_head_buffer_lemma6(self, diamond_system):
+        buffered = diamond_system.with_channel_capacity("s", "a", 4)
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        shift = (4 - 1) * ms(10)
+        assert wcbt_upper(chain, buffered) == ms(60) + shift
+        assert bcbt_lower(chain, buffered) == -ms(2) + shift
+
+    def test_mid_chain_buffer(self, diamond_system):
+        buffered = diamond_system.with_channel_capacity("m", "x", 2)
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        assert buffer_shift(chain, buffered) == ms(20)
+        assert wcbt_upper(chain, buffered) == ms(80)
+
+    def test_unrelated_buffer_ignored(self, diamond_system):
+        buffered = diamond_system.with_channel_capacity("m", "y", 5)
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        assert wcbt_upper(chain, buffered) == ms(60)
+
+
+class TestBackwardBounds:
+    def test_record(self, diamond_system):
+        bounds = backward_bounds(Chain.of("s", "a", "m"), diamond_system)
+        assert bounds.wcbt == ms(20)
+        assert bounds.bcbt == -ms(2)
+        assert bounds.width == ms(22)
+
+    def test_inconsistent_rejected(self):
+        with pytest.raises(ModelError):
+            BackwardBounds(chain=Chain.of("a"), wcbt=0, bcbt=1)
+
+    def test_cache_returns_same_values(self, diamond_system):
+        cache = BackwardBoundsCache(diamond_system)
+        chain = Chain.of("s", "a", "m")
+        assert cache.wcbt(chain) == wcbt_upper(chain, diamond_system)
+        assert cache.bcbt(chain) == bcbt_lower(chain, diamond_system)
+
+    def test_cache_memoizes(self, diamond_system):
+        cache = BackwardBoundsCache(diamond_system)
+        chain = Chain.of("s", "a", "m")
+        first = cache.bounds(chain)
+        second = cache.bounds(Chain.of("s", "a", "m"))
+        assert first is second
+        assert len(cache) == 1

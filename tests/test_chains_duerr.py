@@ -1,0 +1,69 @@
+"""Tests for the scheduling-agnostic baseline bounds."""
+
+import pytest
+
+from repro.chains.backward import bcbt_lower, wcbt_upper
+from repro.chains.duerr import (
+    bcbt_lower_agnostic,
+    bcbt_lower_trivial,
+    wcbt_upper_agnostic,
+)
+from repro.model.chain import Chain
+from repro.units import ms
+
+
+class TestAgnosticWcbt:
+    def test_sum_of_t_plus_r(self, diamond_system):
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        # (T+R) per producer: s: 10+0, a: 10+2, m: 20+4, x: 20+5.
+        assert wcbt_upper_agnostic(chain, diamond_system) == ms(71)
+
+    def test_never_tighter_than_np_bound(self, diamond_system):
+        for tasks in (
+            ("s", "a", "m", "x", "sink"),
+            ("s", "b", "m", "y", "sink"),
+            ("s", "a", "m"),
+        ):
+            chain = Chain.of(*tasks)
+            assert wcbt_upper_agnostic(chain, diamond_system) >= wcbt_upper(
+                chain, diamond_system
+            )
+
+    def test_singleton(self, diamond_system):
+        assert wcbt_upper_agnostic(Chain.of("s"), diamond_system) == 0
+
+    def test_cross_unit_hops_equal(self):
+        # On a fully distributed chain every hop is "different units",
+        # so Lemma 4 degenerates to the agnostic bound.
+        from repro.model.graph import CauseEffectGraph
+        from repro.model.system import System
+        from repro.model.task import Task, source_task
+
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("s", ms(10), ecu="e0", priority=0))
+        graph.add_task(Task("a", ms(10), ms(1), ms(1), ecu="e1", priority=0))
+        graph.add_task(Task("b", ms(20), ms(1), ms(1), ecu="e2", priority=0))
+        graph.add_channel("s", "a")
+        graph.add_channel("a", "b")
+        system = System.build(graph)
+        chain = Chain.of("s", "a", "b")
+        assert wcbt_upper_agnostic(chain, system) == wcbt_upper(chain, system)
+
+
+class TestAgnosticBcbt:
+    def test_matches_lemma5(self, diamond_system):
+        # Lemma 5's proof does not use non-preemption.
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        assert bcbt_lower_agnostic(chain, diamond_system) == bcbt_lower(
+            chain, diamond_system
+        )
+
+    def test_trivial_weaker(self, diamond_system):
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        assert bcbt_lower_trivial(chain, diamond_system) <= bcbt_lower(
+            chain, diamond_system
+        )
+        assert bcbt_lower_trivial(chain, diamond_system) == -diamond_system.R("sink")
+
+    def test_trivial_singleton(self, diamond_system):
+        assert bcbt_lower_trivial(Chain.of("s"), diamond_system) == 0

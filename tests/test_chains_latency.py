@@ -1,0 +1,60 @@
+"""Tests for the derived end-to-end latency bounds (extension)."""
+
+import pytest
+
+from repro.chains.latency import (
+    max_data_age,
+    max_data_age_agnostic,
+    max_reaction_time,
+    max_reaction_time_np,
+)
+from repro.model.chain import Chain
+from repro.units import ms
+
+
+class TestDataAge:
+    def test_age_is_wcbt_plus_tail_response(self, diamond_system):
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        assert max_data_age(chain, diamond_system) == ms(60) + ms(6)
+
+    def test_agnostic_age_never_tighter(self, diamond_system):
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        assert max_data_age_agnostic(chain, diamond_system) >= max_data_age(
+            chain, diamond_system
+        )
+
+
+class TestReactionTime:
+    def test_davare_bound(self, diamond_system):
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        # sum(T + R) over all five stages:
+        # 10+0, 10+2, 20+4, 20+5, 40+6 = 117.
+        assert max_reaction_time(chain, diamond_system) == ms(117)
+
+    def test_np_bound_no_worse(self, diamond_system):
+        for tasks in (
+            ("s", "a", "m", "x", "sink"),
+            ("s", "b", "m", "y", "sink"),
+        ):
+            chain = Chain.of(*tasks)
+            assert max_reaction_time_np(chain, diamond_system) <= max_reaction_time(
+                chain, diamond_system
+            )
+
+    def test_np_bound_value(self, diamond_system):
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        # min(davare, T(head) + W + T(tail) + R(tail))
+        # = min(117, 10 + 60 + 40 + 6) = 116.
+        assert max_reaction_time_np(chain, diamond_system) == ms(116)
+
+    def test_singleton_chain(self, diamond_system):
+        chain = Chain.of("s")
+        assert max_reaction_time(chain, diamond_system) == ms(10)
+        assert max_reaction_time_np(chain, diamond_system) == ms(10)
+
+    def test_reaction_exceeds_age(self, diamond_system):
+        # Reaction includes the stimulus-capture wait; age does not.
+        chain = Chain.of("s", "a", "m", "x", "sink")
+        assert max_reaction_time_np(chain, diamond_system) > max_data_age(
+            chain, diamond_system
+        )

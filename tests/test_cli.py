@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_fig6_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.part == "all"
+        assert args.preset == "default"
+
+    def test_fig6_options(self):
+        args = build_parser().parse_args(
+            ["fig6", "--part", "ab", "--preset", "smoke", "--duration", "2",
+             "--graphs", "1", "--sims", "1", "--seed", "3", "--quiet"]
+        )
+        assert args.part == "ab"
+        assert args.duration == 2.0
+        assert args.quiet
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--preset", "huge"])
+
+
+class TestCommands:
+    def test_waters(self, capsys):
+        assert main(["waters"]) == 0
+        out = capsys.readouterr().out
+        assert "ACET(us)" in out
+        assert "200" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--tasks", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "P-diff" in out
+        assert "S-diff" in out
+        assert "chains into" in out
+
+    def test_analyze_save_and_load(self, capsys, tmp_path):
+        path = tmp_path / "workload.json"
+        assert main(["analyze", "--tasks", "8", "--seed", "2",
+                     "--output", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["analyze", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "S-diff" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "--tasks", "8", "--seed", "2",
+                     "--requirement", "k1=300"]) == 0
+        out = capsys.readouterr().out
+        assert "utilization per unit" in out
+        assert "disparity bounds" in out
+
+    def test_report_bad_requirement(self):
+        with pytest.raises(SystemExit):
+            main(["report", "--tasks", "6", "--requirement", "oops"])
+
+    def test_diagnose(self, capsys):
+        assert main(["diagnose", "--tasks", "8", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "worst-case time disparity" in out
+        assert "binding pair" in out
+
+    def test_diagnose_with_optimize(self, capsys):
+        assert main(
+            ["diagnose", "--tasks", "6", "--seed", "3", "--optimize"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "priority optimization" in out
+
+    def test_fig6_smoke(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            [
+                "fig6",
+                "--part",
+                "ab",
+                "--preset",
+                "smoke",
+                "--duration",
+                "2",
+                "--graphs",
+                "1",
+                "--sims",
+                "1",
+                "--quiet",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        out = capsys.readouterr().out
+        assert "P-diff(ms)" in out

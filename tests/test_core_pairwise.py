@@ -1,0 +1,241 @@
+"""Tests for Theorems 1 and 2 — exact hand-computed bounds.
+
+Derivations for the diamond fixture (see conftest): all chains have
+per-hop budgets equal to the producer period, WCBTs
+W(s,a,m,x,sink)=60, W(s,a,m,y,sink)=80, W(s,b,m,x,sink)=70,
+W(s,b,m,y,sink)=90 (ms) and every BCBT is -2 ms.
+"""
+
+import pytest
+
+from repro.chains.backward import BackwardBoundsCache
+from repro.core.pairwise import (
+    OffsetInterval,
+    SamplingWindow,
+    disparity_bound_forkjoin,
+    disparity_bound_independent,
+    floor_to_period,
+    independent_operator,
+    offset_intervals,
+    sampling_windows,
+    shifted_operator,
+)
+from repro.model.chain import Chain, decompose_pair
+from repro.model.graph import CauseEffectGraph
+from repro.model.system import System
+from repro.model.task import ModelError, Task, source_task
+from repro.units import ms
+
+
+def build_trunk_system() -> System:
+    """s -> {a, b} -> m -> k -> sink: fork, join, shared trunk.
+
+    Hand-computed: R(a)=2, R(b)=3, R(m)=4, R(k)=5, R(sink)=5;
+    W(s,a,m,k,sink)=60, W(s,b,m,k,sink)=70, both BCBT=-1 (ms).
+    """
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("s", ms(10), ecu="e", priority=0))
+    graph.add_task(Task("a", ms(10), ms(1), ms(1), ecu="e", priority=1))
+    graph.add_task(Task("b", ms(20), ms(1), ms(1), ecu="e", priority=2))
+    graph.add_task(Task("m", ms(20), ms(1), ms(1), ecu="e", priority=3))
+    graph.add_task(Task("k", ms(20), ms(1), ms(1), ecu="e", priority=4))
+    graph.add_task(Task("sink", ms(40), ms(1), ms(1), ecu="e", priority=5))
+    graph.add_channel("s", "a")
+    graph.add_channel("s", "b")
+    graph.add_channel("a", "m")
+    graph.add_channel("b", "m")
+    graph.add_channel("m", "k")
+    graph.add_channel("k", "sink")
+    return System.build(graph)
+
+
+class TestOperators:
+    def test_independent_operator(self):
+        assert independent_operator(60, -2, 90, -2) == 92
+        assert independent_operator(10, 0, 10, 0) == 10
+
+    def test_independent_operator_symmetric(self):
+        assert independent_operator(60, -2, 90, -3) == independent_operator(
+            90, -3, 60, -2
+        )
+
+    def test_shifted_operator_reduces_to_independent(self):
+        assert shifted_operator(60, -2, 90, -2, 0, 0, ms(20)) == independent_operator(
+            60, -2, 90, -2
+        )
+
+    def test_shifted_operator_with_offsets(self):
+        # |W(nu) - B(lam) - x*T| vs |B(nu) - W(lam) - y*T|.
+        assert shifted_operator(40, -3, 60, -3, -3, 2, 20) == max(
+            abs(60 + 3 + 60), abs(-3 - 40 - 40)
+        )
+
+    def test_floor_to_period(self):
+        assert floor_to_period(ms(92), ms(10)) == ms(90)
+        assert floor_to_period(ms(90), ms(10)) == ms(90)
+        assert floor_to_period(0, ms(10)) == 0
+
+    def test_floor_to_period_rejects_negative(self):
+        with pytest.raises(ModelError):
+            floor_to_period(-1, ms(10))
+
+    def test_sampling_window_validation(self):
+        with pytest.raises(ModelError):
+            SamplingWindow(1, 0)
+
+    def test_offset_interval_validation(self):
+        with pytest.raises(ModelError):
+            OffsetInterval(joint="m", x=2, y=1)
+
+
+class TestTheorem1:
+    def test_diamond_worst_pair(self, diamond_system):
+        cache = BackwardBoundsCache(diamond_system)
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "y", "sink")
+        result = disparity_bound_independent(lam, nu, cache)
+        # O = max(|60-(-2)|, |90-(-2)|) = 92, floored to 90 (shared s).
+        assert result.bound == ms(90)
+        assert result.shared_source
+        assert result.method == "P-diff"
+
+    def test_diamond_x_pair(self, diamond_system):
+        cache = BackwardBoundsCache(diamond_system)
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "x", "sink")
+        # O = max(62, 72) = 72 -> floor 70.
+        assert disparity_bound_independent(lam, nu, cache).bound == ms(70)
+
+    def test_different_sources_no_floor(self, two_source_system):
+        cache = BackwardBoundsCache(two_source_system)
+        lam = Chain.of("cam", "fuse")
+        nu = Chain.of("lidar", "fuse")
+        result = disparity_bound_independent(lam, nu, cache)
+        # W(cam,fuse)=10, W(lidar,fuse)=30, both B=-1:
+        # O = max(|10+1|, |30+1|) = 31, no floor.
+        assert result.bound == ms(31)
+        assert not result.shared_source
+
+    def test_symmetry(self, diamond_system):
+        cache = BackwardBoundsCache(diamond_system)
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "y", "sink")
+        assert (
+            disparity_bound_independent(lam, nu, cache).bound
+            == disparity_bound_independent(nu, lam, cache).bound
+        )
+
+    def test_mismatched_tails_rejected(self, diamond_system):
+        cache = BackwardBoundsCache(diamond_system)
+        with pytest.raises(ModelError):
+            disparity_bound_independent(
+                Chain.of("s", "a", "m"), Chain.of("s", "b", "m", "x"), cache
+            )
+
+    def test_windows_exposed(self, diamond_system):
+        cache = BackwardBoundsCache(diamond_system)
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "y", "sink")
+        result = disparity_bound_independent(lam, nu, cache)
+        assert result.window_lam == SamplingWindow(-ms(60), ms(2))
+        assert result.window_nu == SamplingWindow(-ms(90), ms(2))
+
+
+class TestTheorem2Recursion:
+    def test_diamond_offsets(self, diamond_system):
+        cache = BackwardBoundsCache(diamond_system)
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "y", "sink")
+        decomposition = decompose_pair(lam, nu, diamond_system.graph)
+        offsets = offset_intervals(decomposition, cache)
+        assert offsets[-1] == OffsetInterval(joint="sink", x=0, y=0)
+        # x1 = ceil((B(a2) - W(b2))/T(m)) = ceil((-3-60)/20) = -3
+        # y1 = floor((W(a2) - B(b2))/T(m)) = floor((40+3)/20) = 2
+        assert offsets[0] == OffsetInterval(joint="m", x=-3, y=2)
+
+    def test_diamond_windows(self, diamond_system):
+        cache = BackwardBoundsCache(diamond_system)
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "y", "sink")
+        decomposition = decompose_pair(lam, nu, diamond_system.graph)
+        offsets = offset_intervals(decomposition, cache)
+        window_lam, window_nu = sampling_windows(decomposition, offsets, cache)
+        # alpha1 = (s,a,m): W=20, B=-2 -> [-20, 2]
+        assert window_lam == SamplingWindow(-ms(20), ms(2))
+        # beta1 = (s,b,m): W=30, B=-2, x1=-3, y1=2, T(m)=20:
+        # [-60-30, 40+2] = [-90, 42]
+        assert window_nu == SamplingWindow(-ms(90), ms(42))
+
+
+class TestTheorem2:
+    def test_diamond_worst_pair_equals_theorem1(self, diamond_system):
+        # The diamond's divergent second half (x vs y) leaves so much
+        # slack that Theorem 2 cannot improve on Theorem 1 here.
+        cache = BackwardBoundsCache(diamond_system)
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "y", "sink")
+        result = disparity_bound_forkjoin(lam, nu, cache)
+        assert result.bound == ms(90)
+        assert result.method == "S-diff"
+
+    def test_shared_suffix_truncation_tightens(self, diamond_system):
+        # (s,a,m,x,sink) vs (s,b,m,x,sink) share the suffix (m,x,sink):
+        # truncated to (s,a,m) vs (s,b,m) at m:
+        # O = max(|30+2|, |-2-20|) = 32 -> floor(T(s)=10) -> 30.
+        cache = BackwardBoundsCache(diamond_system)
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "x", "sink")
+        result = disparity_bound_forkjoin(lam, nu, cache)
+        assert result.bound == ms(30)
+        assert result.analyzed_task == "m"
+        # Strictly better than Theorem 1's 70.
+        assert result.bound < disparity_bound_independent(lam, nu, cache).bound
+
+    def test_trunk_system_values(self):
+        system = build_trunk_system()
+        cache = BackwardBoundsCache(system)
+        lam = Chain.of("s", "a", "m", "k", "sink")
+        nu = Chain.of("s", "b", "m", "k", "sink")
+        p_result = disparity_bound_independent(lam, nu, cache)
+        s_result = disparity_bound_forkjoin(lam, nu, cache)
+        assert p_result.bound == ms(70)
+        assert s_result.bound == ms(30)
+
+    def test_trunk_without_truncation(self):
+        # The pure recursion (no suffix truncation) walks the shared
+        # trunk and ends up as loose as Theorem 1 — demonstrating why
+        # the paper's "last joint task" rule matters.
+        system = build_trunk_system()
+        cache = BackwardBoundsCache(system)
+        lam = Chain.of("s", "a", "m", "k", "sink")
+        nu = Chain.of("s", "b", "m", "k", "sink")
+        result = disparity_bound_forkjoin(lam, nu, cache, truncate_suffix=False)
+        assert result.bound == ms(70)
+
+    def test_identical_chains_zero(self, diamond_system):
+        cache = BackwardBoundsCache(diamond_system)
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        result = disparity_bound_forkjoin(lam, lam, cache)
+        assert result.bound == 0
+
+    def test_symmetry(self, diamond_system):
+        cache = BackwardBoundsCache(diamond_system)
+        chains = [
+            Chain.of("s", "a", "m", "x", "sink"),
+            Chain.of("s", "b", "m", "y", "sink"),
+            Chain.of("s", "a", "m", "y", "sink"),
+            Chain.of("s", "b", "m", "x", "sink"),
+        ]
+        for i, lam in enumerate(chains):
+            for nu in chains[i + 1 :]:
+                forward = disparity_bound_forkjoin(lam, nu, cache).bound
+                backward = disparity_bound_forkjoin(nu, lam, cache).bound
+                assert forward == backward
+
+    def test_disjoint_pair_reduces_to_theorem1(self, merged_system):
+        cache = BackwardBoundsCache(merged_system)
+        lam = Chain.of("sa", "pa", "sink")
+        nu = Chain.of("sb", "pb", "sink")
+        p = disparity_bound_independent(lam, nu, cache).bound
+        s = disparity_bound_forkjoin(lam, nu, cache).bound
+        assert p == s == ms(102)

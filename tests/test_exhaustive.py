@@ -1,0 +1,79 @@
+"""Tests for the exhaustive offset-grid verifier."""
+
+import pytest
+
+from repro.core.disparity import disparity_bound
+from repro.exact.exhaustive import exhaustive_offset_disparity, grid_size
+from repro.model.graph import CauseEffectGraph
+from repro.model.system import System
+from repro.model.task import ModelError, Task, source_task
+from repro.units import ms
+
+
+def two_sensor_system() -> System:
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("cam", ms(10), ecu="e", priority=0))
+    graph.add_task(source_task("lidar", ms(30), ecu="e", priority=1))
+    graph.add_task(Task("fuse", ms(30), ms(2), ms(2), ecu="e", priority=2))
+    graph.add_channel("cam", "fuse")
+    graph.add_channel("lidar", "fuse")
+    return System.build(graph)
+
+
+class TestGrid:
+    def test_grid_size(self):
+        system = two_sensor_system()
+        assert grid_size(system, 4) == 4**3
+
+    def test_grid_cap_enforced(self):
+        system = two_sensor_system()
+        with pytest.raises(ModelError):
+            exhaustive_offset_disparity(system, "fuse", steps=20, max_points=100)
+
+    def test_steps_validated(self):
+        with pytest.raises(ModelError):
+            exhaustive_offset_disparity(two_sensor_system(), "fuse", steps=0)
+
+
+class TestExhaustiveSoundnessAndTightness:
+    def test_grid_max_below_bound(self):
+        system = two_sensor_system()
+        bound = disparity_bound(system, "fuse")
+        result = exhaustive_offset_disparity(system, "fuse", steps=5)
+        assert result.points_evaluated == 5**3
+        assert result.all_converged
+        assert result.disparity <= bound
+
+    def test_grid_finds_large_disparity(self):
+        # The bound for this system is 31ms (see test_core_disparity);
+        # with a 6-step grid the true maximum must come close: the
+        # worst lidar phase is ~T(lidar) - small.
+        system = two_sensor_system()
+        result = exhaustive_offset_disparity(system, "fuse", steps=6)
+        assert result.disparity >= ms(20)
+
+    def test_witness_reproduces_value(self):
+        from repro.exact.hyperperiod import steady_state_disparity
+
+        system = two_sensor_system()
+        result = exhaustive_offset_disparity(system, "fuse", steps=4)
+        graph = system.graph.copy()
+        for name, offset in result.offsets.items():
+            graph.replace_task(graph.task(name).with_offset(offset))
+        variant = System(graph=graph, response_times=system.response_times)
+        check = steady_state_disparity(variant, "fuse")
+        assert check.disparity == result.disparity
+
+    def test_dominates_any_single_configuration(self):
+        from repro.exact.hyperperiod import steady_state_disparity
+
+        system = two_sensor_system()
+        result = exhaustive_offset_disparity(system, "fuse", steps=4)
+        # A configuration on the grid can't beat the grid maximum.
+        graph = system.graph.copy()
+        graph.replace_task(graph.task("lidar").with_offset(ms(15)))
+        variant = System(graph=graph, response_times=system.response_times)
+        value = steady_state_disparity(variant, "fuse").disparity
+        # ms(15) is on the 4-step grid of a 30ms period wait: grid is
+        # {0, 7.5, 15, 22.5}ms. 15ms is included.
+        assert value <= result.disparity

@@ -1,0 +1,118 @@
+"""Tests for release-dropout fault injection."""
+
+import pytest
+
+from repro.model.graph import CauseEffectGraph
+from repro.model.system import System
+from repro.model.task import ModelError, Task, source_task
+from repro.sim.engine import simulate
+from repro.sim.exec_time import wcet_policy
+from repro.sim.faults import DropoutWindow, FaultPlan, StalenessMonitor
+from repro.sim.metrics import DisparityMonitor, JobTableMonitor
+from repro.units import ms
+
+
+def fusion_system() -> System:
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("cam", ms(10), ecu="e", priority=0))
+    graph.add_task(source_task("lidar", ms(30), ecu="e", priority=1, offset=ms(1)))
+    graph.add_task(Task("fuse", ms(30), ms(2), ms(1), ecu="e", priority=2))
+    graph.add_channel("cam", "fuse")
+    graph.add_channel("lidar", "fuse")
+    return System.build(graph)
+
+
+class TestFaultPlan:
+    def test_window_validation(self):
+        with pytest.raises(ModelError):
+            DropoutWindow(start=5, end=5)
+        with pytest.raises(ModelError):
+            DropoutWindow(start=-1, end=5)
+
+    def test_is_dropped(self):
+        plan = FaultPlan().drop("cam", ms(100), ms(200))
+        assert plan.is_dropped("cam", ms(100))
+        assert plan.is_dropped("cam", ms(199))
+        assert not plan.is_dropped("cam", ms(200))  # half-open
+        assert not plan.is_dropped("cam", ms(99))
+        assert not plan.is_dropped("lidar", ms(150))
+
+    def test_multiple_windows(self):
+        plan = FaultPlan().drop("cam", ms(10), ms(20)).drop("cam", ms(50), ms(60))
+        assert plan.is_dropped("cam", ms(15))
+        assert plan.is_dropped("cam", ms(55))
+        assert not plan.is_dropped("cam", ms(30))
+
+    def test_unknown_task_rejected_by_simulator(self):
+        plan = FaultPlan().drop("ghost", 0, ms(10))
+        with pytest.raises(ModelError):
+            simulate(fusion_system(), ms(50), faults=plan)
+
+    def test_truthiness(self):
+        assert not FaultPlan()
+        assert FaultPlan().drop("cam", 0, 1)
+
+
+class TestDropoutEffects:
+    def test_dropped_jobs_counted(self):
+        plan = FaultPlan().drop("cam", ms(100), ms(200))
+        result = simulate(
+            fusion_system(), ms(300), faults=plan, policy=wcet_policy
+        )
+        # 10 cam releases suppressed (100, 110, ..., 190).
+        assert result.stats.jobs_dropped == 10
+
+    def test_consumer_reads_stale_data_during_dropout(self):
+        plan = FaultPlan().drop("cam", ms(100), ms(400))
+        monitor = StalenessMonitor(["fuse"])
+        simulate(fusion_system(), ms(450), faults=plan, policy=wcet_policy,
+                 observers=[monitor])
+        # The last cam sample before the fault is at t=90; fuse jobs up
+        # to t=390 keep reading it: age grows to ~300ms, far above the
+        # fault-free worst case (< 10ms + response time).
+        age = monitor.age_for("fuse", "cam")
+        assert age is not None
+        assert age >= ms(290)
+
+    def test_fault_free_staleness_is_small(self):
+        monitor = StalenessMonitor(["fuse"], warmup=ms(60))
+        simulate(fusion_system(), ms(450), policy=wcet_policy,
+                 observers=[monitor])
+        age = monitor.age_for("fuse", "cam")
+        assert age is not None
+        assert age < ms(15)
+
+    def test_disparity_grows_during_dropout(self):
+        # With the camera dark, fuse fuses a fresh lidar sample with an
+        # ever older camera sample: disparity exceeds the fault-free
+        # analytic bound (which assumes no dropouts).
+        from repro.core.disparity import disparity_bound
+
+        system = fusion_system()
+        bound = disparity_bound(system, "fuse")
+        plan = FaultPlan().drop("cam", ms(100), ms(400))
+        monitor = DisparityMonitor(["fuse"])
+        simulate(system, ms(450), faults=plan, policy=wcet_policy,
+                 observers=[monitor])
+        assert monitor.disparity("fuse") > bound
+
+    def test_recovery_after_window(self):
+        plan = FaultPlan().drop("cam", ms(100), ms(200))
+        late = StalenessMonitor(["fuse"], warmup=ms(250))
+        simulate(fusion_system(), ms(600), faults=plan, policy=wcet_policy,
+                 observers=[late])
+        age = late.age_for("fuse", "cam")
+        assert age is not None
+        assert age < ms(15)  # back to fault-free freshness
+
+    def test_compute_task_dropout(self):
+        # Dropping the consumer's own releases: fewer fuse jobs, no
+        # crash, schedule invariants intact.
+        plan = FaultPlan().drop("fuse", ms(100), ms(200))
+        table = JobTableMonitor()
+        result = simulate(fusion_system(), ms(300), faults=plan,
+                          policy=wcet_policy, observers=[table])
+        monitorable = [j for j in table.by_task("fuse")]
+        releases = {j.release for j in monitorable}
+        assert not any(ms(100) <= r < ms(200) for r in releases)
+        table.check_invariants({"cam", "lidar"})

@@ -1,0 +1,69 @@
+"""Tests for end-to-end scenario generation."""
+
+import random
+
+import pytest
+
+from repro.gen.scenario import (
+    Scenario,
+    ScenarioConfig,
+    generate_merged_pair_scenario,
+    generate_random_scenario,
+)
+from repro.model.task import ModelError
+from repro.sched.response_time import analyze_all
+
+
+class TestRandomScenario:
+    def test_valid_and_schedulable(self, rng):
+        scenario = generate_random_scenario(15, rng)
+        assert scenario.sink in scenario.system.graph.task_names
+        # Schedulability is part of System.build; re-check explicitly.
+        analyze_all(scenario.system.graph.tasks)
+
+    def test_sink_is_single(self, rng):
+        scenario = generate_random_scenario(15, rng)
+        assert scenario.system.graph.sinks() == (scenario.sink,)
+
+    def test_gnm_generator(self, rng):
+        config = ScenarioConfig(generator="gnm")
+        scenario = generate_random_scenario(12, rng, config)
+        assert len([t for t in scenario.system.graph.tasks if t.kind != "message"]) == 12
+
+    def test_fusion_generator_task_count(self, rng):
+        config = ScenarioConfig(n_ecus=1, use_bus=False)
+        scenario = generate_random_scenario(12, rng, config)
+        assert len(scenario.system.graph) == 12
+
+    def test_unknown_generator_rejected(self, rng):
+        with pytest.raises(ModelError):
+            generate_random_scenario(10, rng, ScenarioConfig(generator="tree"))
+
+    def test_deterministic_per_seed(self):
+        s1 = generate_random_scenario(10, random.Random(4))
+        s2 = generate_random_scenario(10, random.Random(4))
+        assert [t.describe() for t in s1.system.graph.tasks] == [
+            t.describe() for t in s2.system.graph.tasks
+        ]
+
+    def test_attempt_budget_exhausted(self, rng):
+        # max_paths=0 is unsatisfiable: every graph has >= 1 path.
+        config = ScenarioConfig(max_paths=0, max_attempts=3)
+        with pytest.raises(ModelError):
+            generate_random_scenario(10, rng, config)
+
+
+class TestMergedPairScenario:
+    def test_structure(self, rng):
+        scenario = generate_merged_pair_scenario(6, rng)
+        assert scenario.sink == "sink"
+        graph = scenario.system.graph
+        non_message = [t for t in graph.tasks if t.kind != "message"]
+        assert len(non_message) == 2 * 6 - 1
+
+    def test_exactly_two_chains(self, rng):
+        from repro.model.chain import enumerate_source_chains
+
+        scenario = generate_merged_pair_scenario(5, rng)
+        chains = enumerate_source_chains(scenario.system.graph, "sink")
+        assert len(chains) == 2

@@ -1,0 +1,96 @@
+"""Tests for UUniFast synthesis and utilization rescaling."""
+
+import random
+
+import pytest
+
+from repro.gen.uunifast import (
+    scale_to_utilization,
+    uunifast,
+    uunifast_periodic_taskset,
+)
+from repro.model.task import ModelError
+from repro.sched.utilization import unit_utilizations
+
+
+class TestUUniFast:
+    def test_sums_to_target(self, rng):
+        for target in (0.3, 0.7, 1.0):
+            values = uunifast(8, target, rng)
+            assert sum(values) == pytest.approx(target)
+            assert all(v >= 0 for v in values)
+
+    def test_single_task(self, rng):
+        assert uunifast(1, 0.5, rng) == [0.5]
+
+    def test_unbiased_first_coordinate(self):
+        # Each coordinate's expectation is U/n under UUniFast.
+        rng = random.Random(12)
+        n, target, draws = 4, 0.8, 4000
+        total_first = 0.0
+        for _ in range(draws):
+            total_first += uunifast(n, target, rng)[0]
+        assert total_first / draws == pytest.approx(target / n, rel=0.1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ModelError):
+            uunifast(0, 0.5, rng)
+        with pytest.raises(ModelError):
+            uunifast(3, 0.0, rng)
+
+
+class TestTasksetSynthesis:
+    def test_periods_and_priorities(self, rng):
+        tasks = uunifast_periodic_taskset(10, 0.6, rng)
+        assert len(tasks) == 10
+        priorities = [t.priority for t in tasks]
+        assert sorted(priorities) == list(range(10))
+        for task in tasks:
+            assert 0 < task.bcet <= task.wcet <= task.period
+
+    def test_utilization_near_target(self, rng):
+        tasks = uunifast_periodic_taskset(10, 0.6, rng)
+        total = sum(t.utilization for t in tasks)
+        # Rounding to integer ns on millisecond periods is tiny.
+        assert total == pytest.approx(0.6, rel=0.02)
+
+
+class TestScaleToUtilization:
+    def test_hits_target_per_unit(self, rng):
+        from repro.gen.graphgen import deploy, fusion_pipeline_graph
+
+        graph = deploy(fusion_pipeline_graph(12, rng), rng, n_ecus=2)
+        scaled = scale_to_utilization(graph, 0.5)
+        utilizations = unit_utilizations(scaled.tasks)
+        for unit, utilization in utilizations.items():
+            if unit.startswith("ecu"):
+                assert utilization == pytest.approx(0.5, rel=0.05)
+
+    def test_structure_preserved(self, rng):
+        from repro.gen.graphgen import deploy, fusion_pipeline_graph
+
+        graph = deploy(fusion_pipeline_graph(12, rng), rng, n_ecus=1)
+        scaled = scale_to_utilization(graph, 0.4)
+        assert tuple(scaled.task_names) == tuple(graph.task_names)
+        assert [(c.src, c.dst) for c in scaled.channels] == [
+            (c.src, c.dst) for c in graph.channels
+        ]
+        for name in graph.task_names:
+            assert scaled.task(name).period == graph.task(name).period
+            assert scaled.task(name).priority == graph.task(name).priority
+
+    def test_sources_untouched(self, rng):
+        from repro.gen.graphgen import deploy, fusion_pipeline_graph
+
+        graph = deploy(fusion_pipeline_graph(10, rng), rng, n_ecus=1)
+        scaled = scale_to_utilization(graph, 0.6)
+        for name in scaled.sources():
+            assert scaled.task(name).wcet == 0
+
+    def test_validation(self, rng, diamond_graph):
+        with pytest.raises(ModelError):
+            scale_to_utilization(diamond_graph, 0.0)
+        with pytest.raises(ModelError):
+            scale_to_utilization(diamond_graph, 1.5)
+        with pytest.raises(ModelError):
+            scale_to_utilization(diamond_graph, 0.5, bcet_fraction=0.0)

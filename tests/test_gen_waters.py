@@ -1,0 +1,102 @@
+"""Tests for the WATERS 2015 parameter sampler."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.gen.waters import (
+    ACET_US,
+    BCET_FACTOR_RANGE,
+    PERIOD_SHARE_PERCENT,
+    PERIODS_MS,
+    WCET_FACTOR_RANGE,
+    TaskParameters,
+    WatersSampler,
+    expected_utilization_per_task,
+)
+from repro.model.task import ModelError
+from repro.units import ms, us
+
+
+class TestTables:
+    def test_period_classes_consistent(self):
+        assert set(PERIODS_MS) == set(PERIOD_SHARE_PERCENT)
+        assert set(PERIODS_MS) == set(ACET_US)
+        assert set(PERIODS_MS) == set(BCET_FACTOR_RANGE)
+        assert set(PERIODS_MS) == set(WCET_FACTOR_RANGE)
+
+    def test_factor_ranges_ordered(self):
+        for period in PERIODS_MS:
+            lo, hi = BCET_FACTOR_RANGE[period]
+            assert 0 < lo <= hi <= 1.0
+            lo, hi = WCET_FACTOR_RANGE[period]
+            assert 1.0 <= lo <= hi
+
+    def test_dominant_classes(self):
+        # Table III: 10 ms and 20 ms dominate the periodic classes.
+        top = sorted(PERIOD_SHARE_PERCENT, key=PERIOD_SHARE_PERCENT.get)[-2:]
+        assert set(top) == {10, 20}
+
+
+class TestSampler:
+    def test_periods_from_table(self, rng):
+        sampler = WatersSampler(rng)
+        for _ in range(200):
+            assert sampler.sample_period_ms() in PERIODS_MS
+
+    def test_distribution_roughly_matches(self):
+        sampler = WatersSampler(random.Random(99))
+        counts = Counter(sampler.sample_period_ms() for _ in range(20000))
+        total_share = sum(PERIOD_SHARE_PERCENT.values())
+        for period in (10, 20, 100):  # the big buckets
+            expected = PERIOD_SHARE_PERCENT[period] / total_share
+            observed = counts[period] / 20000
+            assert abs(observed - expected) < 0.02
+
+    def test_parameters_respect_ranges(self, rng):
+        sampler = WatersSampler(rng)
+        for _ in range(300):
+            params = sampler.sample_parameters()
+            period_ms = params.period // ms(1)
+            assert period_ms in PERIODS_MS
+            assert 0 < params.bcet <= params.wcet
+            acet = us(ACET_US[period_ms])
+            f_lo, f_hi = WCET_FACTOR_RANGE[period_ms]
+            assert params.wcet <= f_hi * acet + 1
+            assert params.wcet >= f_lo * acet - 1
+            b_lo, b_hi = BCET_FACTOR_RANGE[period_ms]
+            assert params.bcet <= b_hi * acet + 1
+            assert params.bcet >= b_lo * acet - 1
+
+    def test_fixed_period_class(self, rng):
+        sampler = WatersSampler(rng)
+        params = sampler.sample_parameters(period_ms=50)
+        assert params.period == ms(50)
+        assert params.acet_us == ACET_US[50]
+
+    def test_unknown_period_rejected(self, rng):
+        sampler = WatersSampler(rng)
+        with pytest.raises(ModelError):
+            sampler.sample_parameters(period_ms=7)
+
+    def test_sample_many(self, rng):
+        sampler = WatersSampler(rng)
+        assert len(sampler.sample_many(10)) == 10
+        assert sampler.sample_many(0) == []
+        with pytest.raises(ModelError):
+            sampler.sample_many(-1)
+
+    def test_deterministic_per_seed(self):
+        a = WatersSampler(random.Random(5)).sample_many(20)
+        b = WatersSampler(random.Random(5)).sample_many(20)
+        assert a == b
+
+
+class TestUtilization:
+    def test_expected_utilization_is_tiny(self):
+        # WATERS tasks are execution-light: microseconds against
+        # milliseconds.  The expected utilization per task is around
+        # 1% — this is what makes 35-task systems schedulable.
+        expected = expected_utilization_per_task()
+        assert 0 < expected < 0.02

@@ -1,0 +1,165 @@
+"""Integration tests: analytical bounds versus simulated behaviour.
+
+The central correctness property of the whole library: for every
+system, every observed run-time quantity must respect its analytical
+bound —
+
+* observed backward times within ``[BCBT, WCBT]`` (Lemmas 4/5, and 6
+  under buffering);
+* observed disparity at most P-diff and at most S-diff (Theorems 1/2);
+* observed disparity of the buffered system at most the Theorem 3
+  bound.
+
+These tests exercise random WATERS workloads end to end with random
+offsets, which is exactly how Fig. 6 stresses the theory.
+"""
+
+import random
+
+import pytest
+
+from repro.buffers.sizing import design_buffer_pair, disparity_bound_buffered
+from repro.chains.backward import BackwardBoundsCache
+from repro.core.disparity import disparity_bound
+from repro.gen.scenario import (
+    ScenarioConfig,
+    generate_merged_pair_scenario,
+    generate_random_scenario,
+)
+from repro.model.chain import enumerate_source_chains
+from repro.model.system import System
+from repro.sim.engine import randomize_offsets, simulate
+from repro.sim.metrics import BackwardTimeMonitor, DisparityMonitor
+from repro.units import ms, seconds
+
+
+def offset_variants(system, rng, count):
+    for _ in range(count):
+        graph = randomize_offsets(system.graph, rng)
+        yield System(graph=graph, response_times=system.response_times)
+
+
+class TestBackwardTimeSoundness:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_single_chain_within_bounds(self, seed):
+        from repro.gen.graphgen import chain_graph, deploy
+
+        rng = random.Random(seed)
+        graph = deploy(chain_graph(6, rng), rng, n_ecus=2)
+        system = System.build(graph)
+        chain_tasks = [t.name for t in system.graph.tasks]
+        # The deployed chain is the unique source-to-sink path.
+        chains = enumerate_source_chains(system.graph, system.graph.sinks()[0])
+        assert len(chains) == 1
+        chain = chains[0]
+        cache = BackwardBoundsCache(system)
+        bounds = cache.bounds(chain)
+
+        for variant in offset_variants(system, rng, 4):
+            monitor = BackwardTimeMonitor([chain.tail], warmup=seconds(2))
+            simulate(variant, seconds(6), seed=rng.randrange(2**31), observers=[monitor])
+            observed = monitor.range_for(chain.tail, chain.head)
+            if observed.samples == 0:
+                continue
+            assert observed.hi <= bounds.wcbt
+            assert observed.lo >= bounds.bcbt
+
+    def test_buffered_chain_within_lemma6_bounds(self):
+        from repro.gen.graphgen import chain_graph, deploy
+
+        rng = random.Random(7)
+        graph = deploy(chain_graph(5, rng), rng, n_ecus=1)
+        system = System.build(graph)
+        chain = enumerate_source_chains(system.graph, system.graph.sinks()[0])[0]
+        buffered = system.with_channel_capacity(chain[0], chain[1], 3)
+        cache = BackwardBoundsCache(buffered)
+        bounds = cache.bounds(chain)
+
+        warmup = seconds(2) + 3 * buffered.T(chain.head)
+        for variant in offset_variants(buffered, rng, 4):
+            monitor = BackwardTimeMonitor([chain.tail], warmup=warmup)
+            simulate(variant, seconds(6), seed=rng.randrange(2**31), observers=[monitor])
+            observed = monitor.range_for(chain.tail, chain.head)
+            if observed.samples == 0:
+                continue
+            assert observed.hi <= bounds.wcbt
+            assert observed.lo >= bounds.bcbt
+
+
+class TestDisparitySoundness:
+    @pytest.mark.parametrize("seed,n_tasks", [(1, 8), (2, 12), (3, 16)])
+    def test_random_fusion_graphs(self, seed, n_tasks):
+        rng = random.Random(seed)
+        scenario = generate_random_scenario(n_tasks, rng)
+        system = scenario.system
+        cache = BackwardBoundsCache(system)
+        p_diff = disparity_bound(system, scenario.sink, method="independent", cache=cache)
+        s_diff = disparity_bound(system, scenario.sink, method="forkjoin", cache=cache)
+
+        worst = 0
+        for variant in offset_variants(system, rng, 5):
+            monitor = DisparityMonitor([scenario.sink], warmup=seconds(2))
+            simulate(variant, seconds(5), seed=rng.randrange(2**31), observers=[monitor])
+            worst = max(worst, monitor.disparity(scenario.sink))
+        assert worst <= s_diff
+        assert worst <= p_diff
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_gnm_graphs(self, seed):
+        rng = random.Random(seed)
+        scenario = generate_random_scenario(
+            10, rng, ScenarioConfig(generator="gnm")
+        )
+        system = scenario.system
+        s_diff = disparity_bound(system, scenario.sink, method="forkjoin")
+        for variant in offset_variants(system, rng, 3):
+            monitor = DisparityMonitor([scenario.sink], warmup=seconds(2))
+            simulate(variant, seconds(5), seed=rng.randrange(2**31), observers=[monitor])
+            assert monitor.disparity(scenario.sink) <= s_diff
+
+    def test_per_pair_bounds_on_merged_chains(self):
+        # With exactly two disjoint chains, the per-pair bound is the
+        # task bound and the pairwise observation is exact.
+        rng = random.Random(9)
+        scenario = generate_merged_pair_scenario(5, rng)
+        system = scenario.system
+        cache = BackwardBoundsCache(system)
+        lam, nu = enumerate_source_chains(system.graph, "sink")
+        from repro.core.pairwise import disparity_bound_forkjoin
+
+        bound = disparity_bound_forkjoin(lam, nu, cache).bound
+        for variant in offset_variants(system, rng, 5):
+            monitor = DisparityMonitor(["sink"], warmup=seconds(2), track_pairs=True)
+            simulate(variant, seconds(5), seed=rng.randrange(2**31), observers=[monitor])
+            key = ("sink", *sorted((lam.head, nu.head)))
+            if key in monitor.pair_max:
+                assert monitor.pair_max[key] <= bound
+
+
+class TestBufferedDisparitySoundness:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_theorem3_bound_holds_in_simulation(self, seed):
+        rng = random.Random(seed)
+        scenario = generate_merged_pair_scenario(5, rng)
+        system = scenario.system
+        cache = BackwardBoundsCache(system)
+        lam, nu = enumerate_source_chains(system.graph, "sink")
+        result, design = disparity_bound_buffered(lam, nu, cache)
+        if not design.plan:
+            pytest.skip("windows already aligned; nothing to verify")
+        buffered = system.with_buffer_plan(design.plan)
+
+        fill = max(
+            channel.capacity * buffered.T(channel.src)
+            for channel in buffered.graph.channels
+        )
+        warmup = seconds(2) + 2 * fill
+        for variant in offset_variants(buffered, rng, 5):
+            monitor = DisparityMonitor(["sink"], warmup=warmup)
+            simulate(
+                variant,
+                warmup + seconds(4),
+                seed=rng.randrange(2**31),
+                observers=[monitor],
+            )
+            assert monitor.disparity("sink") <= result.bound

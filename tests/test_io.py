@@ -1,0 +1,104 @@
+"""Tests for JSON serialization of cause-effect graphs."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    FORMAT_NAME,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.model.system import System
+from repro.model.task import ModelError
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self, diamond_graph):
+        data = graph_to_dict(diamond_graph)
+        back = graph_from_dict(data)
+        assert set(back.task_names) == set(diamond_graph.task_names)
+        for name in diamond_graph.task_names:
+            original = diamond_graph.task(name)
+            restored = back.task(name)
+            assert restored == original
+        assert {(c.src, c.dst, c.capacity) for c in back.channels} == {
+            (c.src, c.dst, c.capacity) for c in diamond_graph.channels
+        }
+
+    def test_file_roundtrip(self, diamond_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(diamond_graph, path)
+        back = load_graph(path)
+        assert set(back.task_names) == set(diamond_graph.task_names)
+
+    def test_capacities_preserved(self, merged_graph, tmp_path):
+        merged_graph.set_channel_capacity("sa", "pa", 5)
+        path = tmp_path / "graph.json"
+        save_graph(merged_graph, path)
+        assert load_graph(path).channel("sa", "pa").capacity == 5
+
+    def test_reanalysis_identical(self, diamond_graph, tmp_path):
+        from repro.core.disparity import disparity_bound
+
+        path = tmp_path / "graph.json"
+        save_graph(diamond_graph, path)
+        original = System.build(diamond_graph)
+        restored = System.build(load_graph(path))
+        assert disparity_bound(restored, "sink") == disparity_bound(
+            original, "sink"
+        )
+
+    def test_generated_workload_roundtrip(self, rng, tmp_path):
+        from repro.gen import generate_random_scenario
+
+        scenario = generate_random_scenario(12, rng)
+        path = tmp_path / "workload.json"
+        save_graph(scenario.system.graph, path)
+        back = load_graph(path)
+        assert len(back) == len(scenario.system.graph)
+
+
+class TestFormatValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ModelError):
+            graph_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ModelError):
+            graph_from_dict({"format": FORMAT_NAME, "version": 99})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ModelError):
+            graph_from_dict(["not", "a", "graph"])
+
+    def test_missing_task_field_rejected(self):
+        data = {
+            "format": FORMAT_NAME,
+            "version": 1,
+            "tasks": [{"name": "t"}],
+            "channels": [],
+        }
+        with pytest.raises(ModelError):
+            graph_from_dict(data)
+
+    def test_missing_channel_field_rejected(self, diamond_graph):
+        data = graph_to_dict(diamond_graph)
+        data["channels"] = [{"src": "s"}]
+        with pytest.raises(ModelError):
+            graph_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ModelError):
+            load_graph(path)
+
+    def test_document_is_stable_json(self, diamond_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_graph(diamond_graph, path)
+        parsed = json.loads(path.read_text())
+        assert parsed["format"] == FORMAT_NAME
+        assert isinstance(parsed["tasks"], list)

@@ -1,0 +1,177 @@
+"""Tests for chains, enumeration, decomposition, and suffix truncation."""
+
+import pytest
+
+from repro.model.chain import (
+    Chain,
+    common_tasks,
+    decompose_pair,
+    enumerate_all_chains,
+    enumerate_source_chains,
+    truncate_common_suffix,
+)
+from repro.model.task import ModelError
+
+
+class TestChainBasics:
+    def test_of(self):
+        chain = Chain.of("a", "b", "c")
+        assert chain.head == "a"
+        assert chain.tail == "c"
+        assert len(chain) == 3
+
+    def test_iteration_and_indexing(self):
+        chain = Chain.of("a", "b", "c")
+        assert list(chain) == ["a", "b", "c"]
+        assert chain[1] == "b"
+        assert chain.index("c") == 2
+
+    def test_edges(self):
+        assert Chain.of("a", "b", "c").edges() == (("a", "b"), ("b", "c"))
+
+    def test_sub(self):
+        assert Chain.of("a", "b", "c", "d").sub(1, 3).tasks == ("b", "c")
+
+    def test_empty_sub_rejected(self):
+        with pytest.raises(ModelError):
+            Chain.of("a", "b").sub(1, 1)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ModelError):
+            Chain(())
+
+    def test_repeated_task_rejected(self):
+        with pytest.raises(ModelError):
+            Chain.of("a", "b", "a")
+
+    def test_singleton_chain(self):
+        chain = Chain.of("a")
+        assert chain.head == chain.tail == "a"
+
+    def test_validate_against_graph(self, diamond_graph):
+        Chain.of("s", "a", "m").validate(diamond_graph)
+        with pytest.raises(ModelError):
+            Chain.of("s", "m").validate(diamond_graph)
+
+    def test_resolve(self, diamond_graph):
+        tasks = Chain.of("s", "a").resolve(diamond_graph)
+        assert [t.name for t in tasks] == ["s", "a"]
+
+
+class TestEnumeration:
+    def test_source_chains_to_sink(self, diamond_graph):
+        chains = enumerate_source_chains(diamond_graph, "sink")
+        assert len(chains) == 4
+        assert all(chain.head == "s" and chain.tail == "sink" for chain in chains)
+
+    def test_source_chains_to_middle(self, diamond_graph):
+        chains = enumerate_source_chains(diamond_graph, "m")
+        assert {chain.tasks for chain in chains} == {
+            ("s", "a", "m"),
+            ("s", "b", "m"),
+        }
+
+    def test_source_chain_of_source(self, diamond_graph):
+        chains = enumerate_source_chains(diamond_graph, "s")
+        assert chains == (Chain(("s",)),)
+
+    def test_two_source_graph(self, two_source_graph):
+        chains = enumerate_source_chains(two_source_graph, "fuse")
+        assert {chain.tasks for chain in chains} == {
+            ("cam", "fuse"),
+            ("lidar", "fuse"),
+        }
+
+    def test_enumerate_all(self, merged_graph):
+        chains = enumerate_all_chains(merged_graph)
+        assert {chain.tasks for chain in chains} == {
+            ("sa", "pa", "sink"),
+            ("sb", "pb", "sink"),
+        }
+
+
+class TestCommonTasks:
+    def test_excludes_sources_by_default(self, diamond_graph):
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "y", "sink")
+        assert common_tasks(lam, nu, diamond_graph) == ("m", "sink")
+
+    def test_includes_sources_on_request(self, diamond_graph):
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "y", "sink")
+        assert common_tasks(lam, nu, diamond_graph, include_sources=True) == (
+            "s",
+            "m",
+            "sink",
+        )
+
+    def test_disjoint_chains(self, merged_graph):
+        lam = Chain.of("sa", "pa", "sink")
+        nu = Chain.of("sb", "pb", "sink")
+        assert common_tasks(lam, nu, merged_graph) == ("sink",)
+
+
+class TestDecomposition:
+    def test_diamond_pair(self, diamond_graph):
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "y", "sink")
+        decomposition = decompose_pair(lam, nu, diamond_graph)
+        assert decomposition.joints == ("m", "sink")
+        assert decomposition.c == 2
+        assert decomposition.alphas[0].tasks == ("s", "a", "m")
+        assert decomposition.betas[0].tasks == ("s", "b", "m")
+        assert decomposition.alphas[1].tasks == ("m", "x", "sink")
+        assert decomposition.betas[1].tasks == ("m", "y", "sink")
+
+    def test_disjoint_pair_single_joint(self, merged_graph):
+        lam = Chain.of("sa", "pa", "sink")
+        nu = Chain.of("sb", "pb", "sink")
+        decomposition = decompose_pair(lam, nu, merged_graph)
+        assert decomposition.joints == ("sink",)
+        assert decomposition.alphas[0] == lam
+        assert decomposition.betas[0] == nu
+
+    def test_mismatched_tails_rejected(self, diamond_graph):
+        with pytest.raises(ModelError):
+            decompose_pair(
+                Chain.of("s", "a", "m"),
+                Chain.of("s", "b", "m", "x"),
+                diamond_graph,
+            )
+
+
+class TestSuffixTruncation:
+    def test_shared_suffix_cut(self):
+        lam = Chain.of("sa", "a1", "m", "k", "sink")
+        nu = Chain.of("sb", "b1", "m", "k", "sink")
+        cut_lam, cut_nu, tail = truncate_common_suffix(lam, nu)
+        assert tail == "m"
+        assert cut_lam.tasks == ("sa", "a1", "m")
+        assert cut_nu.tasks == ("sb", "b1", "m")
+
+    def test_no_shared_suffix_beyond_tail(self):
+        lam = Chain.of("sa", "a1", "sink")
+        nu = Chain.of("sb", "b1", "sink")
+        cut_lam, cut_nu, tail = truncate_common_suffix(lam, nu)
+        assert tail == "sink"
+        assert cut_lam == lam and cut_nu == nu
+
+    def test_identical_chains_degenerate(self):
+        lam = Chain.of("s", "a", "sink")
+        cut_lam, cut_nu, tail = truncate_common_suffix(lam, lam)
+        assert tail == "s"
+        assert cut_lam.tasks == ("s",)
+        assert cut_nu.tasks == ("s",)
+
+    def test_diamond_not_truncated_through_divergence(self):
+        # Shared suffix is only the sink; the diamond (x vs y) blocks
+        # further truncation even though m is common.
+        lam = Chain.of("s", "a", "m", "x", "sink")
+        nu = Chain.of("s", "b", "m", "y", "sink")
+        cut_lam, cut_nu, tail = truncate_common_suffix(lam, nu)
+        assert tail == "sink"
+        assert cut_lam == lam
+
+    def test_mismatched_tails_rejected(self):
+        with pytest.raises(ModelError):
+            truncate_common_suffix(Chain.of("a", "b"), Chain.of("a", "c"))

@@ -1,0 +1,157 @@
+"""Tests for the cause-effect graph structure."""
+
+import pytest
+
+from repro.model.graph import CauseEffectGraph, Channel
+from repro.model.task import ModelError, Task, source_task
+from repro.units import ms, us
+
+
+def simple_task(name: str, period_ms: int = 10) -> Task:
+    return Task(name, ms(period_ms), us(10), us(1))
+
+
+def linear_graph(*names: str) -> CauseEffectGraph:
+    graph = CauseEffectGraph()
+    graph.add_task(source_task(names[0], ms(10)))
+    for name in names[1:]:
+        graph.add_task(simple_task(name))
+    for src, dst in zip(names, names[1:]):
+        graph.add_channel(src, dst)
+    return graph
+
+
+class TestConstruction:
+    def test_add_and_lookup(self):
+        graph = CauseEffectGraph()
+        graph.add_task(simple_task("a"))
+        assert graph.task("a").name == "a"
+        assert "a" in graph
+        assert len(graph) == 1
+
+    def test_duplicate_task_rejected(self):
+        graph = CauseEffectGraph()
+        graph.add_task(simple_task("a"))
+        with pytest.raises(ModelError):
+            graph.add_task(simple_task("a"))
+
+    def test_unknown_task_rejected(self):
+        graph = CauseEffectGraph()
+        with pytest.raises(ModelError):
+            graph.task("ghost")
+
+    def test_channel_requires_tasks(self):
+        graph = CauseEffectGraph()
+        graph.add_task(simple_task("a"))
+        with pytest.raises(ModelError):
+            graph.add_channel("a", "ghost")
+
+    def test_self_loop_rejected(self):
+        graph = CauseEffectGraph()
+        graph.add_task(simple_task("a"))
+        with pytest.raises(ModelError):
+            graph.add_channel("a", "a")
+
+    def test_duplicate_channel_rejected(self):
+        graph = linear_graph("a", "b")
+        with pytest.raises(ModelError):
+            graph.add_channel("a", "b")
+
+    def test_cycle_rejected(self):
+        graph = linear_graph("a", "b", "c")
+        with pytest.raises(ModelError):
+            graph.add_channel("c", "a")
+
+    def test_two_edge_cycle_rejected(self):
+        graph = linear_graph("a", "b")
+        with pytest.raises(ModelError):
+            graph.add_channel("b", "a")
+
+    def test_from_tasks(self):
+        graph = CauseEffectGraph.from_tasks(
+            [source_task("s", ms(10)), simple_task("t")],
+            [("s", "t")],
+        )
+        assert graph.has_channel("s", "t")
+
+    def test_from_tasks_with_capacities(self):
+        graph = CauseEffectGraph.from_tasks(
+            [source_task("s", ms(10)), simple_task("t")],
+            [("s", "t")],
+            capacities={("s", "t"): 3},
+        )
+        assert graph.channel("s", "t").capacity == 3
+
+    def test_channel_capacity_validation(self):
+        with pytest.raises(ModelError):
+            Channel("a", "b", capacity=0)
+
+    def test_set_channel_capacity(self):
+        graph = linear_graph("a", "b")
+        graph.set_channel_capacity("a", "b", 4)
+        assert graph.channel("a", "b").capacity == 4
+
+    def test_copy_is_independent(self):
+        graph = linear_graph("a", "b")
+        clone = graph.copy()
+        clone.set_channel_capacity("a", "b", 9)
+        assert graph.channel("a", "b").capacity == 1
+
+    def test_replace_task(self):
+        graph = linear_graph("a", "b")
+        graph.replace_task(graph.task("b").with_priority(7))
+        assert graph.task("b").priority == 7
+
+
+class TestStructureQueries:
+    def test_sources_and_sinks(self, diamond_graph):
+        assert diamond_graph.sources() == ("s",)
+        assert diamond_graph.sinks() == ("sink",)
+        assert diamond_graph.is_source("s")
+        assert diamond_graph.is_sink("sink")
+        assert not diamond_graph.is_source("m")
+
+    def test_degrees(self, diamond_graph):
+        assert diamond_graph.in_degree("m") == 2
+        assert diamond_graph.out_degree("m") == 2
+        assert diamond_graph.in_degree("s") == 0
+
+    def test_successors_predecessors(self, diamond_graph):
+        assert set(diamond_graph.successors("s")) == {"a", "b"}
+        assert set(diamond_graph.predecessors("sink")) == {"x", "y"}
+
+    def test_topological_order(self, diamond_graph):
+        order = diamond_graph.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for channel in diamond_graph.channels:
+            assert position[channel.src] < position[channel.dst]
+
+    def test_ancestors(self, diamond_graph):
+        assert diamond_graph.ancestors("m") == {"s", "a", "b"}
+        assert diamond_graph.ancestors("s") == set()
+
+    def test_descendants(self, diamond_graph):
+        assert diamond_graph.descendants("m") == {"x", "y", "sink"}
+
+    def test_source_ancestors(self, diamond_graph):
+        assert diamond_graph.source_ancestors("sink") == ("s",)
+        assert diamond_graph.source_ancestors("s") == ("s",)
+
+    def test_paths_between_diamond(self, diamond_graph):
+        paths = sorted(diamond_graph.paths_between("s", "sink"))
+        assert len(paths) == 4  # 2 (s->m) * 2 (m->sink)
+        assert ("s", "a", "m", "x", "sink") in paths
+
+    def test_paths_between_none(self, diamond_graph):
+        assert list(diamond_graph.paths_between("sink", "s")) == []
+
+    def test_weak_connectivity(self, diamond_graph):
+        assert diamond_graph.is_weakly_connected()
+        diamond_graph.add_task(simple_task("orphan"))
+        assert not diamond_graph.is_weakly_connected()
+
+    def test_empty_graph_connected(self):
+        assert CauseEffectGraph().is_weakly_connected()
+
+    def test_hyperperiod(self, diamond_graph):
+        assert diamond_graph.hyperperiod() == ms(40)

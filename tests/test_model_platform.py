@@ -1,0 +1,146 @@
+"""Tests for the platform model and message-task insertion."""
+
+import random
+
+import pytest
+
+from repro.model.graph import CauseEffectGraph
+from repro.model.platform import (
+    DEFAULT_FRAME_TIME,
+    Platform,
+    ProcessingUnit,
+    assign_random,
+    assign_round_robin,
+    insert_message_tasks,
+)
+from repro.model.task import ModelError, Task, source_task
+from repro.units import ms, us
+
+
+def cross_ecu_graph() -> CauseEffectGraph:
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("s", ms(10), ecu="ecu0"))
+    graph.add_task(Task("a", ms(10), us(10), us(1), ecu="ecu0"))
+    graph.add_task(Task("b", ms(20), us(10), us(1), ecu="ecu1"))
+    graph.add_channel("s", "a")
+    graph.add_channel("a", "b")
+    return graph
+
+
+class TestPlatform:
+    def test_symmetric(self):
+        platform = Platform.symmetric(3)
+        assert len(platform.ecus) == 3
+        assert len(platform.buses) == 1
+        assert platform.buses[0].name == "can0"
+
+    def test_symmetric_no_bus(self):
+        platform = Platform.symmetric(2, bus=False)
+        assert platform.buses == ()
+
+    def test_single_ecu(self):
+        platform = Platform.single_ecu()
+        assert len(platform.ecus) == 1
+
+    def test_unit_lookup(self):
+        platform = Platform.symmetric(2)
+        assert platform.unit("ecu1").name == "ecu1"
+        assert "ecu0" in platform
+        with pytest.raises(ModelError):
+            platform.unit("nope")
+
+    def test_duplicate_units_rejected(self):
+        with pytest.raises(ModelError):
+            Platform((ProcessingUnit("x"), ProcessingUnit("x")))
+
+    def test_bus_only_rejected(self):
+        with pytest.raises(ModelError):
+            Platform((ProcessingUnit("can0", is_bus=True),))
+
+    def test_zero_ecus_rejected(self):
+        with pytest.raises(ModelError):
+            Platform.symmetric(0)
+
+    def test_empty_unit_name_rejected(self):
+        with pytest.raises(ModelError):
+            ProcessingUnit("")
+
+
+class TestMessageInsertion:
+    def test_cross_ecu_edge_gets_message(self):
+        platform = Platform.symmetric(2)
+        deployed = insert_message_tasks(cross_ecu_graph(), platform)
+        assert "msg_a__b" in deployed
+        message = deployed.task("msg_a__b")
+        assert message.ecu == "can0"
+        assert message.period == ms(10)  # producer's period
+        assert message.wcet == DEFAULT_FRAME_TIME
+        assert deployed.has_channel("a", "msg_a__b")
+        assert deployed.has_channel("msg_a__b", "b")
+        assert not deployed.has_channel("a", "b")
+
+    def test_same_ecu_edge_untouched(self):
+        platform = Platform.symmetric(2)
+        deployed = insert_message_tasks(cross_ecu_graph(), platform)
+        assert deployed.has_channel("s", "a")
+
+    def test_message_priorities_rate_monotonic(self):
+        graph = cross_ecu_graph()
+        graph.add_task(Task("c", ms(50), us(10), us(1), ecu="ecu1"))
+        graph.add_channel("a", "c")
+        platform = Platform.symmetric(2)
+        deployed = insert_message_tasks(graph, platform)
+        # Both messages have period 10ms (producer a); ties broken by
+        # name, priorities unique.
+        p1 = deployed.task("msg_a__b").priority
+        p2 = deployed.task("msg_a__c").priority
+        assert p1 != p2
+        assert {p1, p2} == {0, 1}
+
+    def test_buffered_channel_capacity_preserved_on_receive_hop(self):
+        graph = cross_ecu_graph()
+        graph.set_channel_capacity("a", "b", 3)
+        deployed = insert_message_tasks(graph, Platform.symmetric(2))
+        assert deployed.channel("a", "msg_a__b").capacity == 1
+        assert deployed.channel("msg_a__b", "b").capacity == 3
+
+    def test_unmapped_task_rejected(self):
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("s", ms(10)))
+        graph.add_task(Task("a", ms(10), us(10), us(1), ecu="ecu0"))
+        graph.add_channel("s", "a")
+        with pytest.raises(ModelError):
+            insert_message_tasks(graph, Platform.symmetric(2))
+
+    def test_no_bus_rejected(self):
+        with pytest.raises(ModelError):
+            insert_message_tasks(
+                cross_ecu_graph(), Platform.symmetric(2, bus=False)
+            )
+
+    def test_explicit_unknown_bus_rejected(self):
+        with pytest.raises(ModelError):
+            insert_message_tasks(
+                cross_ecu_graph(), Platform.symmetric(2), bus="can9"
+            )
+
+
+class TestAssignment:
+    def test_round_robin_maps_everything(self, diamond_graph):
+        # Strip the conftest mapping first.
+        for task in diamond_graph.tasks:
+            diamond_graph.replace_task(task.with_mapping("ecu0"))
+        mapped = assign_round_robin(diamond_graph, Platform.symmetric(2))
+        assert all(task.ecu in ("ecu0", "ecu1") for task in mapped.tasks)
+
+    def test_random_colocates_sources(self, diamond_graph):
+        rng = random.Random(1)
+        mapped = assign_random(diamond_graph, Platform.symmetric(3), rng)
+        source_ecu = mapped.task("s").ecu
+        first_successor_ecus = {mapped.task(n).ecu for n in mapped.successors("s")}
+        assert source_ecu in first_successor_ecus
+
+    def test_random_is_deterministic_per_seed(self, diamond_graph):
+        mapped1 = assign_random(diamond_graph, Platform.symmetric(3), random.Random(5))
+        mapped2 = assign_random(diamond_graph, Platform.symmetric(3), random.Random(5))
+        assert [t.ecu for t in mapped1.tasks] == [t.ecu for t in mapped2.tasks]

@@ -1,0 +1,105 @@
+"""Tests for the periodic task model."""
+
+import pytest
+
+from repro.model.task import ModelError, Task, message_task, source_task
+from repro.units import ms, us
+
+
+class TestTaskValidation:
+    def test_valid_task(self):
+        task = Task("t", ms(10), us(100), us(10))
+        assert task.period == ms(10)
+        assert task.wcet == us(100)
+        assert task.bcet == us(10)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelError):
+            Task("", ms(10), us(1), us(1))
+
+    def test_rejects_zero_period(self):
+        with pytest.raises(ModelError):
+            Task("t", 0, 0, 0)
+
+    def test_rejects_negative_period(self):
+        with pytest.raises(ModelError):
+            Task("t", -ms(1), 0, 0)
+
+    def test_rejects_negative_wcet(self):
+        with pytest.raises(ModelError):
+            Task("t", ms(10), -1, 0)
+
+    def test_rejects_bcet_above_wcet(self):
+        with pytest.raises(ModelError):
+            Task("t", ms(10), us(5), us(6))
+
+    def test_rejects_wcet_above_period(self):
+        with pytest.raises(ModelError):
+            Task("t", ms(1), ms(2), ms(1))
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ModelError):
+            Task("t", ms(10), us(1), us(1), offset=-1)
+
+    def test_equal_bcet_wcet_allowed(self):
+        task = Task("t", ms(10), us(5), us(5))
+        assert task.bcet == task.wcet
+
+
+class TestTaskProperties:
+    def test_utilization(self):
+        task = Task("t", ms(10), ms(1), us(100))
+        assert task.utilization == pytest.approx(0.1)
+
+    def test_instantaneous_source(self):
+        task = source_task("s", ms(10))
+        assert task.is_instantaneous
+        assert task.wcet == 0 and task.bcet == 0
+        assert task.kind == "source"
+
+    def test_compute_not_instantaneous(self):
+        task = Task("t", ms(10), us(5), us(1))
+        assert not task.is_instantaneous
+
+    def test_with_offset_returns_copy(self):
+        task = Task("t", ms(10), us(5), us(1))
+        shifted = task.with_offset(ms(3))
+        assert shifted.offset == ms(3)
+        assert task.offset == 0
+        assert shifted.name == task.name
+
+    def test_with_priority(self):
+        task = Task("t", ms(10), us(5), us(1))
+        assert task.with_priority(4).priority == 4
+
+    def test_with_mapping(self):
+        task = Task("t", ms(10), us(5), us(1))
+        assert task.with_mapping("ecu3").ecu == "ecu3"
+
+    def test_describe_mentions_name_and_period(self):
+        text = Task("planner", ms(20), us(5), us(1)).describe()
+        assert "planner" in text
+        assert "20.000ms" in text
+
+    def test_tasks_are_hashable(self):
+        a = Task("t", ms(10), us(5), us(1))
+        b = Task("t", ms(10), us(5), us(1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestMessageTask:
+    def test_basic(self):
+        msg = message_task("m", ms(10), us(270), bus="can0")
+        assert msg.ecu == "can0"
+        assert msg.wcet == us(270)
+        assert msg.bcet == us(270)
+        assert msg.kind == "message"
+
+    def test_custom_bcet(self):
+        msg = message_task("m", ms(10), us(270), bus="can0", jitter_free_bcet=us(100))
+        assert msg.bcet == us(100)
+
+    def test_priority(self):
+        msg = message_task("m", ms(10), us(270), bus="can0", priority=3)
+        assert msg.priority == 3

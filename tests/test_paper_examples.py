@@ -1,0 +1,191 @@
+"""Tests that re-create the paper's running examples.
+
+* Fig. 2's six-task cause-effect graph (two sources, fork-join around
+  tau3 and tau6): chain enumeration and the Section III decomposition
+  example ("the chains {t1,t3,t4,t6} and {t2,t3,t5,t6} ... can divide
+  them into sub-chains {t1,t3}, {t3,t4,t6} and {t2,t3}, {t3,t5,t6}").
+* Fig. 4's frequency-design observation: raising tau3's sampling
+  frequency does *not* reduce the worst-case time disparity when the
+  binding term is WCBT on the other chain against BCBT on tau3's chain.
+"""
+
+import pytest
+
+from repro.chains.backward import BackwardBoundsCache
+from repro.core.disparity import disparity_bound, worst_case_disparity
+from repro.model.chain import Chain, decompose_pair, enumerate_source_chains
+from repro.model.graph import CauseEffectGraph
+from repro.model.system import System
+from repro.model.task import Task, source_task
+from repro.units import ms, us
+
+
+def build_fig2_graph() -> CauseEffectGraph:
+    """The topology of the paper's Fig. 2 (timing values are ours)."""
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("t1", ms(10), ecu="ecu0", priority=0))
+    graph.add_task(source_task("t2", ms(20), ecu="ecu0", priority=1))
+    graph.add_task(Task("t3", ms(10), us(500), us(100), ecu="ecu0", priority=2))
+    graph.add_task(Task("t4", ms(20), us(500), us(100), ecu="ecu0", priority=3))
+    graph.add_task(Task("t5", ms(20), us(500), us(100), ecu="ecu0", priority=4))
+    graph.add_task(Task("t6", ms(40), us(500), us(100), ecu="ecu0", priority=5))
+    graph.add_channel("t1", "t3")
+    graph.add_channel("t2", "t3")
+    graph.add_channel("t3", "t4")
+    graph.add_channel("t3", "t5")
+    graph.add_channel("t4", "t6")
+    graph.add_channel("t5", "t6")
+    return graph
+
+
+class TestFig2:
+    def test_sources(self):
+        graph = build_fig2_graph()
+        assert set(graph.sources()) == {"t1", "t2"}
+
+    def test_chain_enumeration(self):
+        graph = build_fig2_graph()
+        chains = enumerate_source_chains(graph, "t6")
+        assert {chain.tasks for chain in chains} == {
+            ("t1", "t3", "t4", "t6"),
+            ("t1", "t3", "t5", "t6"),
+            ("t2", "t3", "t4", "t6"),
+            ("t2", "t3", "t5", "t6"),
+        }
+
+    def test_section3_decomposition_example(self):
+        # Verbatim from the paper: common tasks t3 and t6; sub-chains
+        # {t1,t3},{t3,t4,t6} and {t2,t3},{t3,t5,t6}.
+        graph = build_fig2_graph()
+        lam = Chain.of("t1", "t3", "t4", "t6")
+        nu = Chain.of("t2", "t3", "t5", "t6")
+        decomposition = decompose_pair(lam, nu, graph)
+        assert decomposition.joints == ("t3", "t6")
+        assert decomposition.alphas[0].tasks == ("t1", "t3")
+        assert decomposition.alphas[1].tasks == ("t3", "t4", "t6")
+        assert decomposition.betas[0].tasks == ("t2", "t3")
+        assert decomposition.betas[1].tasks == ("t3", "t5", "t6")
+
+    def test_fig3_pair_theorem2_not_worse(self):
+        # The Fig. 3 pair: same source, common task t3.  Theorem 2 must
+        # be no worse than Theorem 1 here (the paper's motivation).
+        system = System.build(build_fig2_graph())
+        cache = BackwardBoundsCache(system)
+        from repro.core.pairwise import (
+            disparity_bound_forkjoin,
+            disparity_bound_independent,
+        )
+
+        lam = Chain.of("t1", "t3", "t5", "t6")
+        nu = Chain.of("t1", "t3", "t4", "t6")
+        s = disparity_bound_forkjoin(lam, nu, cache).bound
+        p = disparity_bound_independent(lam, nu, cache).bound
+        assert s <= p
+
+    def test_task_level_bounds_safe_vs_simulation(self):
+        import random
+
+        from repro.sim.engine import randomize_offsets, simulate
+        from repro.sim.metrics import DisparityMonitor
+        from repro.units import seconds
+
+        system = System.build(build_fig2_graph())
+        s_diff = disparity_bound(system, "t6", method="forkjoin")
+        rng = random.Random(42)
+        for _ in range(3):
+            graph = randomize_offsets(system.graph, rng)
+            variant = System(graph=graph, response_times=system.response_times)
+            monitor = DisparityMonitor(["t6"], warmup=seconds(1))
+            simulate(variant, seconds(4), seed=rng.randrange(2**31),
+                     observers=[monitor])
+            assert monitor.disparity("t6") <= s_diff
+
+
+def build_fig4_system(t3_period_ms: int) -> System:
+    """A Fig. 4-style system where tau3's period is a design choice.
+
+    Chain lam = (t1, t3, t5) is the fast camera path; chain
+    nu = (t2, t4, t5) is the slow path whose WCBT dominates.  The
+    worst-case disparity is driven by W(nu) - B(lam), and B(lam) does
+    not depend on T(t3) — so raising tau3's frequency cannot help.
+    """
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("t1", ms(10), ecu="ecu0", priority=0))
+    graph.add_task(source_task("t2", ms(30), ecu="ecu0", priority=1))
+    graph.add_task(
+        Task("t3", ms(t3_period_ms), us(500), us(100), ecu="ecu0", priority=2)
+    )
+    graph.add_task(Task("t4", ms(30), us(500), us(100), ecu="ecu0", priority=3))
+    graph.add_task(Task("t5", ms(30), us(500), us(100), ecu="ecu0", priority=4))
+    graph.add_channel("t1", "t3")
+    graph.add_channel("t2", "t4")
+    graph.add_channel("t3", "t5")
+    graph.add_channel("t4", "t5")
+    return System.build(graph)
+
+
+class TestSection4OversamplingRemark:
+    def test_two_thirds_of_tokens_never_propagate(self):
+        """Section IV: "when T(tau3) = 10ms, two-thirds of input data
+        tokens of tau3 may not propagate to the next task since tau5's
+        period is 30ms" — measured on the register between them."""
+        import random
+
+        from repro.model.graph import CauseEffectGraph
+        from repro.model.system import System
+        from repro.sim.engine import Simulator
+        from repro.sim.exec_time import wcet_policy
+        from repro.units import seconds
+
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("t1", ms(10), ecu="e", priority=0))
+        graph.add_task(Task("t3", ms(10), us(500), us(100), ecu="e", priority=1))
+        graph.add_task(Task("t5", ms(30), us(500), us(100), ecu="e", priority=2))
+        graph.add_channel("t1", "t3")
+        graph.add_channel("t3", "t5")
+        system = System.build(graph)
+        simulator = Simulator(system, seconds(3), policy=wcet_policy)
+        simulator.run()
+        channel = simulator.channel_state("t3", "t5")
+        # Each write that evicts an unread token is a wasted sample;
+        # with a 10ms producer and a 30ms consumer, 2 of every 3
+        # tokens are overwritten before the consumer's next read...
+        # the register sees ~300 writes and ~299 evictions (every
+        # write after the first evicts); the *useful* fraction is the
+        # consumer's read rate over the producer's write rate = 1/3.
+        reads_per_write = (seconds(3) // ms(30)) / channel.writes
+        assert reads_per_write == pytest.approx(1 / 3, rel=0.05)
+
+
+class TestFig4FrequencyDesign:
+    def test_raising_frequency_does_not_reduce_disparity(self):
+        slow = build_fig4_system(30)
+        fast = build_fig4_system(10)
+        bound_slow = disparity_bound(slow, "t5", method="forkjoin")
+        bound_fast = disparity_bound(fast, "t5", method="forkjoin")
+        # The paper's counter-intuitive observation: the worst-case
+        # time disparity does not improve.
+        assert bound_fast == bound_slow
+
+    def test_binding_term_is_cross_term(self):
+        # Sanity: the dominating term is W(nu) - B(lam), which is
+        # independent of T(t3).
+        system = build_fig4_system(30)
+        cache = BackwardBoundsCache(system)
+        lam = Chain.of("t1", "t3", "t5")
+        nu = Chain.of("t2", "t4", "t5")
+        w_lam = cache.wcbt(lam)
+        b_lam = cache.bcbt(lam)
+        w_nu = cache.wcbt(nu)
+        b_nu = cache.bcbt(nu)
+        assert abs(w_nu - b_lam) > abs(w_lam - b_nu)
+
+    def test_buffering_helps_where_frequency_does_not(self):
+        # The paper's proposed alternative: buffer the slow chain's
+        # counterpart (shift the early window) instead of raising
+        # frequency.
+        from repro.buffers.sizing import design_buffers_multi
+
+        system = build_fig4_system(10)
+        design = design_buffers_multi(system, "t5")
+        assert design.bound_after < design.bound_before

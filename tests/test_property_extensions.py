@@ -1,0 +1,143 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.gen.scenario import ScenarioConfig, generate_random_scenario
+from repro.io import graph_from_dict, graph_to_dict
+from repro.let import bcbt_lower_let, disparity_bound_let, wcbt_upper_let
+from repro.model.chain import enumerate_source_chains
+from repro.model.system import System
+from repro.sim.engine import randomize_offsets, simulate
+from repro.sim.faults import FaultPlan
+from repro.sim.metrics import DisparityMonitor, JobTableMonitor
+from repro.units import ms, seconds
+
+scenario_params = st.tuples(
+    st.integers(min_value=0, max_value=5_000),
+    st.integers(min_value=4, max_value=10),
+)
+
+
+def build_scenario(seed: int, n_tasks: int):
+    rng = random.Random(seed)
+    config = ScenarioConfig(n_ecus=1, use_bus=False)
+    return generate_random_scenario(n_tasks, rng, config), rng
+
+
+class TestLetProperties:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=scenario_params)
+    def test_let_bounds_ordering(self, params):
+        scenario, _ = build_scenario(*params)
+        system = scenario.system
+        for chain in enumerate_source_chains(system.graph, scenario.sink):
+            lo = bcbt_lower_let(chain, system)
+            hi = wcbt_upper_let(chain, system)
+            assert 0 <= lo <= hi
+            # Window width is exactly the sum of per-hop slacks:
+            # T per non-source hop + T per source hop.
+            hop_slack = sum(
+                system.T(producer) for producer, _ in chain.edges()
+            )
+            assert hi - lo == hop_slack
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=scenario_params)
+    def test_let_simulation_sound(self, params):
+        scenario, rng = build_scenario(*params)
+        system = scenario.system
+        bound = disparity_bound_let(system, scenario.sink)
+        graph = randomize_offsets(system.graph, rng)
+        variant = System(graph=graph, response_times=system.response_times)
+        monitor = DisparityMonitor([scenario.sink], warmup=seconds(2))
+        simulate(variant, seconds(4), seed=params[0], observers=[monitor],
+                 semantics="let")
+        assert monitor.disparity(scenario.sink) <= bound
+
+
+class TestSerializationProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=scenario_params)
+    def test_roundtrip_preserves_everything(self, params):
+        scenario, _ = build_scenario(*params)
+        graph = scenario.system.graph
+        back = graph_from_dict(graph_to_dict(graph))
+        assert tuple(back.task_names) == tuple(graph.task_names)
+        for name in graph.task_names:
+            assert back.task(name) == graph.task(name)
+        assert [(c.src, c.dst, c.capacity) for c in back.channels] == [
+            (c.src, c.dst, c.capacity) for c in graph.channels
+        ]
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=scenario_params)
+    def test_roundtrip_preserves_analysis(self, params):
+        from repro.core.disparity import disparity_bound
+
+        scenario, _ = build_scenario(*params)
+        original = scenario.system
+        restored = System.build(graph_from_dict(graph_to_dict(original.graph)))
+        assert disparity_bound(restored, scenario.sink) == disparity_bound(
+            original, scenario.sink
+        )
+
+
+class TestFaultProperties:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        params=scenario_params,
+        window=st.tuples(
+            st.integers(min_value=0, max_value=1_000),
+            st.integers(min_value=1, max_value=2_000),
+        ),
+    )
+    def test_dropouts_never_break_schedule_invariants(self, params, window):
+        scenario, _ = build_scenario(*params)
+        system = scenario.system
+        start_ms, length_ms = window
+        sources = list(system.graph.sources())
+        plan = FaultPlan().drop(
+            sources[0], ms(start_ms), ms(start_ms + length_ms)
+        )
+        table = JobTableMonitor()
+        result = simulate(system, seconds(3), seed=params[0], faults=plan,
+                          observers=[table])
+        instantaneous = {
+            t.name for t in system.graph.tasks if t.is_instantaneous
+        }
+        table.check_invariants(instantaneous)
+        # Conservation: completed <= released; dropped jobs never run.
+        assert result.stats.jobs_completed <= result.stats.jobs_released
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=scenario_params)
+    def test_dropout_only_raises_staleness(self, params):
+        """A dropout can only make reads *older*, never fresher."""
+        from repro.sim.faults import StalenessMonitor
+
+        scenario, _ = build_scenario(*params)
+        system = scenario.system
+        source = system.graph.sources()[0]
+        consumers = system.graph.successors(source)
+
+        healthy = StalenessMonitor(consumers, warmup=seconds(1))
+        simulate(system, seconds(3), seed=params[0], observers=[healthy])
+        plan = FaultPlan().drop(source, seconds(1), seconds(2))
+        faulty = StalenessMonitor(consumers, warmup=seconds(1))
+        simulate(system, seconds(3), seed=params[0], faults=plan,
+                 observers=[faulty])
+        for consumer in consumers:
+            h = healthy.age_for(consumer, source)
+            f = faulty.age_for(consumer, source)
+            if h is not None and f is not None:
+                assert f >= h

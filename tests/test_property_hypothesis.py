@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Two layers:
+
+* pure arithmetic properties of the bound operators (cheap, many
+  examples);
+* whole-system properties over randomly generated WATERS scenarios —
+  ordering between bounds, symmetry of the pairwise theorems,
+  simulation soundness, and simulator schedule invariants (fewer
+  examples; each builds and simulates a system).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chains.backward import BackwardBoundsCache
+from repro.chains.duerr import bcbt_lower_agnostic, wcbt_upper_agnostic
+from repro.core.pairwise import (
+    disparity_bound_forkjoin,
+    disparity_bound_independent,
+    independent_operator,
+    shifted_operator,
+)
+from repro.core.disparity import disparity_bound
+from repro.gen.scenario import ScenarioConfig, generate_random_scenario
+from repro.model.chain import enumerate_source_chains
+from repro.model.system import System
+from repro.sim.engine import randomize_offsets, simulate
+from repro.sim.metrics import DisparityMonitor, JobTableMonitor
+from repro.units import ceil_div, floor_div, ms, seconds
+
+times = st.integers(min_value=-10_000_000, max_value=10_000_000)
+periods = st.integers(min_value=1, max_value=1_000_000)
+offsets = st.integers(min_value=-50, max_value=50)
+
+
+class TestOperatorProperties:
+    @given(w1=times, b1=times, w2=times, b2=times)
+    def test_independent_operator_symmetric(self, w1, b1, w2, b2):
+        assert independent_operator(w1, b1, w2, b2) == independent_operator(
+            w2, b2, w1, b1
+        )
+
+    @given(w1=times, b1=times, w2=times, b2=times)
+    def test_independent_operator_nonnegative_when_consistent(self, w1, b1, w2, b2):
+        # With b <= w on both chains the operator is >= 0 trivially
+        # (it is an absolute value), and covers the real difference of
+        # any points drawn from the two windows.
+        lo1, hi1 = sorted((b1, w1))
+        lo2, hi2 = sorted((b2, w2))
+        operator = independent_operator(hi1, lo1, hi2, lo2)
+        # Any t1 in [-hi1,-lo1] and t2 in [-hi2,-lo2]:
+        for t1 in (-hi1, -lo1):
+            for t2 in (-hi2, -lo2):
+                assert abs(t1 - t2) <= operator
+
+    @given(w1=times, b1=times, w2=times, b2=times, period=periods)
+    def test_shifted_operator_zero_offsets(self, w1, b1, w2, b2, period):
+        assert shifted_operator(w1, b1, w2, b2, 0, 0, period) == independent_operator(
+            w1, b1, w2, b2
+        )
+
+    @given(
+        w1=times, b1=times, w2=times, b2=times, period=periods,
+        x=offsets, y=offsets,
+    )
+    def test_shifted_operator_covers_window(self, w1, b1, w2, b2, period, x, y):
+        # The operator must dominate |t_lam - t_nu'| for every t_lam in
+        # lam's window and t_nu' in nu's window shifted by k*period,
+        # x <= k <= y (Lemma 3's statement).
+        if x > y:
+            x, y = y, x
+        lo1, hi1 = sorted((b1, w1))
+        lo2, hi2 = sorted((b2, w2))
+        operator = shifted_operator(hi1, lo1, hi2, lo2, x, y, period)
+        for t1 in (-hi1, -lo1):
+            for k in (x, y):
+                for t2_base in (-hi2, -lo2):
+                    t2 = k * period + t2_base
+                    assert abs(t1 - t2) <= operator
+
+    @given(numerator=times, denominator=periods)
+    def test_floor_ceil_consistency(self, numerator, denominator):
+        assert floor_div(numerator, denominator) * denominator <= numerator
+        assert ceil_div(numerator, denominator) * denominator >= numerator
+
+
+def build_scenario(seed: int, n_tasks: int, n_ecus: int):
+    rng = random.Random(seed)
+    config = ScenarioConfig(n_ecus=n_ecus, use_bus=n_ecus > 1)
+    return generate_random_scenario(n_tasks, rng, config), rng
+
+
+scenario_params = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=4, max_value=12),
+    st.integers(min_value=1, max_value=2),
+)
+
+
+class TestSystemProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=scenario_params)
+    def test_bound_orderings(self, params):
+        scenario, _ = build_scenario(*params)
+        system = scenario.system
+        cache = BackwardBoundsCache(system)
+        for chain in enumerate_source_chains(system.graph, scenario.sink):
+            bounds = cache.bounds(chain)
+            assert bounds.bcbt <= bounds.wcbt
+            assert wcbt_upper_agnostic(chain, system) >= bounds.wcbt
+            assert bcbt_lower_agnostic(chain, system) <= bounds.wcbt
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=scenario_params)
+    def test_pairwise_symmetry_and_nonnegativity(self, params):
+        scenario, _ = build_scenario(*params)
+        system = scenario.system
+        cache = BackwardBoundsCache(system)
+        chains = enumerate_source_chains(system.graph, scenario.sink)
+        from itertools import combinations
+
+        for lam, nu in list(combinations(chains, 2))[:10]:
+            p_fwd = disparity_bound_independent(lam, nu, cache).bound
+            p_bwd = disparity_bound_independent(nu, lam, cache).bound
+            s_fwd = disparity_bound_forkjoin(lam, nu, cache).bound
+            s_bwd = disparity_bound_forkjoin(nu, lam, cache).bound
+            assert p_fwd == p_bwd >= 0
+            assert s_fwd == s_bwd >= 0
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=scenario_params)
+    def test_simulated_disparity_below_bounds(self, params):
+        scenario, rng = build_scenario(*params)
+        system = scenario.system
+        s_diff = disparity_bound(system, scenario.sink, method="forkjoin")
+        p_diff = disparity_bound(system, scenario.sink, method="independent")
+        graph = randomize_offsets(system.graph, rng)
+        variant = System(graph=graph, response_times=system.response_times)
+        monitor = DisparityMonitor([scenario.sink], warmup=seconds(1))
+        simulate(variant, seconds(3), seed=params[0], observers=[monitor])
+        observed = monitor.disparity(scenario.sink)
+        assert observed <= s_diff
+        assert observed <= p_diff
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=scenario_params, policy_name=st.sampled_from(
+        ["uniform", "wcet", "bcet", "extremes"]))
+    def test_schedule_invariants(self, params, policy_name):
+        from repro.sim.exec_time import named_policy
+
+        scenario, rng = build_scenario(*params)
+        monitor = JobTableMonitor()
+        simulate(
+            scenario.system,
+            seconds(1),
+            seed=params[0],
+            policy=named_policy(policy_name),
+            observers=[monitor],
+        )
+        instantaneous = {
+            t.name for t in scenario.system.graph.tasks if t.is_instantaneous
+        }
+        monitor.check_invariants(instantaneous)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(params=scenario_params)
+    def test_buffering_never_worsens_pair_bound(self, params):
+        from repro.buffers.sizing import disparity_bound_buffered
+
+        scenario, _ = build_scenario(*params)
+        system = scenario.system
+        cache = BackwardBoundsCache(system)
+        chains = enumerate_source_chains(system.graph, scenario.sink)
+        from itertools import combinations
+
+        for lam, nu in list(combinations(chains, 2))[:6]:
+            base = disparity_bound_forkjoin(lam, nu, cache).bound
+            buffered, _design = disparity_bound_buffered(lam, nu, cache)
+            assert 0 <= buffered.bound <= base

@@ -1,0 +1,73 @@
+"""Tests for the full-system report."""
+
+import pytest
+
+from repro.report import analyze_system, render_report
+from repro.units import ms
+
+
+class TestAnalyzeSystem:
+    def test_merged_system(self, merged_system):
+        report = analyze_system(merged_system)
+        assert report.n_tasks == 5
+        assert report.n_channels == 4
+        assert "e" not in report.utilizations or True  # units named ecu0
+        assert len(report.sinks) == 1
+        sink = report.sinks[0]
+        assert sink.task == "sink"
+        assert sink.n_chains == 2
+        assert sink.p_diff == ms(102)
+        assert sink.s_diff == ms(102)
+
+    def test_chain_reports_consistent(self, diamond_system):
+        from repro.chains.backward import wcbt_upper
+
+        report = analyze_system(diamond_system)
+        sink = report.sinks[0]
+        for chain_report in sink.chains:
+            assert chain_report.wcbt == wcbt_upper(
+                chain_report.chain, diamond_system
+            )
+            assert chain_report.bcbt <= chain_report.wcbt
+            assert chain_report.max_age >= chain_report.wcbt
+            assert chain_report.max_reaction > 0
+
+    def test_requirements(self, merged_system):
+        report = analyze_system(
+            merged_system, requirements={"sink": ms(150)}
+        )
+        assert report.sinks[0].requirement_met is True
+        report_tight = analyze_system(
+            merged_system, requirements={"sink": ms(100)}
+        )
+        assert report_tight.sinks[0].requirement_met is False
+
+    def test_no_requirement(self, merged_system):
+        report = analyze_system(merged_system)
+        assert report.sinks[0].requirement_met is None
+
+    def test_response_times_included(self, merged_system):
+        report = analyze_system(merged_system)
+        assert report.response_times["sink"] == merged_system.R("sink")
+
+
+class TestRenderReport:
+    def test_render_contains_key_facts(self, merged_system):
+        text = render_report(
+            analyze_system(merged_system, requirements={"sink": ms(150)})
+        )
+        assert "5 tasks" in text
+        assert "S-diff 102.000ms" in text
+        assert "requirement 150.000ms: OK" in text
+        assert "sa -> pa -> sink" in text
+
+    def test_render_truncates_long_chain_lists(self, diamond_system):
+        text = render_report(
+            analyze_system(diamond_system), max_chains_per_sink=2
+        )
+        assert "and 2 more chains" in text
+
+    def test_render_utilization(self, merged_system):
+        text = render_report(analyze_system(merged_system))
+        assert "utilization per unit" in text
+        assert "ecu0" in text

@@ -1,0 +1,98 @@
+"""Tests for priority assignment policies."""
+
+import pytest
+
+from repro.model.graph import CauseEffectGraph
+from repro.model.task import ModelError, Task, source_task
+from repro.sched.priority import (
+    assign_audsley,
+    assign_deadline_monotonic,
+    assign_rate_monotonic,
+)
+from repro.sched.response_time import SchedulabilityError, analyze_all
+from repro.units import ms, us
+
+
+def build_graph(periods_ms, ecu="e"):
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("s", ms(10), ecu=ecu))
+    prev = "s"
+    for i, period in enumerate(periods_ms):
+        name = f"t{i}"
+        graph.add_task(Task(name, ms(period), us(100), us(10), ecu=ecu))
+        graph.add_channel(prev, name)
+        prev = name
+    return graph
+
+
+class TestRateMonotonic:
+    def test_orders_by_period(self):
+        graph = assign_rate_monotonic(build_graph([50, 10, 20]))
+        priorities = {name: graph.task(name).priority for name in graph.task_names}
+        # s has period 10 too; ties broken by name: "s" < "t1".
+        assert priorities["s"] < priorities["t1"] < priorities["t2"] < priorities["t0"]
+
+    def test_unique_per_unit(self):
+        graph = assign_rate_monotonic(build_graph([10, 10, 10]))
+        values = [graph.task(n).priority for n in graph.task_names]
+        assert len(set(values)) == len(values)
+
+    def test_unmapped_rejected(self):
+        graph = CauseEffectGraph()
+        graph.add_task(Task("a", ms(10), us(1), us(1)))
+        with pytest.raises(ModelError):
+            assign_rate_monotonic(graph)
+
+    def test_per_unit_independence(self):
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("s", ms(10), ecu="e1"))
+        graph.add_task(Task("a", ms(10), us(1), us(1), ecu="e1"))
+        graph.add_task(Task("b", ms(20), us(1), us(1), ecu="e2"))
+        graph.add_channel("s", "a")
+        graph.add_channel("a", "b")
+        assigned = assign_rate_monotonic(graph)
+        # b is alone on e2, so it gets level 0 there.
+        assert assigned.task("b").priority == 0
+
+
+class TestDeadlineMonotonic:
+    def test_deadlines_override_periods(self):
+        graph = build_graph([10, 20])
+        assigned = assign_deadline_monotonic(
+            graph, {"t0": ms(50), "t1": ms(1), "s": ms(100)}
+        )
+        assert assigned.task("t1").priority < assigned.task("t0").priority
+
+
+class TestAudsley:
+    def test_feasible_set_assigned(self):
+        graph = build_graph([10, 20, 50])
+        assigned = assign_audsley(graph)
+        # Result must be schedulable.
+        analyze_all(assigned.tasks)
+
+    def test_priorities_unique(self):
+        graph = build_graph([10, 20, 50])
+        assigned = assign_audsley(graph)
+        executing = [t for t in assigned.tasks if not t.is_instantaneous]
+        values = [t.priority for t in executing]
+        assert len(set(values)) == len(values)
+
+    def test_rescues_non_rm_feasible_sets(self):
+        # Non-preemptive schedulability is not RM-optimal; Audsley must
+        # at least handle everything RM handles.
+        graph = build_graph([10, 20])
+        rm = assign_rate_monotonic(graph)
+        analyze_all(rm.tasks)
+        audsley = assign_audsley(graph)
+        analyze_all(audsley.tasks)
+
+    def test_infeasible_raises(self):
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("s", ms(10), ecu="e"))
+        graph.add_task(Task("a", ms(10), ms(6), ms(1), ecu="e"))
+        graph.add_task(Task("b", ms(10), ms(6), ms(1), ecu="e"))
+        graph.add_channel("s", "a")
+        graph.add_channel("s", "b")
+        with pytest.raises(SchedulabilityError):
+            assign_audsley(graph)

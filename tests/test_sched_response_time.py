@@ -1,0 +1,162 @@
+"""Tests for the response-time analyses (hand-computed fixed points)."""
+
+import pytest
+
+from repro.model.task import ModelError, Task, source_task
+from repro.sched.response_time import (
+    SchedulabilityError,
+    analyze_all,
+    blocking_factor,
+    higher_priority,
+    is_schedulable,
+    lower_priority,
+    partition_by_unit,
+    response_time_np_fp,
+    response_time_p_fp,
+)
+from repro.units import ms
+
+
+def task(name, period_ms, wcet_ms, priority, ecu="e", bcet_ms=None):
+    bcet = ms(bcet_ms) if bcet_ms is not None else ms(wcet_ms)
+    return Task(name, ms(period_ms), ms(wcet_ms), bcet, ecu=ecu, priority=priority)
+
+
+class TestHelpers:
+    def test_partition_excludes_sources(self):
+        tasks = [source_task("s", ms(10), ecu="e", priority=0), task("a", 10, 1, 1)]
+        by_unit = partition_by_unit(tasks)
+        assert [t.name for t in by_unit["e"]] == ["a"]
+
+    def test_partition_rejects_unmapped(self):
+        with pytest.raises(ModelError):
+            partition_by_unit([Task("a", ms(10), ms(1), ms(1))])
+
+    def test_partition_rejects_missing_priority(self):
+        with pytest.raises(ModelError):
+            partition_by_unit([Task("a", ms(10), ms(1), ms(1), ecu="e")])
+
+    def test_partition_rejects_duplicate_priorities(self):
+        with pytest.raises(ModelError):
+            partition_by_unit([task("a", 10, 1, 1), task("b", 10, 1, 1)])
+
+    def test_hp_lp_sets(self):
+        tasks = [task("a", 10, 1, 0), task("b", 20, 1, 1), task("c", 40, 1, 2)]
+        assert [t.name for t in higher_priority(tasks[1], tasks)] == ["a"]
+        assert [t.name for t in lower_priority(tasks[1], tasks)] == ["c"]
+
+    def test_hp_ignores_other_units(self):
+        a = task("a", 10, 1, 0, ecu="e1")
+        b = task("b", 20, 1, 1, ecu="e2")
+        assert higher_priority(b, [a, b]) == ()
+
+    def test_blocking_factor(self):
+        tasks = [task("a", 10, 1, 0), task("b", 20, 3, 1), task("c", 40, 5, 2)]
+        assert blocking_factor(tasks[0], tasks) == ms(5)
+        assert blocking_factor(tasks[2], tasks) == 0
+
+
+class TestNonPreemptive:
+    def test_highest_priority_alone(self):
+        t = task("a", 10, 2, 0)
+        assert response_time_np_fp(t, [t]) == ms(2)
+
+    def test_highest_priority_with_blocking(self):
+        # a (hp) blocked by the longest lower-priority job (c: 4ms),
+        # then runs 2ms: R = 6ms.
+        a = task("a", 20, 2, 0)
+        c = task("c", 40, 4, 1)
+        assert response_time_np_fp(a, [a, c]) == ms(6)
+
+    def test_low_priority_interference(self):
+        # b: blocking 0 (lowest), start delayed by one job of a per
+        # 10ms window: s = 2, R = 2 + 3 = 5ms.
+        a = task("a", 10, 2, 0)
+        b = task("b", 20, 3, 1)
+        assert response_time_np_fp(b, [a, b]) == ms(5)
+
+    def test_middle_priority_blocking_and_interference(self):
+        # b blocked by c (4ms), a interferes: s = 4 + (floor(s/10)+1)*2.
+        # s=4 -> 4+2=6 -> 6: s=6, R = 6+3 = 9ms.
+        a = task("a", 10, 2, 0)
+        b = task("b", 20, 3, 1)
+        c = task("c", 40, 4, 2)
+        assert response_time_np_fp(b, [a, b, c]) == ms(9)
+
+    def test_multiple_hp_jobs_in_window(self):
+        # b blocked by c (9ms): s = 9 + (floor(s/10)+1)*2;
+        # s=9 -> 9+2=11 -> 9+4=13 -> 13: R = 13+1 = 14ms.
+        a = task("a", 10, 2, 0)
+        b = task("b", 20, 1, 1)
+        c = task("c", 40, 9, 2)
+        assert response_time_np_fp(b, [a, b, c]) == ms(14)
+
+    def test_source_task_zero(self):
+        s = source_task("s", ms(10), ecu="e", priority=0)
+        assert response_time_np_fp(s, [s, task("a", 10, 1, 1)]) == 0
+
+    def test_unschedulable_raises(self):
+        a = task("a", 10, 6, 0)
+        b = task("b", 10, 6, 1)
+        with pytest.raises(SchedulabilityError):
+            response_time_np_fp(b, [a, b])
+
+    def test_other_unit_ignored(self):
+        a = task("a", 10, 5, 0, ecu="e1")
+        b = task("b", 10, 5, 0, ecu="e2")
+        assert response_time_np_fp(b, [a, b]) == ms(5)
+
+
+class TestPreemptive:
+    def test_classic_recurrence(self):
+        # Joseph & Pandya example: R_b = 3 + ceil(R/10)*2:
+        # 3 -> 5 -> 5: R = 5ms.
+        a = task("a", 10, 2, 0)
+        b = task("b", 20, 3, 1)
+        assert response_time_p_fp(b, [a, b]) == ms(5)
+
+    def test_no_blocking_term(self):
+        # Preemptive: highest priority never blocked.
+        a = task("a", 20, 2, 0)
+        c = task("c", 40, 9, 1)
+        assert response_time_p_fp(a, [a, c]) == ms(2)
+
+    def test_unschedulable_raises(self):
+        a = task("a", 10, 6, 0)
+        b = task("b", 10, 6, 1)
+        with pytest.raises(SchedulabilityError):
+            response_time_p_fp(b, [a, b])
+
+
+class TestAnalyzeAll:
+    def test_table(self):
+        tasks = [
+            source_task("s", ms(10), ecu="e", priority=0),
+            task("a", 10, 2, 1),
+            task("b", 20, 3, 2),
+        ]
+        table = analyze_all(tasks)
+        assert table["s"] == 0
+        assert table["a"] == ms(5)  # blocked by b (3), then 2
+        assert table["b"] == ms(5)  # s=2 (one job of a), +3
+
+    def test_unknown_task_lookup(self):
+        table = analyze_all([task("a", 10, 1, 0)])
+        with pytest.raises(ModelError):
+            table["ghost"]
+        assert "a" in table
+
+    def test_is_schedulable(self):
+        good = [task("a", 10, 2, 0), task("b", 20, 3, 1)]
+        bad = [task("a", 10, 6, 0), task("b", 10, 6, 1)]
+        assert is_schedulable(good)
+        assert not is_schedulable(bad)
+
+    def test_np_blocking_can_exceed_preemptive(self):
+        # The same set analyzed both ways: NP adds blocking for the
+        # high-priority task.
+        a = task("a", 20, 2, 0)
+        c = task("c", 40, 9, 1)
+        np_table = analyze_all([a, c])
+        p_table = analyze_all([a, c], preemptive=True)
+        assert np_table["a"] == ms(11) > p_table["a"] == ms(2)

@@ -1,0 +1,50 @@
+"""Tests for utilization accounting."""
+
+import pytest
+
+from repro.model.task import Task, source_task
+from repro.sched.utilization import (
+    max_unit_utilization,
+    task_utilization,
+    total_utilization,
+    unit_utilizations,
+    utilization_feasible,
+)
+from repro.units import ms
+
+
+def task(name, period_ms, wcet_ms, priority, ecu="e"):
+    return Task(name, ms(period_ms), ms(wcet_ms), ms(wcet_ms), ecu=ecu, priority=priority)
+
+
+class TestUtilization:
+    def test_task_utilization(self):
+        assert task_utilization(task("a", 10, 1, 0)) == pytest.approx(0.1)
+
+    def test_unit_totals(self):
+        tasks = [
+            task("a", 10, 1, 0, ecu="e1"),
+            task("b", 20, 4, 1, ecu="e1"),
+            task("c", 10, 5, 0, ecu="e2"),
+        ]
+        utilizations = unit_utilizations(tasks)
+        assert utilizations["e1"] == pytest.approx(0.3)
+        assert utilizations["e2"] == pytest.approx(0.5)
+
+    def test_sources_excluded(self):
+        tasks = [source_task("s", ms(10), ecu="e", priority=0), task("a", 10, 2, 1)]
+        assert total_utilization(tasks) == pytest.approx(0.2)
+        assert unit_utilizations(tasks)["e"] == pytest.approx(0.2)
+
+    def test_max_unit(self):
+        tasks = [task("a", 10, 1, 0, ecu="e1"), task("c", 10, 5, 0, ecu="e2")]
+        assert max_unit_utilization(tasks) == pytest.approx(0.5)
+
+    def test_max_unit_empty(self):
+        assert max_unit_utilization([]) == 0.0
+
+    def test_feasibility_screen(self):
+        good = [task("a", 10, 4, 0), task("b", 10, 4, 1)]
+        bad = [task("a", 10, 6, 0), task("b", 10, 6, 1)]
+        assert utilization_feasible(good)
+        assert not utilization_feasible(bad)

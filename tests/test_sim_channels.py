@@ -1,0 +1,94 @@
+"""Tests for run-time channel semantics (registers and FIFOs)."""
+
+import pytest
+
+from repro.model.task import ModelError
+from repro.sim.channels import ChannelState
+from repro.sim.provenance import source_token
+
+
+def token(ts):
+    return source_token("s", ts)
+
+
+class TestRegister:
+    def test_empty_read(self):
+        channel = ChannelState("a", "b")
+        assert channel.read() is None
+        assert channel.is_empty
+
+    def test_write_then_read(self):
+        channel = ChannelState("a", "b")
+        channel.write(token(5))
+        read = channel.read()
+        assert read is not None and read.produced_at == 5
+
+    def test_overwrite(self):
+        channel = ChannelState("a", "b")
+        channel.write(token(5))
+        channel.write(token(9))
+        assert channel.read().produced_at == 9
+        assert channel.evictions == 1
+
+    def test_read_does_not_consume(self):
+        channel = ChannelState("a", "b")
+        channel.write(token(5))
+        channel.read()
+        assert channel.read() is not None
+
+
+class TestFifo:
+    def test_reads_oldest(self):
+        channel = ChannelState("a", "b", capacity=3)
+        for ts in (1, 2, 3):
+            channel.write(token(ts))
+        assert channel.read().produced_at == 1
+
+    def test_eviction_when_full(self):
+        channel = ChannelState("a", "b", capacity=3)
+        for ts in (1, 2, 3, 4):
+            channel.write(token(ts))
+        # 1 evicted; oldest is now 2.
+        assert channel.read().produced_at == 2
+        assert channel.occupancy == 3
+        assert channel.is_full
+
+    def test_steady_state_lag(self):
+        # A full capacity-n FIFO lags the newest token by n-1 writes —
+        # the mechanism behind Lemma 6.
+        n = 4
+        channel = ChannelState("a", "b", capacity=n)
+        for ts in range(20):
+            channel.write(token(ts))
+            if channel.is_full:
+                assert channel.read().produced_at == ts - (n - 1)
+
+    def test_partial_fill(self):
+        channel = ChannelState("a", "b", capacity=5)
+        channel.write(token(7))
+        assert channel.read().produced_at == 7
+        assert not channel.is_full
+        assert channel.occupancy == 1
+
+    def test_snapshot_order(self):
+        channel = ChannelState("a", "b", capacity=3)
+        for ts in (1, 2, 3):
+            channel.write(token(ts))
+        assert [t.produced_at for t in channel.snapshot()] == [1, 2, 3]
+
+    def test_fifo_invariant_check(self):
+        channel = ChannelState("a", "b", capacity=3)
+        for ts in (1, 2, 3):
+            channel.write(token(ts))
+        channel.validate_fifo_order()
+
+    def test_write_counter(self):
+        channel = ChannelState("a", "b", capacity=2)
+        for ts in range(5):
+            channel.write(token(ts))
+        assert channel.writes == 5
+        assert channel.evictions == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ModelError):
+            ChannelState("a", "b", capacity=0)

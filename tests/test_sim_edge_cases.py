@@ -1,0 +1,145 @@
+"""Edge-case tests: multi-path provenance, horizon boundaries, combos."""
+
+import pytest
+
+from repro.model.graph import CauseEffectGraph
+from repro.model.system import System
+from repro.model.task import ModelError, Task, source_task
+from repro.sim.engine import Simulator, simulate
+from repro.sim.exec_time import wcet_policy
+from repro.sim.faults import FaultPlan
+from repro.sim.metrics import DisparityMonitor, JobTableMonitor
+from repro.units import ms, us
+
+
+class TestSameSourceMultiPath:
+    """Section IV's counter-intuitive case: one sensor, two paths.
+
+    An output can originate from two raw data of the *same* source
+    that travelled through paths of different depths; the disparity of
+    that output is the spread of the source's own timestamps.
+    """
+
+    def build(self) -> System:
+        # s -> fast -> sink (1 hop) and s -> slow1 -> slow2 -> sink
+        # (2 hops): the deep path delivers older samples.  slow2
+        # deliberately outranks slow1, so within each period it runs
+        # *before* its input stage and reads the previous sample —
+        # with priorities aligned to the flow the whole pipeline would
+        # complete within one period and both paths would deliver the
+        # same sample (zero disparity).
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("s", ms(10), ecu="e", priority=0))
+        graph.add_task(Task("fast", ms(10), ms(1), ms(1), ecu="e", priority=1))
+        graph.add_task(Task("slow1", ms(10), ms(1), ms(1), ecu="e", priority=3))
+        graph.add_task(Task("slow2", ms(10), ms(1), ms(1), ecu="e", priority=2))
+        graph.add_task(Task("sink", ms(10), ms(1), ms(1), ecu="e", priority=4))
+        graph.add_channel("s", "fast")
+        graph.add_channel("s", "slow1")
+        graph.add_channel("slow1", "slow2")
+        graph.add_channel("fast", "sink")
+        graph.add_channel("slow2", "sink")
+        return System.build(graph)
+
+    def test_same_source_disparity_observed(self):
+        system = self.build()
+        monitor = DisparityMonitor(["sink"], warmup=ms(60), track_pairs=True)
+        simulate(system, ms(300), observers=[monitor], policy=wcet_policy)
+        # The sink mixes a fresh and a 2-periods-older sample of s.
+        assert monitor.disparity("sink") > 0
+        assert monitor.disparity("sink") % ms(10) == 0  # multiple of T(s)
+        # The same-source pair is where the disparity lives.
+        assert monitor.pair_max[("sink", "s", "s")] == monitor.disparity("sink")
+
+    def test_bound_covers_same_source_case(self):
+        from repro.core.disparity import disparity_bound
+
+        system = self.build()
+        bound = disparity_bound(system, "sink", method="forkjoin")
+        monitor = DisparityMonitor(["sink"], warmup=ms(60))
+        simulate(system, ms(600), observers=[monitor], policy=wcet_policy)
+        assert 0 < monitor.disparity("sink") <= bound
+        # Shared source: the bound is floored to a multiple of T(s).
+        assert bound % ms(10) == 0
+
+
+class TestHorizonBoundaries:
+    def build_simple(self) -> System:
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("s", ms(10), ecu="e", priority=0))
+        graph.add_task(Task("t", ms(10), ms(2), ms(2), ecu="e", priority=1))
+        graph.add_channel("s", "t")
+        return System.build(graph)
+
+    def test_release_exactly_at_horizon_processed(self):
+        system = self.build_simple()
+        monitor = JobTableMonitor()
+        simulate(system, ms(20), observers=[monitor], policy=wcet_policy)
+        # Releases at 0, 10, 20: the t=20 release is on the horizon and
+        # its job starts at 20 but finishes at 22 > horizon -> only the
+        # first two jobs complete.
+        assert len(monitor.by_task("t")) == 2
+
+    def test_job_finishing_after_horizon_not_reported(self):
+        system = self.build_simple()
+        monitor = JobTableMonitor()
+        result = simulate(system, ms(11), observers=[monitor], policy=wcet_policy)
+        # Job 0 finishes at 2 (reported); job 1 (released at 10) would
+        # finish at 12 > horizon.
+        assert len(monitor.by_task("t")) == 1
+        assert result.stats.jobs_released >= result.stats.jobs_completed
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ModelError):
+            simulate(self.build_simple(), -1)
+
+
+class TestCombinations:
+    def test_let_with_fifo_channel(self):
+        # LET semantics and a buffered channel compose: the observed
+        # backward time carries both the LET hop delay and the FIFO lag.
+        from repro.let import bcbt_lower_let, wcbt_upper_let
+        from repro.model.chain import Chain
+        from repro.sim.metrics import BackwardTimeMonitor
+
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("s", ms(10), ecu="e", priority=0))
+        graph.add_task(Task("a", ms(10), ms(1), ms(1), ecu="e", priority=1))
+        graph.add_task(Task("b", ms(10), ms(1), ms(1), ecu="e", priority=2))
+        graph.add_channel("s", "a")
+        graph.add_channel("a", "b")
+        system = System.build(graph).with_channel_capacity("s", "a", 3)
+
+        monitor = BackwardTimeMonitor(["b"], warmup=ms(100))
+        simulate(system, ms(600), observers=[monitor], policy=wcet_policy,
+                 semantics="let")
+        observed = monitor.range_for("b", "s")
+        chain = Chain.of("s", "a", "b")
+        assert observed.samples > 0
+        assert observed.lo >= bcbt_lower_let(chain, system)
+        assert observed.hi <= wcbt_upper_let(chain, system)
+
+    def test_let_with_faults(self):
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("s", ms(10), ecu="e", priority=0))
+        graph.add_task(Task("t", ms(10), ms(1), ms(1), ecu="e", priority=1))
+        graph.add_channel("s", "t")
+        system = System.build(graph)
+        plan = FaultPlan().drop("s", ms(50), ms(100))
+        table = JobTableMonitor()
+        result = simulate(system, ms(200), faults=plan, observers=[table],
+                          semantics="let", policy=wcet_policy)
+        assert result.stats.jobs_dropped == 5
+        table.check_invariants({"s"})
+
+    def test_channel_state_inspection(self):
+        graph = CauseEffectGraph()
+        graph.add_task(source_task("s", ms(10), ecu="e", priority=0))
+        graph.add_task(Task("t", ms(10), ms(1), ms(1), ecu="e", priority=1))
+        graph.add_channel("s", "t")
+        simulator = Simulator(System.build(graph), ms(50), policy=wcet_policy)
+        simulator.run()
+        state = simulator.channel_state("s", "t")
+        assert state.writes == 6  # releases at 0..50 inclusive
+        with pytest.raises(KeyError):
+            simulator.channel_state("t", "s")

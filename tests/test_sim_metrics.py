@@ -1,0 +1,148 @@
+"""Tests for the simulation metric observers."""
+
+import pytest
+
+from repro.model.graph import CauseEffectGraph
+from repro.model.system import System
+from repro.model.task import Task, source_task
+from repro.sim.engine import simulate
+from repro.sim.exec_time import (
+    bcet_policy,
+    extremes_policy,
+    named_policy,
+    per_task_policy,
+    uniform_policy,
+    wcet_policy,
+)
+from repro.sim.metrics import (
+    BackwardTimeMonitor,
+    DataAgeMonitor,
+    DisparityMonitor,
+    JobTableMonitor,
+    ObservedRange,
+)
+from repro.model.task import ModelError
+from repro.units import ms
+
+
+def fusion_system():
+    # The lidar offset desynchronizes the sensors: with all offsets at
+    # zero the 10/30/30 ms periods align perfectly and the observed
+    # disparity is identically zero.
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("cam", ms(10), ecu="e", priority=0))
+    graph.add_task(source_task("lidar", ms(30), ecu="e", priority=1, offset=ms(1)))
+    graph.add_task(Task("fuse", ms(30), ms(2), ms(1), ecu="e", priority=2))
+    graph.add_channel("cam", "fuse")
+    graph.add_channel("lidar", "fuse")
+    return System.build(graph)
+
+
+class TestDisparityMonitor:
+    def test_records_max(self):
+        monitor = DisparityMonitor(["fuse"])
+        simulate(fusion_system(), ms(600), observers=[monitor], policy=wcet_policy)
+        assert monitor.samples["fuse"] > 0
+        assert 0 < monitor.disparity("fuse") <= ms(31)
+
+    def test_warmup_skips_early_jobs(self):
+        early = DisparityMonitor(["fuse"])
+        late = DisparityMonitor(["fuse"], warmup=ms(500))
+        simulate(
+            fusion_system(), ms(600), observers=[early, late], policy=wcet_policy
+        )
+        assert late.samples["fuse"] < early.samples["fuse"]
+
+    def test_unmonitored_task_zero(self):
+        monitor = DisparityMonitor(["fuse"])
+        simulate(fusion_system(), ms(100), observers=[monitor], policy=wcet_policy)
+        assert monitor.disparity("cam") == 0
+
+    def test_monitor_all_tasks(self):
+        monitor = DisparityMonitor()
+        simulate(fusion_system(), ms(100), observers=[monitor], policy=wcet_policy)
+        # Source jobs have single-timestamp provenance: disparity 0.
+        assert monitor.disparity("cam") == 0
+        assert "fuse" in monitor.samples
+
+    def test_pair_tracking(self):
+        monitor = DisparityMonitor(["fuse"], track_pairs=True)
+        simulate(fusion_system(), ms(600), observers=[monitor], policy=wcet_policy)
+        key = ("fuse", "cam", "lidar")
+        assert key in monitor.pair_max
+        assert monitor.pair_max[key] == monitor.disparity("fuse")
+
+
+class TestBackwardTimeMonitor:
+    def test_range_within_analytical_bounds(self):
+        from repro.chains.backward import bcbt_lower, wcbt_upper
+        from repro.model.chain import Chain
+
+        system = fusion_system()
+        monitor = BackwardTimeMonitor(["fuse"], warmup=ms(60))
+        simulate(system, ms(600), observers=[monitor], policy=wcet_policy)
+        for source in ("cam", "lidar"):
+            chain = Chain.of(source, "fuse")
+            observed = monitor.range_for("fuse", source)
+            assert observed.samples > 0
+            assert observed.lo >= bcbt_lower(chain, system)
+            assert observed.hi <= wcbt_upper(chain, system)
+
+    def test_missing_pair_empty_range(self):
+        monitor = BackwardTimeMonitor(["fuse"])
+        observed = monitor.range_for("fuse", "ghost")
+        assert observed.samples == 0
+        assert observed.lo is None
+
+
+class TestDataAgeMonitor:
+    def test_age_bounded(self):
+        from repro.chains.latency import max_data_age
+        from repro.model.chain import Chain
+
+        system = fusion_system()
+        monitor = DataAgeMonitor(["fuse"], warmup=ms(60))
+        simulate(system, ms(600), observers=[monitor], policy=wcet_policy)
+        for source in ("cam", "lidar"):
+            observed = monitor.range_for("fuse", source)
+            assert observed.samples > 0
+            assert observed.hi <= max_data_age(Chain.of(source, "fuse"), system)
+            assert observed.lo >= 0  # age is never negative
+
+
+class TestObservedRange:
+    def test_add(self):
+        observed = ObservedRange()
+        for value in (5, -2, 9):
+            observed.add(value)
+        assert observed.lo == -2
+        assert observed.hi == 9
+        assert observed.samples == 3
+
+
+class TestExecPolicies:
+    def test_named_lookup(self):
+        assert named_policy("uniform") is uniform_policy
+        assert named_policy("wcet") is wcet_policy
+        with pytest.raises(ModelError):
+            named_policy("nope")
+
+    def test_policy_ranges(self, rng):
+        task = Task("t", ms(10), ms(5), ms(1), ecu="e", priority=0)
+        for policy in (uniform_policy, wcet_policy, bcet_policy, extremes_policy):
+            for index in range(20):
+                value = policy(task, index, rng)
+                assert task.bcet <= value <= task.wcet
+
+    def test_extremes_only_endpoints(self, rng):
+        task = Task("t", ms(10), ms(5), ms(1), ecu="e", priority=0)
+        values = {extremes_policy(task, i, rng) for i in range(50)}
+        assert values <= {task.bcet, task.wcet}
+        assert len(values) == 2  # both endpoints show up
+
+    def test_per_task_policy(self, rng):
+        fast = Task("fast", ms(10), ms(5), ms(1), ecu="e", priority=0)
+        slow = Task("slow", ms(10), ms(5), ms(1), ecu="e", priority=1)
+        policy = per_task_policy({"fast": bcet_policy}, default=wcet_policy)
+        assert policy(fast, 0, rng) == fast.bcet
+        assert policy(slow, 0, rng) == slow.wcet

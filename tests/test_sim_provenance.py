@@ -1,0 +1,72 @@
+"""Tests for token provenance and the disparity metric."""
+
+import pytest
+
+from repro.sim.provenance import (
+    Token,
+    disparity_of,
+    merge_provenance,
+    pairwise_disparity_of,
+    source_token,
+)
+
+
+class TestSourceToken:
+    def test_fields(self):
+        token = source_token("cam", 100)
+        assert token.producer == "cam"
+        assert token.produced_at == 100
+        assert token.producer_release == 100
+        assert token.provenance == {"cam": (100, 100)}
+
+
+class TestMerge:
+    def test_disjoint_sources(self):
+        merged = merge_provenance([{"cam": (10, 10)}, {"lidar": (30, 30)}])
+        assert merged == {"cam": (10, 10), "lidar": (30, 30)}
+
+    def test_same_source_extremes(self):
+        merged = merge_provenance([{"cam": (10, 20)}, {"cam": (5, 15)}])
+        assert merged == {"cam": (5, 20)}
+
+    def test_empty(self):
+        assert merge_provenance([]) == {}
+        assert merge_provenance([{}, {}]) == {}
+
+    def test_merge_does_not_mutate_inputs(self):
+        first = {"cam": (10, 10)}
+        merge_provenance([first, {"cam": (0, 0)}])
+        assert first == {"cam": (10, 10)}
+
+
+class TestDisparity:
+    def test_none_for_empty(self):
+        assert disparity_of({}) is None
+
+    def test_zero_for_single_timestamp(self):
+        assert disparity_of({"cam": (10, 10)}) == 0
+
+    def test_two_sources(self):
+        assert disparity_of({"cam": (10, 10), "lidar": (40, 40)}) == 30
+
+    def test_same_source_spread(self):
+        # Two raw data items of one sensor via different paths count
+        # (the counter-intuitive case of Section IV).
+        assert disparity_of({"cam": (10, 50)}) == 40
+
+    def test_global_extremes(self):
+        provenance = {"cam": (10, 20), "lidar": (15, 60), "radar": (5, 8)}
+        assert disparity_of(provenance) == 60 - 5
+
+
+class TestPairwiseDisparity:
+    def test_two_sources(self):
+        provenance = {"cam": (10, 20), "lidar": (40, 50)}
+        assert pairwise_disparity_of(provenance, "cam", "lidar") == 40
+        assert pairwise_disparity_of(provenance, "lidar", "cam") == 40
+
+    def test_same_source(self):
+        assert pairwise_disparity_of({"cam": (10, 30)}, "cam", "cam") == 20
+
+    def test_missing_source(self):
+        assert pairwise_disparity_of({"cam": (10, 20)}, "cam", "lidar") is None

@@ -1,0 +1,134 @@
+"""Tests for the integer-nanosecond time base."""
+
+import pytest
+from fractions import Fraction
+
+from repro.units import (
+    NS_PER_MS,
+    NS_PER_S,
+    NS_PER_US,
+    ceil_div,
+    exact_ratio,
+    floor_div,
+    format_time,
+    lcm,
+    ms,
+    ns,
+    seconds,
+    to_ms,
+    to_s,
+    to_us,
+    us,
+)
+
+
+class TestConversions:
+    def test_ms_is_million_ns(self):
+        assert ms(1) == 1_000_000
+
+    def test_us_is_thousand_ns(self):
+        assert us(1) == 1_000
+
+    def test_seconds(self):
+        assert seconds(2) == 2 * NS_PER_S
+
+    def test_fractional_us_rounds(self):
+        # WATERS ACETs are fractional microseconds.
+        assert us(5.34) == 5_340
+        assert us(0.4997) == 500
+
+    def test_ns_rounds_to_int(self):
+        assert ns(1.4) == 1
+        assert ns(1.6) == 2
+
+    def test_roundtrip_ms(self):
+        assert to_ms(ms(17)) == 17.0
+
+    def test_roundtrip_us(self):
+        assert to_us(us(250)) == 250.0
+
+    def test_roundtrip_s(self):
+        assert to_s(seconds(3)) == 3.0
+
+
+class TestIntegerDivision:
+    def test_floor_div_positive(self):
+        assert floor_div(7, 2) == 3
+
+    def test_floor_div_negative(self):
+        # Mathematical floor, required by Theorem 2's y recursion.
+        assert floor_div(-7, 2) == -4
+
+    def test_floor_div_exact(self):
+        assert floor_div(-8, 2) == -4
+
+    def test_ceil_div_positive(self):
+        assert ceil_div(7, 2) == 4
+
+    def test_ceil_div_negative(self):
+        # Mathematical ceiling, required by Theorem 2's x recursion.
+        assert ceil_div(-7, 2) == -3
+
+    def test_ceil_div_exact(self):
+        assert ceil_div(8, 2) == 4
+
+    def test_ceil_floor_sandwich(self):
+        for numerator in range(-25, 26):
+            for denominator in (1, 2, 3, 7):
+                lo = floor_div(numerator, denominator)
+                hi = ceil_div(numerator, denominator)
+                assert lo <= numerator / denominator <= hi
+                assert hi - lo in (0, 1)
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            floor_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_denominator(self):
+        with pytest.raises(ValueError):
+            floor_div(1, -2)
+        with pytest.raises(ValueError):
+            ceil_div(1, -2)
+
+
+class TestLcm:
+    def test_pairwise(self):
+        assert lcm(4, 6) == 12
+
+    def test_waters_periods(self):
+        # The WATERS period set shares a 200 ms hyperperiod.
+        periods = [ms(p) for p in (1, 2, 5, 10, 20, 50, 100, 200)]
+        assert lcm(*periods) == ms(200)
+
+    def test_single_value(self):
+        assert lcm(7) == 7
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            lcm()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            lcm(0, 3)
+
+
+class TestFormatting:
+    def test_format_seconds(self):
+        assert format_time(seconds(1.5)) == "1.500s"
+
+    def test_format_ms(self):
+        assert format_time(ms(20)) == "20.000ms"
+
+    def test_format_us(self):
+        assert format_time(us(17)) == "17.000us"
+
+    def test_format_ns(self):
+        assert format_time(412) == "412ns"
+
+    def test_format_negative(self):
+        assert format_time(-ms(3)) == "-3.000ms"
+
+    def test_exact_ratio(self):
+        assert exact_ratio(1, 3) == Fraction(1, 3)
