@@ -12,21 +12,15 @@ Run:  python examples/quickstart.py
 import random
 
 from repro import (
+    AnalysisSession,
     CauseEffectGraph,
-    DisparityMonitor,
     System,
     Task,
-    disparity_bound,
     format_time,
     ms,
-    randomize_offsets,
-    simulate,
     source_task,
     us,
-    worst_case_disparity,
 )
-from repro.chains.backward import BackwardBoundsCache
-from repro.model.chain import enumerate_source_chains
 from repro.units import seconds
 
 
@@ -50,14 +44,15 @@ def build_fig2_system() -> System:
 
 
 def main() -> None:
-    system = build_fig2_system()
+    # One session owns every shared cache: the response-time table, the
+    # backward-bounds cache, chain enumerations, and disparity results.
+    session = AnalysisSession(build_fig2_system())
     print("=== system ===")
-    print(system.describe())
+    print(session.system.describe())
 
     print("\n=== per-chain backward-time bounds (Lemmas 4 & 5) ===")
-    cache = BackwardBoundsCache(system)
-    for chain in enumerate_source_chains(system.graph, "t6"):
-        bounds = cache.bounds(chain)
+    for chain in session.chains("t6"):
+        bounds = session.backward(chain)
         print(
             f"  {' -> '.join(chain.tasks):<28} "
             f"WCBT={format_time(bounds.wcbt):>10}  "
@@ -65,8 +60,8 @@ def main() -> None:
         )
 
     print("\n=== worst-case time disparity of t6 ===")
-    p_diff = disparity_bound(system, "t6", method="independent", cache=cache)
-    result = worst_case_disparity(system, "t6", method="forkjoin", cache=cache)
+    p_diff = session.disparity("t6", method="p-diff")
+    result = session.worst_case("t6", method="s-diff")
     print(f"  P-diff (Theorem 1): {format_time(p_diff)}")
     print(f"  S-diff (Theorem 2): {format_time(result.bound)}")
     assert result.worst_pair is not None
@@ -76,14 +71,13 @@ def main() -> None:
     )
 
     print("\n=== simulation check (random offsets, 5 runs x 10s) ===")
-    rng = random.Random(7)
-    worst_observed = 0
-    for run in range(5):
-        graph = randomize_offsets(system.graph, rng)
-        variant = System(graph=graph, response_times=system.response_times)
-        monitor = DisparityMonitor(["t6"], warmup=seconds(1))
-        simulate(variant, seconds(10), seed=run, observers=[monitor])
-        worst_observed = max(worst_observed, monitor.disparity("t6"))
+    worst_observed = session.observed_disparity(
+        "t6",
+        sims=5,
+        duration=seconds(10),
+        warmup=seconds(1),
+        rng=random.Random(7),
+    )
     print(f"  max observed disparity: {format_time(worst_observed)}")
     print(f"  bound honored: {worst_observed <= result.bound}")
 

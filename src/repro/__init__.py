@@ -11,10 +11,12 @@ evaluation harness.
 Quickstart::
 
     import random
-    from repro import disparity_bound, generate_random_scenario
+    from repro import AnalysisSession, generate_random_scenario
 
     scenario = generate_random_scenario(12, random.Random(7))
-    bound = disparity_bound(scenario.system, scenario.sink, method="forkjoin")
+    session = AnalysisSession(scenario.system)
+    s_diff = session.disparity(scenario.sink)                  # Theorem 2
+    p_diff = session.disparity(scenario.sink, method="p-diff") # Theorem 1
 """
 
 from repro.buffers import (
@@ -34,14 +36,15 @@ from repro.chains import (
     max_reaction_time,
     wcbt_upper,
 )
+from repro.api import AnalysisSession
 from repro.core import (
+    METHOD_ALIASES,
     PairwiseResult,
     TaskDisparityResult,
-    all_sink_disparities,
-    check_disparity_requirement,
     disparity_bound,
     disparity_bound_forkjoin,
     disparity_bound_independent,
+    normalize_method,
     worst_case_disparity,
 )
 from repro.gen import (
@@ -82,9 +85,43 @@ from repro.sim import (
 )
 from repro.units import Time, format_time, ms, ns, seconds, to_ms, to_us, us
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Top-level names superseded by :class:`AnalysisSession` methods.
+#: Importing them from ``repro`` still works (nothing is removed) but
+#: emits a :class:`DeprecationWarning` pointing at the replacement.
+_DEPRECATED = {
+    "all_sink_disparities": (
+        "repro.core.disparity",
+        "AnalysisSession(system).all_sinks()",
+    ),
+    "check_disparity_requirement": (
+        "repro.core.disparity",
+        "AnalysisSession(system).check_requirement(task, threshold)",
+    ),
+}
+
+
+def __getattr__(name: str):
+    deprecated = _DEPRECATED.get(name)
+    if deprecated is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, replacement = deprecated
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} instead "
+        f"(or import it from {module_name})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_name), name)
 
 __all__ = [
+    "AnalysisSession",
+    "METHOD_ALIASES",
+    "normalize_method",
     "BufferDesign",
     "MultiChainDesign",
     "buffered_backward_bounds",

@@ -1,0 +1,298 @@
+"""Unified analysis facade: one session object, shared caches.
+
+Every analysis in this package ultimately reads the same two expensive
+artifacts — the response-time table computed when a :class:`System` is
+built, and the per-chain backward bounds memoized in a
+:class:`BackwardBoundsCache` — yet the functional entry points force
+callers to thread ``(system, cache)`` through every call site.
+:class:`AnalysisSession` owns that state once:
+
+    from repro.api import AnalysisSession
+
+    session = AnalysisSession(system)
+    s_diff = session.disparity("sink")                  # Theorem 2
+    p_diff = session.disparity("sink", method="p-diff") # Theorem 1
+    bounds = session.backward(session.chains("sink")[0])
+    result = session.simulate(seconds(10), seed=7)
+
+Sessions memoize chain enumeration and per-``(task, method)`` disparity
+results on top of the shared backward-bounds cache, so repeated queries
+(the CLI's report, the Fig. 6 worker computing P-diff *and* S-diff of
+one sink, a sweep re-checking several tasks) never recompute anything.
+The parallel experiment engine (:mod:`repro.parallel`) builds exactly
+one session per generated scenario inside each worker process.
+
+Method names accept the CLI/paper spellings (``"p-diff"``,
+``"s-diff"``, ``"best"``) as well as the canonical estimator names
+(``"independent"``, ``"forkjoin"``); unknown names raise ``ValueError``
+listing the choices.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.chains.backward import BackwardBounds, BackwardBoundsCache
+from repro.core.disparity import (
+    TaskDisparityResult,
+    normalize_method,
+    worst_case_disparity,
+)
+from repro.model.chain import Chain, enumerate_source_chains
+from repro.model.graph import CauseEffectGraph
+from repro.model.system import System
+from repro.sched.response_time import ResponseTimeTable
+from repro.sim.engine import Observer, SimulationResult, randomize_offsets, simulate
+from repro.sim.exec_time import ExecTimePolicy, named_policy
+from repro.sim.metrics import DisparityMonitor
+from repro.units import Time
+
+#: A policy given either by CLI name or as a callable.
+PolicyLike = Union[str, ExecTimePolicy]
+
+
+class AnalysisSession:
+    """Shared-cache analysis facade over one :class:`System`.
+
+    A session is cheap to create (the heavy lifting happened when the
+    system was built) and amortizes everything computed afterwards:
+    backward bounds, chain enumerations, and task-level disparity
+    results are each computed at most once per session.
+
+    Args:
+        system: The analyzed system.
+        bounds_strategy: Optional per-chain bounds function passed to
+            the :class:`BackwardBoundsCache` — e.g.
+            :func:`repro.let.backward_bounds_let` retargets every query
+            of this session to LET semantics.
+    """
+
+    def __init__(self, system: System, *, bounds_strategy=None) -> None:
+        self._system = system
+        self._cache = BackwardBoundsCache(system, strategy=bounds_strategy)
+        self._chains: Dict[str, Tuple[Chain, ...]] = {}
+        self._results: Dict[Tuple[str, str, bool], TaskDisparityResult] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: CauseEffectGraph,
+        *,
+        validate: bool = True,
+        preemptive: bool = False,
+        bounds_strategy=None,
+    ) -> "AnalysisSession":
+        """Validate and analyze ``graph``, then open a session on it."""
+        system = System.build(graph, validate=validate, preemptive=preemptive)
+        return cls(system, bounds_strategy=bounds_strategy)
+
+    # ------------------------------------------------------------------
+    # shared state
+    # ------------------------------------------------------------------
+
+    @property
+    def system(self) -> System:
+        """The analyzed system."""
+        return self._system
+
+    @property
+    def graph(self) -> CauseEffectGraph:
+        """The underlying cause-effect graph."""
+        return self._system.graph
+
+    @property
+    def cache(self) -> BackwardBoundsCache:
+        """The shared backward-bounds cache (pass to legacy APIs)."""
+        return self._cache
+
+    def response_times(self) -> ResponseTimeTable:
+        """The WCRT table computed when the system was built."""
+        return self._system.response_times
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+
+    def chains(self, task: str) -> Tuple[Chain, ...]:
+        """All source-to-``task`` chains (memoized enumeration)."""
+        found = self._chains.get(task)
+        if found is None:
+            found = enumerate_source_chains(self._system.graph, task)
+            self._chains[task] = found
+        return found
+
+    def backward(self, chain: Chain) -> BackwardBounds:
+        """Backward bounds ``[B(chain), W(chain)]`` (Lemmas 4 & 5)."""
+        return self._cache.bounds(chain)
+
+    def worst_case(
+        self,
+        task: str,
+        *,
+        method: str = "forkjoin",
+        truncate_suffix: bool = True,
+    ) -> TaskDisparityResult:
+        """Full disparity result of ``task`` with per-pair evidence.
+
+        Results are memoized per ``(task, method, truncate_suffix)``;
+        the memo key uses the canonical method name, so
+        ``method="s-diff"`` and ``method="forkjoin"`` share one entry.
+        """
+        canonical = normalize_method(method)
+        key = (task, canonical, truncate_suffix)
+        found = self._results.get(key)
+        if found is None:
+            found = worst_case_disparity(
+                self._system,
+                task,
+                method=canonical,
+                truncate_suffix=truncate_suffix,
+                cache=self._cache,
+                chains=self.chains(task),
+            )
+            self._results[key] = found
+        return found
+
+    def disparity(
+        self,
+        task: str,
+        *,
+        method: str = "forkjoin",
+        truncate_suffix: bool = True,
+    ) -> Time:
+        """Worst-case time disparity bound of ``task`` (memoized)."""
+        return self.worst_case(
+            task, method=method, truncate_suffix=truncate_suffix
+        ).bound
+
+    def all_sinks(
+        self, *, method: str = "forkjoin", truncate_suffix: bool = True
+    ) -> Dict[str, TaskDisparityResult]:
+        """Disparity results of every sink task of the graph."""
+        return {
+            sink: self.worst_case(
+                sink, method=method, truncate_suffix=truncate_suffix
+            )
+            for sink in self._system.graph.sinks()
+        }
+
+    def check_requirement(
+        self, task: str, threshold: Time, *, method: str = "forkjoin"
+    ) -> bool:
+        """True when the disparity bound of ``task`` is within ``threshold``."""
+        return self.disparity(task, method=method) <= threshold
+
+    def design_buffers(self, task: str, *, method: str = "forkjoin"):
+        """Multi-chain buffer design (Algorithm 1 generalization)."""
+        from repro.buffers.sizing import design_buffers_multi
+
+        return design_buffers_multi(
+            self._system, task, method=normalize_method(method)
+        )
+
+    def with_buffer_plan(
+        self, plan: Dict[Tuple[str, str], int]
+    ) -> "AnalysisSession":
+        """A new session over the system with ``plan`` applied.
+
+        Buffer capacities do not change scheduling, so the response-time
+        table carries over; backward bounds do change (Lemma 6), so the
+        new session starts a fresh bounds cache.
+        """
+        return AnalysisSession(self._system.with_buffer_plan(plan))
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self,
+        duration: Time,
+        *,
+        seed: int = 0,
+        policy: PolicyLike = "uniform",
+        observers: Sequence[Observer] = (),
+        semantics: str = "implicit",
+        faults=None,
+        offsets_rng: Optional[random.Random] = None,
+    ) -> SimulationResult:
+        """Simulate this session's system (optionally with fresh offsets).
+
+        Args:
+            duration: Simulated horizon.
+            seed: Per-run RNG seed (execution-time draws).
+            policy: Execution-time policy — a CLI name (``"uniform"``,
+                ``"wcet"``, ``"bcet"``, ``"extremes"``) or a callable.
+            observers: Metric collectors (see :mod:`repro.sim.metrics`).
+            semantics: ``"implicit"`` or ``"let"``.
+            faults: Optional release-dropout plan.
+            offsets_rng: When given, every task first receives a random
+                offset in ``[1, T]`` drawn from this generator (the
+                paper's evaluation setup); response times are reused
+                since offsets do not affect schedulability.
+        """
+        resolved = named_policy(policy) if isinstance(policy, str) else policy
+        system = self._system
+        if offsets_rng is not None:
+            system = System(
+                graph=randomize_offsets(system.graph, offsets_rng),
+                response_times=system.response_times,
+            )
+        return simulate(
+            system,
+            duration,
+            seed=seed,
+            policy=resolved,
+            observers=observers,
+            semantics=semantics,
+            faults=faults,
+        )
+
+    def observed_disparity(
+        self,
+        task: str,
+        *,
+        sims: int,
+        duration: Time,
+        warmup: Time = 0,
+        rng: Optional[random.Random] = None,
+        seed: int = 0,
+        policy: PolicyLike = "uniform",
+    ) -> Time:
+        """Max observed disparity of ``task`` over randomized runs.
+
+        Runs ``sims`` simulations, each with fresh random offsets and a
+        fresh execution-time seed drawn from ``rng`` (or from a local
+        generator seeded with ``seed``), and returns the largest
+        disparity any run observed — the ``Sim`` estimator of Fig. 6,
+        a *lower* bound on the true worst case.
+        """
+        if rng is None:
+            rng = random.Random(seed)
+        worst: Time = 0
+        for _ in range(sims):
+            monitor = DisparityMonitor([task], warmup=warmup)
+            self.simulate(
+                duration,
+                seed=rng.randrange(2**31),
+                policy=policy,
+                observers=[monitor],
+                offsets_rng=rng,
+            )
+            worst = max(worst, monitor.disparity(task))
+        return worst
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AnalysisSession({len(self._system.graph)} tasks, "
+            f"{len(self._cache)} cached chains, "
+            f"{len(self._results)} cached results)"
+        )
+
+
+__all__ = ["AnalysisSession", "PolicyLike"]

@@ -4,6 +4,7 @@ Usage examples::
 
     python -m repro fig6 --part ab --preset smoke
     python -m repro fig6 --part cd --preset default --csv out/fig6cd.csv
+    python -m repro fig6 --part ab --jobs 4 --progress --checkpoint out/ab.ckpt
     python -m repro analyze --tasks 15 --seed 7
     python -m repro waters
 
@@ -40,15 +41,45 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     if args.seed is not None:
         overrides["seed"] = args.seed
 
+    run_args = dict(
+        verbose=not args.quiet,
+        jobs=args.jobs,
+        show_timing=args.progress,
+    )
+
+    def checkpoint_for(suffix: str) -> Optional[str]:
+        if not args.checkpoint:
+            return None
+        # One checkpoint file per sweep; "all" runs two sweeps.
+        return f"{args.checkpoint}.{suffix}" if part == "all" else args.checkpoint
+
     if part in ("ab", "a", "b"):
         config = preset_ab(args.preset).scaled(**overrides)
-        run_ab(config, out_csv=csv_path, verbose=not args.quiet)
+        run_ab(
+            config,
+            out_csv=csv_path,
+            checkpoint=checkpoint_for("ab"),
+            **run_args,
+        )
     if part in ("cd", "c", "d"):
         config = preset_cd(args.preset).scaled(**overrides)
-        run_cd(config, out_csv=csv_path, verbose=not args.quiet)
+        run_cd(
+            config,
+            out_csv=csv_path,
+            checkpoint=checkpoint_for("cd"),
+            **run_args,
+        )
     if part == "all":
-        run_ab(preset_ab(args.preset).scaled(**overrides), verbose=not args.quiet)
-        run_cd(preset_cd(args.preset).scaled(**overrides), verbose=not args.quiet)
+        run_ab(
+            preset_ab(args.preset).scaled(**overrides),
+            checkpoint=checkpoint_for("ab"),
+            **run_args,
+        )
+        run_cd(
+            preset_cd(args.preset).scaled(**overrides),
+            checkpoint=checkpoint_for("cd"),
+            **run_args,
+        )
     return 0
 
 
@@ -222,6 +253,25 @@ def build_parser() -> argparse.ArgumentParser:
     fig6.add_argument("--graphs", type=int, help="graphs per X point")
     fig6.add_argument("--sims", type=int, help="simulations per graph")
     fig6.add_argument("--seed", type=int, help="master seed")
+    fig6.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = all CPUs); results are identical "
+        "for any value",
+    )
+    fig6.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-point wall time, stage breakdown and worker "
+        "utilization (always saved to <csv>.timing.json)",
+    )
+    fig6.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="persist completed X points to this JSON file and resume "
+        "from it on the next run with the same configuration",
+    )
     fig6.add_argument("--quiet", action="store_true", help="suppress progress")
     fig6.set_defaults(func=_cmd_fig6)
 

@@ -1,10 +1,12 @@
 """Core contribution: worst-case time-disparity analysis."""
 
 from repro.core.disparity import (
+    METHOD_ALIASES,
     TaskDisparityResult,
     all_sink_disparities,
     check_disparity_requirement,
     disparity_bound,
+    normalize_method,
     worst_case_disparity,
 )
 from repro.core.pairwise import (
@@ -20,6 +22,8 @@ from repro.core.pairwise import (
 )
 
 __all__ = [
+    "METHOD_ALIASES",
+    "normalize_method",
     "TaskDisparityResult",
     "all_sink_disparities",
     "check_disparity_requirement",

@@ -40,6 +40,39 @@ Method = str
 
 _VALID_METHODS = ("independent", "forkjoin", "best")
 
+#: Accepted method spellings.  Canonical names are the estimator
+#: identifiers; the aliases mirror the series labels the CLI and the
+#: paper print (``P-diff`` = Theorem 1, ``S-diff`` = Theorem 2), so the
+#: name read off a figure or a CLI table works verbatim in the API.
+METHOD_ALIASES: Dict[str, str] = {
+    "independent": "independent",
+    "p-diff": "independent",
+    "pdiff": "independent",
+    "theorem1": "independent",
+    "forkjoin": "forkjoin",
+    "s-diff": "forkjoin",
+    "sdiff": "forkjoin",
+    "theorem2": "forkjoin",
+    "best": "best",
+}
+
+
+def normalize_method(method: Method) -> Method:
+    """Map any accepted method spelling to its canonical name.
+
+    Raises:
+        ValueError: For an unknown name, listing every accepted choice
+            (:class:`ModelError`, a ``ValueError`` subclass).
+    """
+    canonical = METHOD_ALIASES.get(str(method).strip().lower())
+    if canonical is None:
+        raise ModelError(
+            f"unknown disparity method {method!r}; canonical choices are "
+            f"{list(_VALID_METHODS)}, also accepted: "
+            f"{sorted(alias for alias in METHOD_ALIASES if alias not in _VALID_METHODS)}"
+        )
+    return canonical
+
 
 @dataclass(frozen=True)
 class TaskDisparityResult:
@@ -85,6 +118,7 @@ def worst_case_disparity(
     method: Method = "forkjoin",
     truncate_suffix: bool = True,
     cache: Optional[BackwardBoundsCache] = None,
+    chains: Optional[Tuple[Chain, ...]] = None,
 ) -> TaskDisparityResult:
     """Bound the worst-case time disparity of ``task``.
 
@@ -96,15 +130,21 @@ def worst_case_disparity(
         system: The analyzed system.
         task: Name of the analyzed task.
         method: ``"independent"`` (P-diff), ``"forkjoin"`` (S-diff) or
-            ``"best"``.
+            ``"best"`` — aliases like ``"p-diff"``/``"s-diff"`` are
+            accepted too (see :data:`METHOD_ALIASES`).
         truncate_suffix: Truncate shared chain suffixes before the
             fork-join decomposition (no effect on Theorem 1).
         cache: Optional shared backward-bounds cache (reuse across
             tasks of the same system).
+        chains: Pre-enumerated source chains of ``task`` (an
+            :class:`repro.api.AnalysisSession` passes its memoized
+            enumeration; when ``None`` they are enumerated here).
     """
+    method = normalize_method(method)
     if cache is None:
         cache = BackwardBoundsCache(system)
-    chains = enumerate_source_chains(system.graph, task)
+    if chains is None:
+        chains = enumerate_source_chains(system.graph, task)
     pair_results: List[PairwiseResult] = []
     worst: Optional[PairwiseResult] = None
     for lam, nu in combinations(chains, 2):
@@ -129,6 +169,7 @@ def disparity_bound(
     method: Method = "forkjoin",
     truncate_suffix: bool = True,
     cache: Optional[BackwardBoundsCache] = None,
+    chains: Optional[Tuple[Chain, ...]] = None,
 ) -> Time:
     """Just the numeric bound of :func:`worst_case_disparity`."""
     return worst_case_disparity(
@@ -137,6 +178,7 @@ def disparity_bound(
         method=method,
         truncate_suffix=truncate_suffix,
         cache=cache,
+        chains=chains,
     ).bound
 
 

@@ -15,28 +15,33 @@ Per point on the X axis the harness generates ``graphs_per_point``
 scenarios; each is analyzed once and simulated ``sims_per_graph`` times
 with fresh random offsets (as in the paper), taking the per-graph
 maximum observed disparity and averaging across graphs.
+
+The unit of work is one *graph*: :func:`run_graph_ab` and
+:func:`run_graph_cd` are pure functions of ``(config, x, seed)``, and
+every graph's seed is derived upfront from ``config.seed`` (one parent
+draw each — see :func:`repro.gen.scenario.derive_seed`).  Results are
+therefore independent of execution order, which is what lets
+:mod:`repro.parallel` fan the graphs across worker processes and still
+produce byte-identical CSVs to a serial run.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.api import AnalysisSession
 from repro.buffers.sizing import design_buffer_pair
-from repro.chains.backward import BackwardBoundsCache
-from repro.core.disparity import disparity_bound
 from repro.core.pairwise import disparity_bound_forkjoin
 from repro.experiments.config import Fig6ABConfig, Fig6CDConfig
 from repro.gen.scenario import (
+    derive_seed,
     generate_merged_pair_scenario,
     generate_random_scenario,
 )
-from repro.model.chain import enumerate_source_chains
 from repro.model.system import System
-from repro.sim.engine import randomize_offsets, simulate
-from repro.sim.exec_time import named_policy
-from repro.sim.metrics import DisparityMonitor
 from repro.units import Time, to_ms
 
 
@@ -93,14 +98,93 @@ class PointCD:
         return _ratio(self.s_diff_b_ms, self.sim_b_ms)
 
 
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock seconds one graph spent in each pipeline stage."""
+
+    generate_s: float
+    analyze_s: float
+    simulate_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.generate_s + self.analyze_s + self.simulate_s
+
+    def __add__(self, other: "StageTiming") -> "StageTiming":
+        return StageTiming(
+            generate_s=self.generate_s + other.generate_s,
+            analyze_s=self.analyze_s + other.analyze_s,
+            simulate_s=self.simulate_s + other.simulate_s,
+        )
+
+
+ZERO_TIMING = StageTiming(0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class GraphResultAB:
+    """Measurements of one random graph of the (a)/(b) sweep."""
+
+    n_tasks: int
+    graph_index: int
+    seed: int
+    sim_ms: float
+    p_diff_ms: float
+    s_diff_ms: float
+    timing: StageTiming
+
+
+@dataclass(frozen=True)
+class GraphResultCD:
+    """Measurements of one merged-pair graph of the (c)/(d) sweep."""
+
+    tasks_per_chain: int
+    graph_index: int
+    seed: int
+    sim_ms: float
+    s_diff_ms: float
+    sim_b_ms: float
+    s_diff_b_ms: float
+    timing: StageTiming
+
+
+@dataclass(frozen=True)
+class GraphTask:
+    """One schedulable unit of Fig. 6 work: (X value, replica, seed)."""
+
+    x: int
+    graph_index: int
+    seed: int
+
+
 def _ratio(bound_ms: float, sim_ms: float) -> float:
     if sim_ms <= 0.0:
         return 0.0
     return (bound_ms - sim_ms) / sim_ms
 
 
+def graph_tasks(
+    config, x_values: Optional[Sequence[int]] = None
+) -> List[GraphTask]:
+    """Derive the full task list of a sweep, with per-graph child seeds.
+
+    All seeds are drawn upfront from a single root generator in a fixed
+    order (X value major, replica minor), so the seed of graph ``g`` at
+    point ``x`` never depends on which other graphs ran, or in what
+    order — the foundation of serial/parallel determinism.
+    """
+    root = random.Random(config.seed)
+    tasks: List[GraphTask] = []
+    for x in config.x_values:
+        for graph_index in range(config.graphs_per_point):
+            seed = derive_seed(root)
+            if x_values is None or x in x_values:
+                tasks.append(GraphTask(x=x, graph_index=graph_index, seed=seed))
+    return tasks
+
+
 def _max_observed_disparity(
-    system: System,
+    session: AnalysisSession,
     task: str,
     *,
     sims: int,
@@ -110,25 +194,14 @@ def _max_observed_disparity(
     rng: random.Random,
 ) -> Time:
     """Max observed disparity over ``sims`` runs with random offsets."""
-    policy = named_policy(policy_name)
-    worst: Time = 0
-    for rep in range(sims):
-        offset_graph = randomize_offsets(system.graph, rng)
-        # Offsets do not change schedulability; skip re-validation and
-        # reuse the cached response times for speed.
-        offset_system = System(
-            graph=offset_graph, response_times=system.response_times
-        )
-        monitor = DisparityMonitor([task], warmup=warmup)
-        simulate(
-            offset_system,
-            duration,
-            seed=rng.randrange(2**31),
-            policy=policy,
-            observers=[monitor],
-        )
-        worst = max(worst, monitor.disparity(task))
-    return worst
+    return session.observed_disparity(
+        task,
+        sims=sims,
+        duration=duration,
+        warmup=warmup,
+        rng=rng,
+        policy=policy_name,
+    )
 
 
 def _buffer_fill_warmup(system: System, base_warmup: Time, duration: Time) -> Time:
@@ -142,69 +215,172 @@ def _buffer_fill_warmup(system: System, base_warmup: Time, duration: Time) -> Ti
     return min(warmup, duration // 2)
 
 
+def run_graph_ab(
+    config: Fig6ABConfig, task: GraphTask
+) -> GraphResultAB:
+    """Generate, analyze and simulate one (a)/(b) graph — pure in
+    ``(config, task)``, safe to run in any process and any order."""
+    rng = random.Random(task.seed)
+    t0 = time.perf_counter()
+    scenario = generate_random_scenario(task.x, rng, config.scenario)
+    t1 = time.perf_counter()
+    session = AnalysisSession(scenario.system)
+    p_diff = to_ms(session.disparity(scenario.sink, method="independent"))
+    s_diff = to_ms(session.disparity(scenario.sink, method="forkjoin"))
+    t2 = time.perf_counter()
+    sim = to_ms(
+        _max_observed_disparity(
+            session,
+            scenario.sink,
+            sims=config.sims_per_graph,
+            duration=config.sim_duration,
+            warmup=config.warmup,
+            policy_name=config.policy,
+            rng=rng,
+        )
+    )
+    t3 = time.perf_counter()
+    return GraphResultAB(
+        n_tasks=task.x,
+        graph_index=task.graph_index,
+        seed=task.seed,
+        sim_ms=sim,
+        p_diff_ms=p_diff,
+        s_diff_ms=s_diff,
+        timing=StageTiming(
+            generate_s=t1 - t0, analyze_s=t2 - t1, simulate_s=t3 - t2
+        ),
+    )
+
+
+def run_graph_cd(
+    config: Fig6CDConfig, task: GraphTask
+) -> GraphResultCD:
+    """Generate, analyze and simulate one (c)/(d) graph — pure in
+    ``(config, task)``."""
+    rng = random.Random(task.seed)
+    t0 = time.perf_counter()
+    scenario = generate_merged_pair_scenario(task.x, rng, config.scenario)
+    t1 = time.perf_counter()
+    session = AnalysisSession(scenario.system)
+    lam, nu = session.chains(scenario.sink)
+    base = disparity_bound_forkjoin(lam, nu, session.cache)
+    design = design_buffer_pair(lam, nu, session.cache)
+    s_diff = to_ms(base.bound)
+    s_diff_b = to_ms(base.bound - design.shift)
+    t2 = time.perf_counter()
+    sim = to_ms(
+        _max_observed_disparity(
+            session,
+            scenario.sink,
+            sims=config.sims_per_graph,
+            duration=config.sim_duration,
+            warmup=config.warmup,
+            policy_name=config.policy,
+            rng=rng,
+        )
+    )
+    buffered = session.with_buffer_plan(design.plan)
+    warmup_b = _buffer_fill_warmup(
+        buffered.system, config.warmup, config.sim_duration
+    )
+    sim_b = to_ms(
+        _max_observed_disparity(
+            buffered,
+            scenario.sink,
+            sims=config.sims_per_graph,
+            duration=config.sim_duration,
+            warmup=warmup_b,
+            policy_name=config.policy,
+            rng=rng,
+        )
+    )
+    t3 = time.perf_counter()
+    return GraphResultCD(
+        tasks_per_chain=task.x,
+        graph_index=task.graph_index,
+        seed=task.seed,
+        sim_ms=sim,
+        s_diff_ms=s_diff,
+        sim_b_ms=sim_b,
+        s_diff_b_ms=s_diff_b,
+        timing=StageTiming(
+            generate_s=t1 - t0, analyze_s=t2 - t1, simulate_s=t3 - t2
+        ),
+    )
+
+
+def aggregate_ab(n_tasks: int, results: Sequence[GraphResultAB]) -> PointAB:
+    """Fold per-graph results of one X point into its Fig. 6 row.
+
+    ``results`` may arrive in any completion order; they are sorted by
+    replica index first so the row never depends on scheduling.
+    """
+    ordered = sorted(results, key=lambda r: r.graph_index)
+    sims = [r.sim_ms for r in ordered]
+    p_diffs = [r.p_diff_ms for r in ordered]
+    s_diffs = [r.s_diff_ms for r in ordered]
+    return PointAB(
+        n_tasks=n_tasks,
+        sim_ms=_mean(sims),
+        p_diff_ms=_mean(p_diffs),
+        s_diff_ms=_mean(s_diffs),
+        sim_std_ms=_std(sims),
+        p_diff_std_ms=_std(p_diffs),
+        s_diff_std_ms=_std(s_diffs),
+    )
+
+
+def aggregate_cd(
+    tasks_per_chain: int, results: Sequence[GraphResultCD]
+) -> PointCD:
+    """Fold per-graph results of one X point into its Fig. 6 row."""
+    ordered = sorted(results, key=lambda r: r.graph_index)
+    sims = [r.sim_ms for r in ordered]
+    s_diffs = [r.s_diff_ms for r in ordered]
+    sims_b = [r.sim_b_ms for r in ordered]
+    s_diffs_b = [r.s_diff_b_ms for r in ordered]
+    return PointCD(
+        tasks_per_chain=tasks_per_chain,
+        sim_ms=_mean(sims),
+        s_diff_ms=_mean(s_diffs),
+        sim_b_ms=_mean(sims_b),
+        s_diff_b_ms=_mean(s_diffs_b),
+        sim_std_ms=_std(sims),
+        s_diff_std_ms=_std(s_diffs),
+        sim_b_std_ms=_std(sims_b),
+        s_diff_b_std_ms=_std(s_diffs_b),
+    )
+
+
+def _format_progress_ab(row: PointAB) -> str:
+    return (
+        f"n={row.n_tasks}: Sim={row.sim_ms:.1f}ms "
+        f"P-diff={row.p_diff_ms:.1f}ms S-diff={row.s_diff_ms:.1f}ms"
+    )
+
+
+def _format_progress_cd(row: PointCD) -> str:
+    return (
+        f"k={row.tasks_per_chain}: Sim={row.sim_ms:.1f} "
+        f"S-diff={row.s_diff_ms:.1f} Sim-B={row.sim_b_ms:.1f} "
+        f"S-diff-B={row.s_diff_b_ms:.1f} (ms)"
+    )
+
+
 def run_fig6_ab(
     config: Fig6ABConfig,
     *,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> List[PointAB]:
-    """Run the Fig. 6 (a)/(b) sweep and return one row per X value."""
-    rng = random.Random(config.seed)
-    rows: List[PointAB] = []
-    for n_tasks in config.x_values:
-        sims: List[float] = []
-        p_diffs: List[float] = []
-        s_diffs: List[float] = []
-        for _ in range(config.graphs_per_point):
-            scenario = generate_random_scenario(n_tasks, rng, config.scenario)
-            cache = BackwardBoundsCache(scenario.system)
-            p_diffs.append(
-                to_ms(
-                    disparity_bound(
-                        scenario.system,
-                        scenario.sink,
-                        method="independent",
-                        cache=cache,
-                    )
-                )
-            )
-            s_diffs.append(
-                to_ms(
-                    disparity_bound(
-                        scenario.system,
-                        scenario.sink,
-                        method="forkjoin",
-                        cache=cache,
-                    )
-                )
-            )
-            sims.append(
-                to_ms(
-                    _max_observed_disparity(
-                        scenario.system,
-                        scenario.sink,
-                        sims=config.sims_per_graph,
-                        duration=config.sim_duration,
-                        warmup=config.warmup,
-                        policy_name=config.policy,
-                        rng=rng,
-                    )
-                )
-            )
-        row = PointAB(
-            n_tasks=n_tasks,
-            sim_ms=_mean(sims),
-            p_diff_ms=_mean(p_diffs),
-            s_diff_ms=_mean(s_diffs),
-            sim_std_ms=_std(sims),
-            p_diff_std_ms=_std(p_diffs),
-            s_diff_std_ms=_std(s_diffs),
-        )
-        rows.append(row)
-        if progress is not None:
-            progress(
-                f"n={n_tasks}: Sim={row.sim_ms:.1f}ms "
-                f"P-diff={row.p_diff_ms:.1f}ms S-diff={row.s_diff_ms:.1f}ms"
-            )
+    """Run the Fig. 6 (a)/(b) sweep and return one row per X value.
+
+    ``jobs > 1`` fans the per-graph work across worker processes via
+    :mod:`repro.parallel`; seeds are pre-derived per graph, so the rows
+    are identical to a serial run.
+    """
+    rows, _ = run_fig6_ab_timed(config, progress=progress, jobs=jobs)
     return rows
 
 
@@ -212,76 +388,49 @@ def run_fig6_cd(
     config: Fig6CDConfig,
     *,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> List[PointCD]:
     """Run the Fig. 6 (c)/(d) sweep and return one row per X value."""
-    rng = random.Random(config.seed)
-    rows: List[PointCD] = []
-    for tasks_per_chain in config.x_values:
-        sims: List[float] = []
-        s_diffs: List[float] = []
-        sims_b: List[float] = []
-        s_diffs_b: List[float] = []
-        for _ in range(config.graphs_per_point):
-            scenario = generate_merged_pair_scenario(
-                tasks_per_chain, rng, config.scenario
-            )
-            system = scenario.system
-            cache = BackwardBoundsCache(system)
-            lam, nu = enumerate_source_chains(system.graph, scenario.sink)
-            base = disparity_bound_forkjoin(lam, nu, cache)
-            design = design_buffer_pair(lam, nu, cache)
-            s_diffs.append(to_ms(base.bound))
-            s_diffs_b.append(to_ms(base.bound - design.shift))
-
-            sims.append(
-                to_ms(
-                    _max_observed_disparity(
-                        system,
-                        scenario.sink,
-                        sims=config.sims_per_graph,
-                        duration=config.sim_duration,
-                        warmup=config.warmup,
-                        policy_name=config.policy,
-                        rng=rng,
-                    )
-                )
-            )
-            buffered = system.with_buffer_plan(design.plan)
-            warmup_b = _buffer_fill_warmup(
-                buffered, config.warmup, config.sim_duration
-            )
-            sims_b.append(
-                to_ms(
-                    _max_observed_disparity(
-                        buffered,
-                        scenario.sink,
-                        sims=config.sims_per_graph,
-                        duration=config.sim_duration,
-                        warmup=warmup_b,
-                        policy_name=config.policy,
-                        rng=rng,
-                    )
-                )
-            )
-        row = PointCD(
-            tasks_per_chain=tasks_per_chain,
-            sim_ms=_mean(sims),
-            s_diff_ms=_mean(s_diffs),
-            sim_b_ms=_mean(sims_b),
-            s_diff_b_ms=_mean(s_diffs_b),
-            sim_std_ms=_std(sims),
-            s_diff_std_ms=_std(s_diffs),
-            sim_b_std_ms=_std(sims_b),
-            s_diff_b_std_ms=_std(s_diffs_b),
-        )
-        rows.append(row)
-        if progress is not None:
-            progress(
-                f"k={tasks_per_chain}: Sim={row.sim_ms:.1f} "
-                f"S-diff={row.s_diff_ms:.1f} Sim-B={row.sim_b_ms:.1f} "
-                f"S-diff-B={row.s_diff_b_ms:.1f} (ms)"
-            )
+    rows, _ = run_fig6_cd_timed(config, progress=progress, jobs=jobs)
     return rows
+
+
+def run_fig6_ab_timed(
+    config: Fig6ABConfig,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    checkpoint=None,
+) -> Tuple[List[PointAB], "object"]:
+    """:func:`run_fig6_ab` plus the campaign's timing report."""
+    from repro.parallel.campaign import run_campaign
+
+    return run_campaign(
+        "ab",
+        config,
+        jobs=jobs,
+        progress=progress,
+        checkpoint=checkpoint,
+    )
+
+
+def run_fig6_cd_timed(
+    config: Fig6CDConfig,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    checkpoint=None,
+) -> Tuple[List[PointCD], "object"]:
+    """:func:`run_fig6_cd` plus the campaign's timing report."""
+    from repro.parallel.campaign import run_campaign
+
+    return run_campaign(
+        "cd",
+        config,
+        jobs=jobs,
+        progress=progress,
+        checkpoint=checkpoint,
+    )
 
 
 def _mean(values: Sequence[float]) -> float:

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
+import json
 import sys
-import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -17,7 +17,12 @@ from repro.experiments.config import (
     Fig6ABConfig,
     Fig6CDConfig,
 )
-from repro.experiments.fig6 import PointAB, PointCD, run_fig6_ab, run_fig6_cd
+from repro.experiments.fig6 import (
+    PointAB,
+    PointCD,
+    run_fig6_ab_timed,
+    run_fig6_cd_timed,
+)
 from repro.experiments.reporting import (
     check_shapes_ab,
     check_shapes_cd,
@@ -51,28 +56,71 @@ def preset_cd(name: str) -> Fig6CDConfig:
         ) from None
 
 
+def timing_path(out_csv: Path) -> Path:
+    """The timing-report path written alongside a CSV."""
+    return out_csv.with_suffix(".timing.json")
+
+
+def _write_outputs(
+    tag: str, rows, csv_text: str, timing, out_csv: Optional[Path], stream
+) -> None:
+    if out_csv is None:
+        return
+    out_csv.parent.mkdir(parents=True, exist_ok=True)
+    out_csv.write_text(csv_text)
+    print(f"[{tag}] wrote {out_csv}", file=stream)
+    report = timing_path(out_csv)
+    report.write_text(json.dumps(timing.to_dict(), indent=2) + "\n")
+    print(f"[{tag}] wrote {report}", file=stream)
+
+
+def _point_timing_lines(timing) -> List[str]:
+    lines = []
+    for point in timing.points:
+        if point.resumed:
+            lines.append(f"x={point.x}: resumed from checkpoint")
+            continue
+        lines.append(
+            f"x={point.x}: {point.wall_s:.2f}s wall, "
+            f"{point.utilization:.0%} busy "
+            f"(gen {point.generate_s:.2f}s / ana {point.analyze_s:.2f}s / "
+            f"sim {point.simulate_s:.2f}s, {point.graphs} graphs)"
+        )
+    return lines
+
+
 def run_ab(
     config: Fig6ABConfig,
     *,
     out_csv: Optional[Path] = None,
     stream=None,
     verbose: bool = True,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    show_timing: bool = False,
 ) -> List[PointAB]:
-    """Run Fig. 6 (a)/(b), print the table, optionally save CSV."""
+    """Run Fig. 6 (a)/(b), print the table, optionally save CSV.
+
+    ``jobs`` fans per-graph work across worker processes (rows are
+    identical for any value); ``checkpoint`` enables per-point
+    resume; ``show_timing`` prints the per-point stage/utilization
+    breakdown that is always saved to ``<csv>.timing.json``.
+    """
     stream = stream if stream is not None else sys.stdout
     progress = (lambda msg: print(f"  {msg}", file=stream)) if verbose else None
-    started = time.perf_counter()
-    rows = run_fig6_ab(config, progress=progress)
-    elapsed = time.perf_counter() - started
+    rows, timing = run_fig6_ab_timed(
+        config, progress=progress, jobs=jobs, checkpoint=checkpoint
+    )
     print(render_table_ab(rows), file=stream)
-    print(f"[fig6ab] {len(rows)} points in {elapsed:.1f}s", file=stream)
+    print(f"[fig6ab] {len(rows)} points in {timing.wall_s:.1f}s", file=stream)
+    if show_timing:
+        for line in _point_timing_lines(timing):
+            print(f"  {line}", file=stream)
+        print(f"  {timing.summary()}", file=stream)
     violations = check_shapes_ab(rows)
     for violation in violations:
         print(f"[fig6ab] SHAPE VIOLATION: {violation}", file=stream)
-    if out_csv is not None:
-        out_csv.parent.mkdir(parents=True, exist_ok=True)
-        out_csv.write_text(csv_ab(rows))
-        print(f"[fig6ab] wrote {out_csv}", file=stream)
+    _write_outputs("fig6ab", rows, csv_ab(rows), timing, out_csv, stream)
     return rows
 
 
@@ -82,20 +130,24 @@ def run_cd(
     out_csv: Optional[Path] = None,
     stream=None,
     verbose: bool = True,
+    jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    show_timing: bool = False,
 ) -> List[PointCD]:
     """Run Fig. 6 (c)/(d), print the table, optionally save CSV."""
     stream = stream if stream is not None else sys.stdout
     progress = (lambda msg: print(f"  {msg}", file=stream)) if verbose else None
-    started = time.perf_counter()
-    rows = run_fig6_cd(config, progress=progress)
-    elapsed = time.perf_counter() - started
+    rows, timing = run_fig6_cd_timed(
+        config, progress=progress, jobs=jobs, checkpoint=checkpoint
+    )
     print(render_table_cd(rows), file=stream)
-    print(f"[fig6cd] {len(rows)} points in {elapsed:.1f}s", file=stream)
+    print(f"[fig6cd] {len(rows)} points in {timing.wall_s:.1f}s", file=stream)
+    if show_timing:
+        for line in _point_timing_lines(timing):
+            print(f"  {line}", file=stream)
+        print(f"  {timing.summary()}", file=stream)
     violations = check_shapes_cd(rows)
     for violation in violations:
         print(f"[fig6cd] SHAPE VIOLATION: {violation}", file=stream)
-    if out_csv is not None:
-        out_csv.parent.mkdir(parents=True, exist_ok=True)
-        out_csv.write_text(csv_cd(rows))
-        print(f"[fig6cd] wrote {out_csv}", file=stream)
+    _write_outputs("fig6cd", rows, csv_cd(rows), timing, out_csv, stream)
     return rows

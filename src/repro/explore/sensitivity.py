@@ -39,6 +39,20 @@ class SweepPoint:
     schedulable: bool
 
 
+def _period_point(params: Tuple[System, str, str, Time, str]) -> SweepPoint:
+    """One candidate of :func:`period_sensitivity` (pool-safe)."""
+    system, task, analyzed_task, period, method = params
+    graph = system.graph.copy()
+    original = graph.task(task)
+    try:
+        graph.replace_task(replace(original, period=period))
+        candidate = System.build(graph)
+        bound = disparity_bound(candidate, analyzed_task, method=method)
+        return SweepPoint(value=period, bound=bound, schedulable=True)
+    except ModelError:
+        return SweepPoint(value=period, bound=None, schedulable=False)
+
+
 def period_sensitivity(
     system: System,
     task: str,
@@ -46,25 +60,33 @@ def period_sensitivity(
     candidate_periods: Sequence[Time],
     *,
     method: str = "forkjoin",
+    jobs: int = 1,
 ) -> List[SweepPoint]:
     """Disparity bound of ``analyzed_task`` per candidate ``T(task)``.
 
     Candidates that make the system unschedulable are reported with
     ``schedulable=False`` and no bound instead of raising, so a sweep
     over an aggressive range still yields a complete picture.
+    Candidates are independent full re-analyses, so ``jobs > 1`` fans
+    them across worker processes with identical results.
     """
-    results: List[SweepPoint] = []
-    for period in candidate_periods:
-        graph = system.graph.copy()
-        original = graph.task(task)
-        try:
-            graph.replace_task(replace(original, period=period))
-            candidate = System.build(graph)
-            bound = disparity_bound(candidate, analyzed_task, method=method)
-            results.append(SweepPoint(value=period, bound=bound, schedulable=True))
-        except ModelError:
-            results.append(SweepPoint(value=period, bound=None, schedulable=False))
+    from repro.parallel.engine import PoolRunner
+
+    params = [
+        (system, task, analyzed_task, period, method)
+        for period in candidate_periods
+    ]
+    with PoolRunner(jobs) as pool:
+        results, _ = pool.map_ordered(_period_point, params)
     return results
+
+
+def _capacity_point(params: Tuple[System, str, str, str, int, str]) -> SweepPoint:
+    """One candidate of :func:`buffer_capacity_sweep` (pool-safe)."""
+    system, src, dst, analyzed_task, capacity, method = params
+    candidate = system.with_channel_capacity(src, dst, capacity)
+    bound = disparity_bound(candidate, analyzed_task, method=method)
+    return SweepPoint(value=capacity, bound=bound, schedulable=True)
 
 
 def buffer_capacity_sweep(
@@ -74,6 +96,7 @@ def buffer_capacity_sweep(
     *,
     max_capacity: int = 12,
     method: str = "forkjoin",
+    jobs: int = 1,
 ) -> List[SweepPoint]:
     """Disparity bound of ``analyzed_task`` per capacity of ``channel``.
 
@@ -82,16 +105,20 @@ def buffer_capacity_sweep(
     the buffered chain's sampling window approaches the other chains'
     windows and rises again once it overshoots — with the minimum at
     the capacity Algorithm 1 computes for the binding pair.
+    ``jobs > 1`` evaluates the capacities across worker processes.
     """
     if max_capacity < 1:
         raise ModelError(f"max_capacity must be >= 1, got {max_capacity}")
     src, dst = channel
     system.graph.channel(src, dst)  # existence check
-    results: List[SweepPoint] = []
-    for capacity in range(1, max_capacity + 1):
-        candidate = system.with_channel_capacity(src, dst, capacity)
-        bound = disparity_bound(candidate, analyzed_task, method=method)
-        results.append(SweepPoint(value=capacity, bound=bound, schedulable=True))
+    from repro.parallel.engine import PoolRunner
+
+    params = [
+        (system, src, dst, analyzed_task, capacity, method)
+        for capacity in range(1, max_capacity + 1)
+    ]
+    with PoolRunner(jobs) as pool:
+        results, _ = pool.map_ordered(_capacity_point, params)
     return results
 
 

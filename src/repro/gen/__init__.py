@@ -13,6 +13,8 @@ from repro.gen.graphgen import (
 from repro.gen.scenario import (
     Scenario,
     ScenarioConfig,
+    derive_rng,
+    derive_seed,
     generate_merged_pair_scenario,
     generate_random_scenario,
 )
@@ -48,6 +50,8 @@ __all__ = [
     "to_networkx",
     "Scenario",
     "ScenarioConfig",
+    "derive_rng",
+    "derive_seed",
     "generate_merged_pair_scenario",
     "generate_random_scenario",
     "ACET_US",

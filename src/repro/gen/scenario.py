@@ -25,6 +25,29 @@ from repro.model.system import System
 from repro.model.task import ModelError
 
 
+#: Child seeds span the full Mersenne-friendly 63-bit range.
+SEED_RANGE = 2**63
+
+
+def derive_seed(rng: random.Random) -> int:
+    """Draw one independent child seed from ``rng``.
+
+    Seeding hygiene: a consumer that needs its own random stream should
+    receive ``random.Random(derive_seed(parent))`` rather than the
+    parent generator itself.  The parent then advances by exactly one
+    draw per child, no matter how much randomness the child consumes —
+    so sibling scenarios stay statistically independent and their
+    streams do not shift when an unrelated generation step changes how
+    many draws it makes.
+    """
+    return rng.randrange(SEED_RANGE)
+
+
+def derive_rng(rng: random.Random) -> random.Random:
+    """A fresh generator seeded with one draw from ``rng``."""
+    return random.Random(derive_seed(rng))
+
+
 @dataclass(frozen=True)
 class ScenarioConfig:
     """Knobs of the random-graph scenario generator."""
@@ -77,11 +100,14 @@ def generate_random_scenario(
             f"unknown generator {config.generator!r}; use 'fusion' or 'gnm'"
         )
     for attempt in range(1, config.max_attempts + 1):
+        # One parent draw per attempt: rejected attempts advance the
+        # parent stream by a fixed amount, keeping siblings independent.
+        attempt_rng = derive_rng(rng)
         if config.generator == "fusion":
-            graph = fusion_pipeline_graph(n_tasks, rng)
+            graph = fusion_pipeline_graph(n_tasks, attempt_rng)
         else:
             graph = random_cause_effect_graph(
-                n_tasks, rng, edge_factor=config.edge_factor
+                n_tasks, attempt_rng, edge_factor=config.edge_factor
             )
         sinks = graph.sinks()
         if len(sinks) != 1:
@@ -90,7 +116,7 @@ def generate_random_scenario(
         if count_source_sink_paths(graph, sink) > config.max_paths:
             continue
         deployed = deploy(
-            graph, rng, n_ecus=config.n_ecus, use_bus=config.use_bus
+            graph, attempt_rng, n_ecus=config.n_ecus, use_bus=config.use_bus
         )
         system = _try_build(deployed)
         if system is None:
@@ -115,9 +141,10 @@ def generate_merged_pair_scenario(
 ) -> Scenario:
     """A two-chains-merged-at-one-sink scenario (Fig. 6 c/d)."""
     for attempt in range(1, config.max_attempts + 1):
-        graph = merged_chain_pair(tasks_per_chain, rng)
+        attempt_rng = derive_rng(rng)
+        graph = merged_chain_pair(tasks_per_chain, attempt_rng)
         deployed = deploy(
-            graph, rng, n_ecus=config.n_ecus, use_bus=config.use_bus
+            graph, attempt_rng, n_ecus=config.n_ecus, use_bus=config.use_bus
         )
         system = _try_build(deployed)
         if system is None:

@@ -1,0 +1,32 @@
+"""Parallel experiment engine for the Fig. 6 harness and sweeps.
+
+Fans per-graph experiment work across a process pool with
+deterministic per-task seeding: ``jobs=1`` and ``jobs=N`` produce
+byte-identical CSVs (see :mod:`repro.parallel.engine` for the ordering
+guarantee and :func:`repro.experiments.fig6.graph_tasks` for the seed
+derivation).  :mod:`repro.parallel.campaign` adds per-point
+checkpoint/resume and a timing report (stage breakdown + worker
+utilization); :mod:`repro.parallel.checkpoint` holds the on-disk
+format.
+"""
+
+from repro.parallel.campaign import CampaignTiming, PointTiming, run_campaign
+from repro.parallel.checkpoint import CampaignCheckpoint, config_fingerprint
+from repro.parallel.engine import (
+    MapStats,
+    PoolRunner,
+    default_chunk_size,
+    resolve_jobs,
+)
+
+__all__ = [
+    "CampaignCheckpoint",
+    "CampaignTiming",
+    "MapStats",
+    "PointTiming",
+    "PoolRunner",
+    "config_fingerprint",
+    "default_chunk_size",
+    "resolve_jobs",
+    "run_campaign",
+]

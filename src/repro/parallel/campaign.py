@@ -1,0 +1,232 @@
+"""Fig. 6 campaign orchestration: fan out, aggregate, checkpoint, time.
+
+A *campaign* is one full Fig. 6 sweep — part ``"ab"`` or ``"cd"`` —
+executed point-by-point along the X axis.  Within a point, the
+per-graph tasks (already carrying their pre-derived seeds) run through
+a :class:`~repro.parallel.engine.PoolRunner`; one pool serves the whole
+campaign.  Because graphs are pure functions of ``(config, seed)`` and
+results are collected in input order, the produced rows — and hence the
+CSV — are identical for any ``jobs`` value.
+
+After each point the row is appended to an optional
+:class:`~repro.parallel.checkpoint.CampaignCheckpoint`, so a killed
+sweep resumes from the last completed X value.  The returned
+:class:`CampaignTiming` carries the wall time, the
+generate/analyze/simulate stage split, and the worker utilization of
+every point — the numbers the CLI prints under ``--progress`` and the
+runner stores next to the CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from functools import partial
+from typing import Callable, List, Optional, Tuple
+
+from repro.parallel.checkpoint import CampaignCheckpoint, config_fingerprint
+from repro.parallel.engine import MapStats, PoolRunner, resolve_jobs
+
+_PARTS = ("ab", "cd")
+
+
+@dataclass
+class PointTiming:
+    """Timing record of one X-axis point of a campaign."""
+
+    x: int
+    graphs: int
+    wall_s: float
+    busy_s: float
+    utilization: float
+    generate_s: float
+    analyze_s: float
+    simulate_s: float
+    resumed: bool = False
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        for key in (
+            "wall_s",
+            "busy_s",
+            "utilization",
+            "generate_s",
+            "analyze_s",
+            "simulate_s",
+        ):
+            data[key] = round(data[key], 6)
+        return data
+
+
+@dataclass
+class CampaignTiming:
+    """Aggregated observability of one campaign run."""
+
+    part: str
+    jobs: int
+    wall_s: float = 0.0
+    points: List[PointTiming] = field(default_factory=list)
+
+    @property
+    def resumed_points(self) -> int:
+        return sum(1 for point in self.points if point.resumed)
+
+    @property
+    def busy_s(self) -> float:
+        return sum(point.busy_s for point in self.points)
+
+    @property
+    def utilization(self) -> float:
+        """Whole-campaign worker busy fraction (resumed points excluded)."""
+        measured = sum(p.wall_s for p in self.points if not p.resumed)
+        if measured <= 0.0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / (measured * self.jobs))
+
+    def stage_totals(self) -> dict:
+        return {
+            "generate_s": round(sum(p.generate_s for p in self.points), 6),
+            "analyze_s": round(sum(p.analyze_s for p in self.points), 6),
+            "simulate_s": round(sum(p.simulate_s for p in self.points), 6),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "part": self.part,
+            "jobs": self.jobs,
+            "wall_s": round(self.wall_s, 6),
+            "busy_s": round(self.busy_s, 6),
+            "utilization": round(self.utilization, 4),
+            "resumed_points": self.resumed_points,
+            "stage_totals": self.stage_totals(),
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    def summary(self) -> str:
+        """One human line for ``--progress`` output."""
+        stages = self.stage_totals()
+        return (
+            f"{self.part}: {self.wall_s:.2f}s wall with {self.jobs} "
+            f"worker(s), {self.utilization:.0%} busy "
+            f"(generate {stages['generate_s']:.2f}s, "
+            f"analyze {stages['analyze_s']:.2f}s, "
+            f"simulate {stages['simulate_s']:.2f}s"
+            + (
+                f"; {self.resumed_points} point(s) resumed)"
+                if self.resumed_points
+                else ")"
+            )
+        )
+
+
+def _bindings(part: str):
+    from repro.experiments import fig6
+
+    if part == "ab":
+        return (
+            fig6.run_graph_ab,
+            fig6.aggregate_ab,
+            fig6.PointAB,
+            fig6._format_progress_ab,
+        )
+    if part == "cd":
+        return (
+            fig6.run_graph_cd,
+            fig6.aggregate_cd,
+            fig6.PointCD,
+            fig6._format_progress_cd,
+        )
+    raise ValueError(f"unknown Fig. 6 part {part!r}; use one of {_PARTS}")
+
+
+def run_campaign(
+    part: str,
+    config,
+    *,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    checkpoint: Optional[str] = None,
+) -> Tuple[list, CampaignTiming]:
+    """Run one Fig. 6 sweep; returns ``(rows, timing)``.
+
+    Args:
+        part: ``"ab"`` or ``"cd"``.
+        config: The sweep preset (:class:`Fig6ABConfig` /
+            :class:`Fig6CDConfig`).
+        jobs: Worker processes (``0``/negative means every CPU; ``1``
+            runs inline with no pool).
+        progress: Optional line sink (one line per completed point,
+            plus a final timing summary).
+        checkpoint: Optional JSON path; completed points are persisted
+            there and skipped on the next run with the same ``(part,
+            config)``.  The file is kept after completion — delete it
+            to force a fresh sweep.
+    """
+    import time
+
+    from repro.experiments import fig6
+
+    run_graph, aggregate, row_type, fmt = _bindings(part)
+    timing = CampaignTiming(part=part, jobs=resolve_jobs(jobs))
+    store: Optional[CampaignCheckpoint] = None
+    if checkpoint is not None:
+        store = CampaignCheckpoint(checkpoint, config_fingerprint(part, config))
+        resumable = store.load()
+        if resumable and progress is not None:
+            progress(f"checkpoint: {resumable} completed point(s) found")
+
+    tasks = fig6.graph_tasks(config)
+    rows: list = []
+    started = time.perf_counter()
+    with PoolRunner(jobs) as pool:
+        for x in config.x_values:
+            saved = store.completed(x) if store is not None else None
+            if saved is not None:
+                row = row_type(**saved)
+                rows.append(row)
+                timing.points.append(
+                    PointTiming(
+                        x=x,
+                        graphs=config.graphs_per_point,
+                        wall_s=0.0,
+                        busy_s=0.0,
+                        utilization=0.0,
+                        generate_s=0.0,
+                        analyze_s=0.0,
+                        simulate_s=0.0,
+                        resumed=True,
+                    )
+                )
+                if progress is not None:
+                    progress(f"{fmt(row)} [resumed]")
+                continue
+            point_tasks = [task for task in tasks if task.x == x]
+            results, stats = pool.map_ordered(
+                partial(run_graph, config), point_tasks
+            )
+            row = aggregate(x, results)
+            rows.append(row)
+            timing.points.append(_point_timing(x, results, stats))
+            if store is not None:
+                store.record(x, asdict(row))
+            if progress is not None:
+                progress(fmt(row))
+    timing.wall_s = time.perf_counter() - started
+    if progress is not None:
+        progress(timing.summary())
+    return rows, timing
+
+
+def _point_timing(x: int, results, stats: MapStats) -> PointTiming:
+    return PointTiming(
+        x=x,
+        graphs=len(results),
+        wall_s=stats.wall_s,
+        busy_s=stats.busy_s,
+        utilization=stats.utilization,
+        generate_s=sum(r.timing.generate_s for r in results),
+        analyze_s=sum(r.timing.analyze_s for r in results),
+        simulate_s=sum(r.timing.simulate_s for r in results),
+    )
+
+
+__all__ = ["CampaignTiming", "PointTiming", "run_campaign"]

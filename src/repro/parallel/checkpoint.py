@@ -1,0 +1,95 @@
+"""Per-point checkpointing of Fig. 6 campaigns.
+
+A campaign writes one JSON file, updated after every completed X-axis
+point, so an interrupted sweep resumes from the last completed point
+instead of restarting.  The file is keyed by a fingerprint of
+``(part, config)``: resuming against a different configuration discards
+the stale checkpoint rather than silently mixing incompatible rows.
+
+The JSON is written atomically (temp file + rename) — a kill mid-write
+leaves the previous consistent checkpoint in place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+
+def config_fingerprint(part: str, config) -> str:
+    """Stable digest of one campaign's identity.
+
+    Frozen-dataclass ``repr`` covers every field deterministically, so
+    any change to the preset (X grid, seeds, durations, scenario knobs)
+    changes the fingerprint.
+    """
+    return hashlib.sha256(f"{part}:{config!r}".encode()).hexdigest()
+
+
+class CampaignCheckpoint:
+    """Load/save the per-point progress of one campaign run."""
+
+    def __init__(self, path: str, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self._rows: Dict[str, dict] = {}
+        self._order: List[str] = []
+
+    def load(self) -> int:
+        """Read the checkpoint; returns the number of resumable points.
+
+        A missing file, unreadable JSON, or a fingerprint mismatch all
+        yield an empty (fresh) checkpoint.
+        """
+        self._rows = {}
+        self._order = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        if data.get("fingerprint") != self.fingerprint:
+            return 0
+        rows = data.get("rows")
+        order = data.get("order")
+        if not isinstance(rows, dict) or not isinstance(order, list):
+            return 0
+        self._rows = rows
+        self._order = [str(x) for x in order]
+        return len(self._order)
+
+    def completed(self, x: int) -> Optional[dict]:
+        """The saved row dict of point ``x``, or ``None`` if not done."""
+        return self._rows.get(str(x))
+
+    def record(self, x: int, row: dict) -> None:
+        """Persist point ``x`` as completed (atomic rewrite)."""
+        key = str(x)
+        self._rows[key] = row
+        if key not in self._order:
+            self._order.append(key)
+        payload = {
+            "fingerprint": self.fingerprint,
+            "order": self._order,
+            "rows": self._rows,
+        }
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, self.path)
+
+    def clear(self) -> None:
+        """Delete the checkpoint file (after a campaign completes)."""
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+
+__all__ = ["CampaignCheckpoint", "config_fingerprint"]

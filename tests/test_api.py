@@ -1,0 +1,164 @@
+"""The :class:`repro.api.AnalysisSession` facade and API deprecations.
+
+Covers the session's cache-reuse contract (repeated queries return the
+*same object* without recomputation), method-name normalization, and
+the backward-compatible deprecation shims on the top-level package.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+import repro.api
+from repro import AnalysisSession, generate_random_scenario, seconds
+from repro.core.disparity import METHOD_ALIASES, normalize_method
+from repro.sim.metrics import DisparityMonitor
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_random_scenario(10, random.Random(7))
+
+
+@pytest.fixture()
+def session(scenario):
+    return AnalysisSession(scenario.system)
+
+
+class TestCacheReuse:
+    def test_worst_case_returns_same_object(self, session, scenario):
+        first = session.worst_case(scenario.sink)
+        second = session.worst_case(scenario.sink)
+        assert first is second
+
+    def test_alias_methods_share_one_memo_entry(self, session, scenario):
+        canonical = session.worst_case(scenario.sink, method="forkjoin")
+        via_alias = session.worst_case(scenario.sink, method="s-diff")
+        assert canonical is via_alias
+
+    def test_no_recompute_after_first_query(self, session, scenario, monkeypatch):
+        session.worst_case(scenario.sink)
+
+        def explode(*args, **kwargs):
+            raise AssertionError("cached result must not be recomputed")
+
+        monkeypatch.setattr(repro.api, "worst_case_disparity", explode)
+        session.worst_case(scenario.sink)  # served from the memo
+
+    def test_chains_enumerated_once(self, session, scenario):
+        assert session.chains(scenario.sink) is session.chains(scenario.sink)
+
+    def test_backward_bounds_cache_warm_after_first_query(self, session, scenario):
+        session.disparity(scenario.sink, method="independent")
+        cached = len(session.cache)
+        assert cached > 0
+        session.disparity(scenario.sink, method="independent")
+        assert len(session.cache) == cached
+
+    def test_matches_functional_api(self, session, scenario):
+        from repro.core.disparity import disparity_bound
+
+        assert session.disparity(scenario.sink) == disparity_bound(
+            scenario.system, scenario.sink, method="forkjoin"
+        )
+
+    def test_all_sinks_covers_every_sink(self, session):
+        results = session.all_sinks()
+        assert set(results) == set(session.graph.sinks())
+
+
+class TestMethodNormalization:
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [
+            ("p-diff", "independent"),
+            ("P-Diff", "independent"),
+            ("theorem1", "independent"),
+            ("s-diff", "forkjoin"),
+            ("  SDIFF ", "forkjoin"),
+            ("best", "best"),
+        ],
+    )
+    def test_aliases(self, alias, canonical):
+        assert normalize_method(alias) == canonical
+
+    def test_unknown_method_raises_value_error_listing_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            normalize_method("bogus")
+        message = str(excinfo.value)
+        assert "independent" in message and "forkjoin" in message
+        assert "p-diff" in message  # aliases are listed too
+
+    def test_session_rejects_unknown_method(self, session, scenario):
+        with pytest.raises(ValueError):
+            session.disparity(scenario.sink, method="bogus")
+
+    def test_disparity_bound_accepts_cli_names(self, scenario):
+        from repro.core.disparity import disparity_bound
+
+        assert disparity_bound(
+            scenario.system, scenario.sink, method="s-diff"
+        ) == disparity_bound(scenario.system, scenario.sink, method="forkjoin")
+
+    def test_every_alias_maps_to_a_canonical_method(self):
+        assert set(METHOD_ALIASES.values()) == {
+            "independent",
+            "forkjoin",
+            "best",
+        }
+
+
+class TestSimulation:
+    def test_simulate_accepts_policy_names(self, session):
+        result = session.simulate(seconds(1), seed=3, policy="wcet")
+        assert result.stats.jobs_completed > 0
+
+    def test_simulate_is_deterministic_per_seed(self, session, scenario):
+        def observed(seed):
+            monitor = DisparityMonitor([scenario.sink])
+            session.simulate(seconds(1), seed=seed, observers=[monitor])
+            return monitor.disparity(scenario.sink)
+
+        assert observed(11) == observed(11)
+
+    def test_observed_disparity_below_bound(self, session, scenario):
+        observed = session.observed_disparity(
+            scenario.sink, sims=3, duration=seconds(2), rng=random.Random(5)
+        )
+        assert observed <= session.disparity(scenario.sink)
+
+    def test_buffered_session_reuses_response_times(self, session, scenario):
+        design = session.design_buffers(scenario.sink)
+        buffered = session.with_buffer_plan(design.plan)
+        assert buffered.response_times() is session.response_times()
+
+
+class TestDeprecations:
+    def test_all_sink_disparities_warns_but_works(self, scenario):
+        with pytest.warns(DeprecationWarning, match="all_sinks"):
+            fn = repro.all_sink_disparities
+        results = fn(scenario.system)
+        assert set(results) == set(scenario.system.graph.sinks())
+
+    def test_check_disparity_requirement_warns_but_works(self, scenario):
+        with pytest.warns(DeprecationWarning, match="check_requirement"):
+            fn = repro.check_disparity_requirement
+        assert fn(scenario.system, scenario.sink, 10**15)
+
+    def test_deprecated_names_stay_in_all(self):
+        assert "all_sink_disparities" in repro.__all__
+        assert "check_disparity_requirement" in repro.__all__
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_name
+
+    def test_direct_module_import_does_not_warn(self, recwarn):
+        from repro.core.disparity import all_sink_disparities  # noqa: F401
+
+        assert not [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]

@@ -1,0 +1,202 @@
+"""The parallel experiment engine: parity, chunking, checkpoint/resume.
+
+The headline guarantee is determinism: because every Fig. 6 graph task
+carries a pre-derived seed and results are collected in input order,
+``jobs=1`` and ``jobs=N`` must produce byte-identical CSVs.  These
+tests pin that guarantee at every layer — the generic pool map, the
+campaign orchestration, and the rendered CSV text.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import partial
+
+import pytest
+
+from repro.experiments.config import SMOKE_AB, SMOKE_CD
+from repro.experiments.fig6 import (
+    graph_tasks,
+    run_fig6_ab,
+    run_fig6_ab_timed,
+    run_fig6_cd,
+    run_graph_ab,
+)
+from repro.experiments.reporting import csv_ab, csv_cd
+from repro.parallel import (
+    CampaignCheckpoint,
+    PoolRunner,
+    config_fingerprint,
+    default_chunk_size,
+    resolve_jobs,
+    run_campaign,
+)
+from repro.units import seconds
+
+TINY_AB = SMOKE_AB.scaled(
+    x_values=(5, 8), graphs_per_point=2, sims_per_graph=2,
+    sim_duration=seconds(2), warmup=seconds(1),
+)
+TINY_CD = SMOKE_CD.scaled(
+    x_values=(4, 6), graphs_per_point=2, sims_per_graph=2,
+    sim_duration=seconds(2), warmup=seconds(1),
+)
+
+
+class TestPoolEngine:
+    def test_map_ordered_serial(self):
+        config = TINY_AB
+        tasks = graph_tasks(config)
+        with PoolRunner(1) as pool:
+            results, stats = pool.map_ordered(
+                partial(run_graph_ab, config), tasks
+            )
+        assert [r.seed for r in results] == [t.seed for t in tasks]
+        assert stats.n_items == len(tasks)
+        assert stats.busy_s > 0.0
+        assert stats.wall_s >= stats.busy_s * 0.5  # sanity, same process
+
+    def test_map_ordered_parallel_matches_serial(self):
+        config = TINY_AB
+        tasks = graph_tasks(config)
+        fn = partial(run_graph_ab, config)
+        with PoolRunner(1) as pool:
+            serial, _ = pool.map_ordered(fn, tasks)
+        with PoolRunner(3, chunk_size=1) as pool:
+            parallel, stats = pool.map_ordered(fn, tasks)
+
+        def measured(result):
+            # Everything except the wall-clock timing, which varies.
+            return (result.n_tasks, result.graph_index, result.seed,
+                    result.sim_ms, result.p_diff_ms, result.s_diff_ms)
+
+        assert [measured(r) for r in serial] == [measured(r) for r in parallel]
+        assert stats.jobs == 3
+        assert stats.n_chunks == len(tasks)
+
+    def test_completion_order_callback_covers_every_item(self):
+        config = TINY_AB
+        tasks = graph_tasks(config)
+        seen = []
+        with PoolRunner(2) as pool:
+            results, _ = pool.map_ordered(
+                partial(run_graph_ab, config),
+                tasks,
+                on_item=lambda index, result: seen.append(index),
+            )
+        assert sorted(seen) == list(range(len(tasks)))
+        assert all(r is not None for r in results)
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+    def test_default_chunk_size(self):
+        assert default_chunk_size(100, 1) == 100
+        assert default_chunk_size(100, 4) == 6
+        assert default_chunk_size(2, 8) == 1  # never zero
+
+
+class TestSeedDerivation:
+    def test_seeds_fixed_per_task_regardless_of_filter(self):
+        config = TINY_AB
+        full = {(t.x, t.graph_index): t.seed for t in graph_tasks(config)}
+        only_last = graph_tasks(config, x_values=(config.x_values[-1],))
+        for task in only_last:
+            assert full[(task.x, task.graph_index)] == task.seed
+
+    def test_seeds_distinct(self):
+        seeds = [t.seed for t in graph_tasks(SMOKE_AB)]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestCsvParity:
+    def test_ab_jobs1_vs_jobs4_identical_csv(self):
+        serial = csv_ab(run_fig6_ab(TINY_AB, jobs=1))
+        parallel = csv_ab(run_fig6_ab(TINY_AB, jobs=4))
+        assert serial == parallel
+
+    def test_cd_jobs1_vs_jobs4_identical_csv(self):
+        serial = csv_cd(run_fig6_cd(TINY_CD, jobs=1))
+        parallel = csv_cd(run_fig6_cd(TINY_CD, jobs=4))
+        assert serial == parallel
+
+
+class TestTiming:
+    def test_stage_breakdown_and_utilization(self):
+        rows, timing = run_fig6_ab_timed(TINY_AB, jobs=2)
+        assert len(rows) == len(TINY_AB.x_values)
+        assert timing.wall_s > 0.0
+        assert 0.0 < timing.utilization <= 1.0
+        totals = timing.stage_totals()
+        assert totals["simulate_s"] > 0.0
+        report = timing.to_dict()
+        assert [p["x"] for p in report["points"]] == list(TINY_AB.x_values)
+        json.dumps(report)  # must be JSON-serializable as-is
+
+
+class TestCheckpoint:
+    def test_round_trip_resumes_every_point(self, tmp_path):
+        path = str(tmp_path / "ab.ckpt.json")
+        rows, first = run_fig6_ab_timed(TINY_AB, checkpoint=path)
+        assert first.resumed_points == 0
+        again, second = run_fig6_ab_timed(TINY_AB, checkpoint=path)
+        assert again == rows
+        assert second.resumed_points == len(TINY_AB.x_values)
+
+    def test_partial_checkpoint_resumes_prefix(self, tmp_path):
+        path = str(tmp_path / "ab.ckpt.json")
+        rows, _ = run_fig6_ab_timed(TINY_AB, checkpoint=path)
+        # Drop the last completed point, as if the run had been killed.
+        data = json.loads(open(path).read())
+        last = data["order"].pop()
+        del data["rows"][last]
+        open(path, "w").write(json.dumps(data))
+        again, timing = run_fig6_ab_timed(TINY_AB, checkpoint=path)
+        assert again == rows
+        assert timing.resumed_points == len(TINY_AB.x_values) - 1
+
+    def test_config_change_invalidates_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ab.ckpt.json")
+        run_fig6_ab_timed(TINY_AB, checkpoint=path)
+        changed = TINY_AB.scaled(seed=TINY_AB.seed + 1)
+        _, timing = run_fig6_ab_timed(changed, checkpoint=path)
+        assert timing.resumed_points == 0
+
+    def test_corrupt_checkpoint_is_ignored(self, tmp_path):
+        path = str(tmp_path / "ab.ckpt.json")
+        open(path, "w").write("not json {")
+        rows, timing = run_fig6_ab_timed(TINY_AB, checkpoint=path)
+        assert timing.resumed_points == 0
+        assert len(rows) == len(TINY_AB.x_values)
+
+    def test_fingerprint_covers_part_and_config(self):
+        assert config_fingerprint("ab", TINY_AB) != config_fingerprint(
+            "cd", TINY_AB
+        )
+        assert config_fingerprint("ab", TINY_AB) != config_fingerprint(
+            "ab", TINY_AB.scaled(graphs_per_point=3)
+        )
+
+    def test_store_survives_reload(self, tmp_path):
+        path = str(tmp_path / "store.json")
+        store = CampaignCheckpoint(path, "fp")
+        store.record(5, {"n_tasks": 5, "sim_ms": 1.0})
+        fresh = CampaignCheckpoint(path, "fp")
+        assert fresh.load() == 1
+        assert fresh.completed(5) == {"n_tasks": 5, "sim_ms": 1.0}
+        assert fresh.completed(8) is None
+
+
+class TestCampaign:
+    def test_unknown_part_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign("xy", TINY_AB)
+
+    def test_progress_lines_cover_points_and_summary(self):
+        lines = []
+        run_campaign("ab", TINY_AB, progress=lines.append)
+        assert len(lines) == len(TINY_AB.x_values) + 1
+        assert "wall" in lines[-1]
