@@ -33,7 +33,11 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional, Sequence, Tuple, Union
 
-from repro.chains.backward import BackwardBounds, BackwardBoundsCache
+from repro.chains.backward import (
+    BackwardBounds,
+    BackwardBoundsCache,
+    BackwardBoundsTable,
+)
 from repro.core.disparity import (
     TaskDisparityResult,
     normalize_method,
@@ -70,7 +74,7 @@ class AnalysisSession:
 
     def __init__(self, system: System, *, bounds_strategy=None) -> None:
         self._system = system
-        self._cache = BackwardBoundsCache(system, strategy=bounds_strategy)
+        self._cache = BackwardBoundsTable(system, strategy=bounds_strategy)
         self._chains: Dict[str, Tuple[Chain, ...]] = {}
         self._results: Dict[Tuple[str, str, bool], TaskDisparityResult] = {}
 

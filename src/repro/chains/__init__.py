@@ -3,6 +3,7 @@
 from repro.chains.backward import (
     BackwardBounds,
     BackwardBoundsCache,
+    BackwardBoundsTable,
     backward_bounds,
     bcbt_lower,
     hop_budget,
@@ -23,6 +24,7 @@ from repro.chains.latency import (
 __all__ = [
     "BackwardBounds",
     "BackwardBoundsCache",
+    "BackwardBoundsTable",
     "backward_bounds",
     "bcbt_lower",
     "hop_budget",

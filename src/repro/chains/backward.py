@@ -42,7 +42,7 @@ metrics use a warm-up horizon accordingly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Iterable, Tuple
 
 from repro.model.chain import Chain
 from repro.model.system import System
@@ -180,5 +180,138 @@ class BackwardBoundsCache:
         """Memoized ``B(chain)``."""
         return self.bounds(chain).bcbt
 
+    def register(self, chains: Iterable[Chain]) -> None:
+        """Pre-compute the bounds of ``chains`` (and their prefixes).
+
+        A no-op beyond warming the memo: callers that are about to
+        evaluate an all-pairs loop (``worst_case_disparity``) register
+        the enumerated chains up front so the loop itself only performs
+        dictionary hits.
+        """
+        for chain in chains:
+            self.bounds(chain)
+
     def __len__(self) -> int:
         return len(self._cache)
+
+
+class BackwardBoundsTable(BackwardBoundsCache):
+    """DAG-shared backward bounds: a prefix-sharing dynamic program.
+
+    The disparity analysis evaluates ``W``/``B`` for every sub-chain of
+    every decomposition of every chain pair, and those sub-chains share
+    almost all of their prefixes (they are paths through one DAG).  The
+    plain :class:`BackwardBoundsCache` memoizes whole chains but still
+    pays ``O(len(chain))`` per *distinct* chain; this table instead
+
+    * computes each per-hop ingredient exactly once per **edge**
+      (``theta_i`` of Lemma 4 plus the Lemma 6 capacity shift folded
+      into one interned edge weight) and once per **task** (``B`` and
+      ``R``), and
+    * accumulates ``W``/``B`` along a trie of chain prefixes, so a
+      chain costs ``O(1)`` amortized once any chain sharing its prefix
+      has been seen.
+
+    Both lemmas are sums of per-edge/per-task terms, so the prefix
+    recurrence is exact:
+
+        W(pi[:k+1])  = W(pi[:k])  + theta(pi^k, pi^{k+1}) + shift(edge)
+        SB(pi[:k+1]) = SB(pi[:k]) + B(pi^{k+1}) + shift(edge)
+        B(pi)        = SB(pi) - R(pi.tail)          (len > 1)
+
+    with ``W = B = 0`` for single-task chains, matching
+    :func:`wcbt_upper` / :func:`bcbt_lower` bit for bit.
+
+    A non-default ``strategy`` (e.g. LET retargeting) bypasses the DP
+    and behaves exactly like the base cache — the recurrence above is
+    only known to be sound for the paper's additive bounds.
+    """
+
+    def __init__(self, system: System, strategy=None) -> None:
+        super().__init__(system, strategy=strategy)
+        self._shared_dp = strategy is None
+        # tasks-tuple -> (W accumulator, sum-of-B accumulator), both
+        # including every capacity shift along the prefix.
+        self._prefix: Dict[Tuple[str, ...], Tuple[Time, Time]] = {}
+        self._edge_weight: Dict[Tuple[str, str], Tuple[Time, Time]] = {}
+        self._task_b: Dict[str, Time] = {}
+        self._task_r: Dict[str, Time] = {}
+
+    def _edge(self, producer: str, consumer: str) -> Tuple[Time, Time]:
+        """Interned ``(theta + shift, B(consumer) + shift)`` of one hop."""
+        key = (producer, consumer)
+        found = self._edge_weight.get(key)
+        if found is None:
+            system = self._system
+            channel = system.graph.channel(producer, consumer)
+            shift = (channel.capacity - 1) * system.T(producer)
+            theta = hop_budget(system, producer, consumer)
+            found = (theta + shift, self._b(consumer) + shift)
+            self._edge_weight[key] = found
+        return found
+
+    def _b(self, name: str) -> Time:
+        found = self._task_b.get(name)
+        if found is None:
+            found = self._task_b[name] = self._system.B(name)
+        return found
+
+    def _r(self, name: str) -> Time:
+        found = self._task_r.get(name)
+        if found is None:
+            found = self._task_r[name] = self._system.R(name)
+        return found
+
+    def _accumulators(self, tasks: Tuple[str, ...]) -> Tuple[Time, Time]:
+        """``(W, sum B)`` of the prefix ``tasks``, extending the trie.
+
+        Walks back to the longest already-known prefix and extends it
+        one edge at a time, memoizing every intermediate prefix (they
+        are the alphas/betas of upcoming decompositions).
+        """
+        prefix = self._prefix
+        found = prefix.get(tasks)
+        if found is not None:
+            return found
+        # Find the longest memoized ancestor.
+        known = len(tasks) - 1
+        while known > 1 and tasks[:known] not in prefix:
+            known -= 1
+        if known <= 1:
+            acc = (0, self._b(tasks[0]))
+            prefix[tasks[:1]] = acc
+            known = 1
+        else:
+            acc = prefix[tasks[:known]]
+        w_acc, sb_acc = acc
+        for index in range(known, len(tasks)):
+            w_edge, b_edge = self._edge(tasks[index - 1], tasks[index])
+            w_acc += w_edge
+            sb_acc += b_edge
+            prefix[tasks[: index + 1]] = (w_acc, sb_acc)
+        return (w_acc, sb_acc)
+
+    def bounds(self, chain: Chain) -> BackwardBounds:
+        """Bounds of ``chain`` via the prefix DP (memoized)."""
+        if not self._shared_dp:
+            return super().bounds(chain)
+        key = chain.tasks
+        found = self._cache.get(key)
+        if found is None:
+            if len(key) == 1:
+                found = BackwardBounds(chain=chain, wcbt=0, bcbt=0)
+            else:
+                try:
+                    w_acc, sb_acc = self._accumulators(key)
+                except KeyError as exc:
+                    # Unknown edge or task: surface the same diagnostic
+                    # the per-chain path produces.
+                    chain.validate(self._system.graph)
+                    raise ModelError(
+                        f"backward bounds lookup failed for {chain}: {exc}"
+                    ) from exc
+                found = BackwardBounds(
+                    chain=chain, wcbt=w_acc, bcbt=sb_acc - self._r(key[-1])
+                )
+            self._cache[key] = found
+        return found

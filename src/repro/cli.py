@@ -6,6 +6,7 @@ Usage examples::
     python -m repro fig6 --part cd --preset default --csv out/fig6cd.csv
     python -m repro fig6 --part ab --jobs 4 --progress --checkpoint out/ab.ckpt
     python -m repro analyze --tasks 15 --seed 7
+    python -m repro bench --check BENCH_kernel.json
     python -m repro waters
 
 ``fig6`` regenerates the paper's evaluation figures as text tables (and
@@ -26,7 +27,27 @@ from typing import Optional, Sequence
 from repro.units import seconds, to_ms
 
 
+def _profiled(func, args: argparse.Namespace) -> tuple:
+    """Re-run ``func(args)`` under cProfile with the flag cleared."""
+    from repro.profile import profile_to_text
+
+    args.profile = False
+    return profile_to_text(func, args)
+
+
 def _cmd_fig6(args: argparse.Namespace) -> int:
+    if getattr(args, "profile", False):
+        # Per-stage wall times already land in <csv>.timing.json; the
+        # cProfile report goes next to it (or stdout without a CSV).
+        code, text = _profiled(_cmd_fig6, args)
+        if args.csv:
+            path = Path(args.csv).with_suffix(".profile.txt")
+            path.write_text(text, encoding="utf-8")
+            print(f"[fig6] wrote {path}")
+        else:
+            print(text, end="")
+        return code
+
     from repro.experiments import preset_ab, preset_cd, run_ab, run_cd
 
     part = args.part
@@ -84,8 +105,13 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if getattr(args, "profile", False):
+        code, text = _profiled(_cmd_analyze, args)
+        print(text, end="")
+        return code
+
     from repro.buffers import design_buffers_multi
-    from repro.chains import BackwardBoundsCache
+    from repro.chains import BackwardBoundsTable
     from repro.core import worst_case_disparity
     from repro.gen import generate_random_scenario
     from repro.model.chain import enumerate_source_chains
@@ -111,7 +137,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(system.describe())
     print()
 
-    cache = BackwardBoundsCache(system)
+    cache = BackwardBoundsTable(system)
     chains = enumerate_source_chains(system.graph, sink)
     print(f"chains into {sink!r}: {len(chains)}")
     for chain in chains:
@@ -172,6 +198,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
+    if getattr(args, "profile", False):
+        code, text = _profiled(_cmd_diagnose, args)
+        print(text, end="")
+        return code
+
     from repro.explore import explain_disparity, render_explanation
     from repro.gen import generate_random_scenario
     from repro.model.system import System
@@ -199,6 +230,56 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
             )
         else:
             print("priority optimization: no improving swap found")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.profile import (
+        compare_to_baseline,
+        format_benchmarks,
+        load_baseline,
+        run_benchmarks,
+    )
+
+    results = run_benchmarks(quick=args.quick)
+    print(format_benchmarks(results))
+
+    if args.write:
+        path = Path(args.write)
+        # Keep the hand-recorded campaign numbers across re-measurements.
+        existing = load_baseline(path)
+        if existing and "recorded" in existing:
+            results["recorded"] = existing["recorded"]
+        path.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+
+    if args.check:
+        baseline = load_baseline(Path(args.check))
+        if baseline is None:
+            print(f"no benchmark baseline at {args.check}; nothing to check")
+            return 0
+        regressions = compare_to_baseline(
+            results, baseline, tolerance=args.tolerance
+        )
+        if not regressions:
+            print(
+                f"benchmark gate: OK "
+                f"(within {args.tolerance:.0%} of {args.check})"
+            )
+            return 0
+        strict = os.environ.get("BENCH_STRICT", "") not in ("", "0")
+        prefix = "::error::" if strict else "::warning::"
+        for message in regressions:
+            print(f"{prefix}benchmark regression: {message}")
+        if strict:
+            return 1
+        print(
+            "benchmark gate: soft-fail (shared-runner timing is noisy; "
+            "set BENCH_STRICT=1 to fail hard)"
+        )
     return 0
 
 
@@ -273,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
         "from it on the next run with the same configuration",
     )
     fig6.add_argument("--quiet", action="store_true", help="suppress progress")
+    fig6.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and write the top-30 cumulative report "
+        "to <csv>.profile.txt (stdout without --csv)",
+    )
     fig6.set_defaults(func=_cmd_fig6)
 
     analyze = subparsers.add_parser(
@@ -288,6 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--task", help="analyzed task (default: the graph's sink)"
+    )
+    analyze.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a cProfile top-30 report after the analysis",
     )
     analyze.set_defaults(func=_cmd_analyze)
 
@@ -317,7 +409,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the priority-swap local search",
     )
+    diagnose.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a cProfile top-30 report after the diagnosis",
+    )
     diagnose.set_defaults(func=_cmd_diagnose)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="measure simulator-kernel and analysis throughput",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink horizons for CI (metrics stay comparable)",
+    )
+    bench.add_argument(
+        "--write",
+        metavar="PATH",
+        help="write the measurements as JSON (e.g. BENCH_kernel.json)",
+    )
+    bench.add_argument(
+        "--check",
+        metavar="PATH",
+        help="compare against a committed baseline JSON; prints "
+        "::warning:: lines on regression (exit 1 with BENCH_STRICT=1)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative slowdown tolerated by --check (default 0.25)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     waters = subparsers.add_parser(
         "waters", help="print the embedded WATERS 2015 tables"

@@ -46,6 +46,11 @@ class _WindowedDisparity(Observer):
         if disparity > self.per_window.get(index, -1):
             self.per_window[index] = disparity
 
+    @property
+    def interested_tasks(self) -> frozenset:
+        """Only the measured task (engine fast-path dispatch filter)."""
+        return frozenset((self._task,))
+
 
 @dataclass(frozen=True)
 class SteadyStateResult:
@@ -76,6 +81,36 @@ def warmup_horizon(system: System) -> Time:
     return max_offset + propagation + fill
 
 
+def _window_values(
+    system: System,
+    task: str,
+    *,
+    policy: ExecTimePolicy,
+    seed: int,
+    semantics: str,
+    warmup: Time,
+    hyperperiod: Time,
+    horizon_windows: int,
+    count: int,
+) -> List[Time]:
+    """Per-hyperperiod maxima of the first ``count`` windows.
+
+    Simulates ``warmup + horizon_windows * H``; windows beyond the
+    horizon (or without any completed sample) read as 0, matching the
+    historical behaviour of the single-shot measurement.
+    """
+    monitor = _WindowedDisparity(task, hyperperiod, warmup)
+    Simulator(
+        system,
+        warmup + horizon_windows * hyperperiod,
+        seed=seed,
+        policy=policy,
+        observers=[monitor],
+        semantics=semantics,
+    ).run()
+    return [monitor.per_window.get(i, 0) for i in range(count)]
+
+
 def steady_state_disparity(
     system: System,
     task: str,
@@ -96,20 +131,48 @@ def steady_state_disparity(
         raise ModelError(f"max_windows must be >= 2, got {max_windows}")
     hyperperiod = system.graph.hyperperiod()
     warmup = warmup_horizon(system)
-    monitor = _WindowedDisparity(task, hyperperiod, warmup)
-    duration = warmup + max_windows * hyperperiod
-    Simulator(
-        system,
-        duration,
-        seed=seed,
-        policy=policy,
-        observers=[monitor],
-        semantics=semantics,
-    ).run()
 
-    values: List[Time] = [
-        monitor.per_window.get(i, 0) for i in range(max_windows)
-    ]
+    # Early exit: convergence is decided by the *first two* windows
+    # agreeing, so when every response-time bound fits inside one
+    # hyperperiod a ``warmup + 3H`` prefix already contains every
+    # completion of a job released in those two windows — the probe
+    # values are exactly the values the full horizon would yield, and
+    # the (typical) converging case never pays for ``max_windows``
+    # hyperperiods.  The gate needs ``max_windows >= 3`` so the probe
+    # horizon never exceeds the full one with different window values.
+    if max_windows >= 3 and all(
+        system.R(t.name) <= hyperperiod for t in system.graph.tasks
+    ):
+        first = _window_values(
+            system,
+            task,
+            policy=policy,
+            seed=seed,
+            semantics=semantics,
+            warmup=warmup,
+            hyperperiod=hyperperiod,
+            horizon_windows=3,
+            count=2,
+        )
+        if first[0] == first[1]:
+            return SteadyStateResult(
+                disparity=first[1],
+                converged=True,
+                windows_used=2,
+                hyperperiod=hyperperiod,
+            )
+
+    values = _window_values(
+        system,
+        task,
+        policy=policy,
+        seed=seed,
+        semantics=semantics,
+        warmup=warmup,
+        hyperperiod=hyperperiod,
+        horizon_windows=max_windows,
+        count=max_windows,
+    )
     for index in range(1, max_windows):
         if values[index] == values[index - 1]:
             return SteadyStateResult(

@@ -30,7 +30,9 @@ from repro.sim.metrics import (
     ObservedRange,
 )
 from repro.sim.provenance import (
+    PackedProvenance,
     Provenance,
+    ProvenancePacker,
     Token,
     disparity_of,
     merge_provenance,
@@ -58,6 +60,8 @@ __all__ = [
     "FaultPlan",
     "StalenessMonitor",
     "render_gantt",
+    "PackedProvenance",
+    "ProvenancePacker",
     "BackwardTimeMonitor",
     "DataAgeMonitor",
     "DisparityMonitor",

@@ -42,15 +42,21 @@ from __future__ import annotations
 
 import heapq
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.model.graph import CauseEffectGraph
 from repro.model.system import System
 from repro.model.task import ModelError, Task
 from repro.sim.channels import ChannelState
 from repro.sim.exec_time import ExecTimePolicy, uniform_policy
-from repro.sim.provenance import Token, merge_provenance, source_token
+from repro.sim.provenance import (
+    ProvenancePacker,
+    Token,
+    merge_provenance,
+    source_token,
+)
 from repro.units import Time
 
 _PHASE_PUBLISH = 0
@@ -58,6 +64,7 @@ _PHASE_RELEASE = 1
 _PHASE_FINISH = 2
 
 _SEMANTICS = ("implicit", "let")
+_LOOPS = ("auto", "fast", "classic", "general")
 
 
 class Job:
@@ -161,6 +168,15 @@ class Simulator:
         faults: Optional release-dropout schedule
             (:class:`repro.sim.faults.FaultPlan`); suppressed releases
             produce no job, so consumers keep reading stale data.
+        loop: Event-loop selection, primarily a testing aid.  ``"auto"``
+            (default) picks the fastest exact loop for the run:
+            the two-phase fast path for implicit semantics without
+            faults when every CPU task has ``BCET >= 1``, the classic
+            inlined loop when some CPU task can execute in zero time,
+            and the general loop for LET/fault runs.  ``"fast"``,
+            ``"classic"`` and ``"general"`` force a specific loop (and
+            raise when the run is not eligible for it); all loops
+            produce identical results.
     """
 
     def __init__(
@@ -173,6 +189,7 @@ class Simulator:
         observers: Sequence[Observer] = (),
         semantics: str = "implicit",
         faults=None,
+        loop: str = "auto",
     ) -> None:
         if duration <= 0:
             raise ModelError(f"duration must be positive, got {duration}")
@@ -180,6 +197,11 @@ class Simulator:
             raise ModelError(
                 f"unknown semantics {semantics!r}; choose from {_SEMANTICS}"
             )
+        if loop not in _LOOPS:
+            raise ModelError(f"unknown loop {loop!r}; choose from {_LOOPS}")
+        self._loop = loop
+        self._fastflow: Optional["_FastFlow"] = None
+        self._fast_channels_done: Set[Tuple[str, str]] = set()
         self._semantics = semantics
         self._faults = faults
         if faults is not None:
@@ -230,22 +252,69 @@ class Simulator:
         return cls(System.build(graph), duration, **kwargs)
 
     def channel_state(self, src: str, dst: str) -> ChannelState:
-        """Inspect a channel's run-time state (tests/debugging)."""
-        return self._channels[(src, dst)]
+        """Inspect a channel's run-time state (tests/debugging).
+
+        After a fast-path run the channel contents are reconstructed
+        lazily on first access (the fast path never materializes
+        per-channel buffers during the run).
+        """
+        state = self._channels[(src, dst)]
+        if self._fastflow is not None and (src, dst) not in self._fast_channels_done:
+            self._fast_channels_done.add((src, dst))
+            self._fastflow.fill_channel(state)
+        return state
+
+    def _select_loop(self) -> str:
+        """Resolve the ``loop`` argument against this run's features."""
+        choice = self._loop
+        if choice == "general":
+            return "general"
+        if self._semantics != "implicit" or self._faults is not None:
+            if choice != "auto":
+                raise ModelError(
+                    f"loop {choice!r} requires implicit semantics without "
+                    f"faults; this run needs the general loop"
+                )
+            return "general"
+        if choice == "classic":
+            return "classic"
+        # The two-phase fast path resolves data flow after the fact
+        # from "writes at t are visible to reads at t" bisection; a CPU
+        # job that can execute in zero time would finish in a later
+        # sub-batch of the same instant, breaking that rule, so such
+        # systems stay on the classic loop.
+        eligible = all(
+            task.bcet >= 1 and task.ecu is not None
+            for task in self._graph.tasks
+            if not task.is_instantaneous
+        )
+        if choice == "fast":
+            if not eligible:
+                raise ModelError(
+                    "loop 'fast' requires every CPU task to have BCET >= 1 "
+                    "and a unit assignment"
+                )
+            return "fast"
+        return "fast" if eligible else "classic"
 
     def run(self) -> SimulationResult:
         """Run to the horizon and return stats plus the observers."""
-        for task in self._graph.tasks:
-            self._push(task.offset, _PHASE_RELEASE, task)
-        if self._semantics == "implicit" and self._faults is None:
-            # The Fig. 6 harness spends >99% of its wall time here, so
-            # the common case (implicit communication, no fault plan)
-            # runs on a specialized loop with the per-event helpers
-            # inlined; the general loop below keeps the readable,
-            # hook-by-hook form for LET and fault-injection runs.
-            self._run_events_implicit()
+        loop = self._select_loop()
+        if loop == "fast":
+            # The Fig. 6 harness spends >99% of its wall time in the
+            # simulator, so the common case (implicit communication, no
+            # fault plan, no zero-time CPU jobs) runs on a two-phase
+            # fast path: a schedule-only event loop over integer
+            # tuples, then lazy data-flow reconstruction for the jobs
+            # observers actually monitor.
+            self._run_fastpath()
         else:
-            self._run_events_general()
+            for task in self._graph.tasks:
+                self._push(task.offset, _PHASE_RELEASE, task)
+            if loop == "classic":
+                self._run_events_implicit()
+            else:
+                self._run_events_general()
         for unit in self._units.values():
             self._stats.busy_time[unit.name] = unit.busy_time
         for observer in self._observers:
@@ -561,6 +630,395 @@ class Simulator:
         self._stats.jobs_released += jobs_released
         self._stats.jobs_completed += jobs_completed
 
+    def _run_fastpath(self) -> None:
+        """Two-phase fast path: schedule first, data flow lazily after.
+
+        Under implicit communication, scheduling never depends on data
+        (reads never block), so phase 1 simulates the schedule alone —
+        an event loop over plain integer tuples with no jobs, tokens,
+        channels or provenance, and with the release streams of
+        off-CPU instantaneous tasks (sources, zero-WCET relays) taken
+        out of the event queue entirely and generated arithmetically.
+        Execution times are drawn at dispatch in the same global
+        chronological order as the classic loop, so the schedule is
+        bit-identical for any policy and seed.
+
+        Phase 2 (:class:`_FastFlow`) reconstructs data flow only where
+        something observes it: the write visible to a read at time
+        ``t`` is found by bisecting the producer's completion times
+        (FIFO head = ``max(0, writes - capacity)``), and provenance is
+        merged as interned bitmasks (:class:`ProvenancePacker`),
+        memoized over the backward closure of the monitored jobs.
+        Channel states are rebuilt on first :meth:`channel_state`
+        access.  Eligibility (checked by :meth:`_select_loop`): every
+        CPU task executes for at least one time unit, so all events of
+        one instant sit in a single batch and "writes at ``t`` are
+        visible to reads at ``t``" has no intra-instant ordering
+        hazard.
+
+        The loop exploits three structural invariants for speed, all
+        order-preserving (the execution-time draws stay in the exact
+        global chronological dispatch order of the classic loop):
+
+        * popping an event and pushing its successor (a release
+          reschedules the next release; a finish on a unit with a
+          non-empty ready queue dispatches the next job) collapse into
+          one ``heapreplace`` sift;
+        * a unit that is idle between instants always has an empty
+          ready queue (whenever a unit goes idle the loop immediately
+          dispatches from its queue if possible), so a single release
+          arriving at an idle unit dispatches directly, skipping the
+          ready-heap round-trip entirely;
+        * a finish event at an instant is only ever followed by other
+          finish events at that instant (releases sort first at equal
+          times), and same-instant finishes on *other* units cannot
+          change this unit's ready queue — so the head finish can
+          complete and re-dispatch before its siblings are drained.
+
+        The completion stream handed to observers is filtered *during*
+        the run to the tasks any observer is interested in; most
+        completions are then a counter increment and nothing else.
+        """
+        graph = self._graph
+        duration = self._duration
+        tasks = tuple(graph.tasks)
+        n = len(tasks)
+        inst = [task.is_instantaneous for task in tasks]
+        periods = [task.period for task in tasks]
+        offsets = [task.offset for task in tasks]
+        prios = [task.priority or 0 for task in tasks]
+        bcets = [task.bcet for task in tasks]
+        spans = [task.wcet - task.bcet + 1 for task in tasks]
+
+        unit_names = sorted(self._units)
+        unit_index = {name: i for i, name in enumerate(unit_names)}
+        unit_of = [
+            unit_index[task.ecu] if task.ecu is not None else -1
+            for task in tasks
+        ]
+        n_units = len(unit_names)
+        ready: List[List[Tuple[int, int, int]]] = [[] for _ in range(n_units)]
+        running = [-1] * n_units
+        busy = [0] * n_units
+        unit_dispatches = [0] * n_units
+
+        starts: List[List[Time]] = [[] for _ in range(n)]
+        execs: List[List[Time]] = [[] for _ in range(n)]
+        completed = [0] * n
+        comp_times: List[Time] = []
+        comp_gids: List[int] = []
+        ct_append = comp_times.append
+        cg_append = comp_gids.append
+
+        # Which tasks' completions any observer wants: the completion
+        # stream is filtered while the run is hot instead of afterwards.
+        monitored: Optional[Set[str]] = set()
+        for observer in self._observers:
+            interested = observer.interested_tasks
+            if interested is None:
+                monitored = None
+                break
+            monitored.update(interested)
+        if not self._observers:
+            record = [False] * n
+        elif monitored is None:
+            record = [True] * n
+        else:
+            record = [task.name in monitored for task in tasks]
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
+        policy = self._policy
+        rng = self._rng
+        rng_random = rng.random
+        fast_uniform = policy is uniform_policy
+        seq = 0
+
+        # Releases and finishes live in separate heaps: the release
+        # heap holds one entry per CPU task, the finish heap one entry
+        # per *busy unit* (usually just a handful), so finish sifts are
+        # near-free.  "Releases before finishes at equal times" — the
+        # phase ordering the single-heap loops encode in the tuple —
+        # becomes the ``<=`` in the head comparison below; the shared
+        # ``seq`` counter keeps every same-phase tie in the exact order
+        # the classic loop would process.  A sentinel beyond the
+        # horizon keeps both heaps non-empty (no emptiness checks).
+        sentinel = duration + 1
+        rel_heap: List[Tuple[Time, int, int]] = []
+        for tid in range(n):
+            if not inst[tid]:
+                seq += 1
+                rel_heap.append((offsets[tid], seq, tid))
+        rel_heap.append((sentinel, 0, -1))
+        heapq.heapify(rel_heap)
+        fin_heap: List[Tuple[Time, int, int]] = [(sentinel, 0, -1)]
+
+        def draw(tid: int, index: int) -> Time:
+            """Non-default policy draw, with the range re-check."""
+            task = tasks[tid]
+            exec_time = policy(task, index, rng)
+            if not task.bcet <= exec_time <= task.wcet:
+                raise ModelError(
+                    f"policy returned execution time {exec_time} outside "
+                    f"[{task.bcet}, {task.wcet}] for {task.name!r}"
+                )
+            return exec_time
+
+        def dispatch(u: int, now: Time) -> None:
+            """Start the next ready job (multi-event instants only)."""
+            nonlocal seq
+            _, _, tid = heappop(ready[u])
+            task_starts = starts[tid]
+            task_starts.append(now)
+            if fast_uniform:
+                span = spans[tid]
+                exec_time = (
+                    bcets[tid] + int(rng_random() * span)
+                    if span > 1
+                    else bcets[tid]
+                )
+            else:
+                exec_time = draw(tid, len(task_starts) - 1)
+            execs[tid].append(exec_time)
+            running[u] = tid
+            seq += 1
+            heappush(fin_heap, (now + exec_time, seq, u))
+
+        while True:
+            head = rel_heap[0]
+            now = head[0]
+            if now <= fin_heap[0][0]:
+                # Release event (at equal times releases go first).
+                if now > duration:
+                    break
+                tid = head[2]
+                next_release = now + periods[tid]
+                if next_release <= duration:
+                    seq += 1
+                    heapreplace(rel_heap, (next_release, seq, tid))
+                else:
+                    heappop(rel_heap)
+                u = unit_of[tid]
+                if rel_heap[0][0] == now or fin_heap[0][0] == now:
+                    # Multi-event instant: queue this release and fall
+                    # through to the batched path (it may be outranked
+                    # by a same-instant higher-priority release).
+                    seq += 1
+                    heappush(ready[u], (prios[tid], seq, tid))
+                    touched = [u]
+                    while rel_heap[0][0] == now:
+                        tid2 = heappop(rel_heap)[2]
+                        nr = now + periods[tid2]
+                        if nr <= duration:
+                            seq += 1
+                            heappush(rel_heap, (nr, seq, tid2))
+                        u2 = unit_of[tid2]
+                        seq += 1
+                        heappush(ready[u2], (prios[tid2], seq, tid2))
+                        touched.append(u2)
+                    while fin_heap[0][0] == now:
+                        u2 = heappop(fin_heap)[2]
+                        tid2 = running[u2]
+                        if record[tid2]:
+                            ct_append(now)
+                            cg_append(tid2)
+                        running[u2] = -1
+                        touched.append(u2)
+                    for u2 in touched:
+                        if running[u2] < 0 and ready[u2]:
+                            dispatch(u2, now)
+                elif running[u] < 0:
+                    # Idle unit => empty ready queue (the loop always
+                    # drains the queue when a unit goes idle), so this
+                    # release dispatches directly — no heap round-trip.
+                    task_starts = starts[tid]
+                    task_starts.append(now)
+                    if fast_uniform:
+                        span = spans[tid]
+                        exec_time = (
+                            bcets[tid] + int(rng_random() * span)
+                            if span > 1
+                            else bcets[tid]
+                        )
+                    else:
+                        exec_time = draw(tid, len(task_starts) - 1)
+                    execs[tid].append(exec_time)
+                    running[u] = tid
+                    seq += 1
+                    heappush(fin_heap, (now + exec_time, seq, u))
+                else:
+                    seq += 1
+                    heappush(ready[u], (prios[tid], seq, tid))
+            else:
+                # Finish event.  Any same-instant siblings are finishes
+                # too (releases sort first), and they cannot touch this
+                # unit's ready queue — complete and re-dispatch here,
+                # folding the pop + next-finish push into one sift.
+                head = fin_heap[0]
+                now = head[0]
+                if now > duration:
+                    break
+                u = head[2]
+                tid = running[u]
+                if record[tid]:
+                    ct_append(now)
+                    cg_append(tid)
+                rq = ready[u]
+                if rq:
+                    _, _, tid = heappop(rq)
+                    task_starts = starts[tid]
+                    task_starts.append(now)
+                    if fast_uniform:
+                        span = spans[tid]
+                        exec_time = (
+                            bcets[tid] + int(rng_random() * span)
+                            if span > 1
+                            else bcets[tid]
+                        )
+                    else:
+                        exec_time = draw(tid, len(task_starts) - 1)
+                    execs[tid].append(exec_time)
+                    running[u] = tid
+                    seq += 1
+                    heapreplace(fin_heap, (now + exec_time, seq, u))
+                else:
+                    running[u] = -1
+                    heappop(fin_heap)
+                if fin_heap[0][0] == now:
+                    # Remaining same-instant finishes, batched: complete
+                    # all (their writes land at ``now`` regardless of
+                    # processing order), then dispatch idle units in the
+                    # same order the classic loop would.
+                    fin2: List[int] = []
+                    while fin_heap[0][0] == now:
+                        fin2.append(heappop(fin_heap)[2])
+                    for u2 in fin2:
+                        tid2 = running[u2]
+                        if record[tid2]:
+                            ct_append(now)
+                            cg_append(tid2)
+                        running[u2] = -1
+                    for u2 in fin2:
+                        if running[u2] < 0 and ready[u2]:
+                            dispatch(u2, now)
+
+        # Every per-event counter the live loops maintain is derivable
+        # from the recorded schedule, so the hot loop skips them all:
+        # per-task finish times are monotonic (jobs of one task execute
+        # sequentially on one unit), hence only the *last* dispatched
+        # job of a task can outlive the horizon, and busy time /
+        # dispatch counts are plain sums over the start/exec arrays.
+        releases_processed = 0
+        finishes_processed = 0
+        for tid in range(n):
+            if inst[tid]:
+                continue
+            offset = offsets[tid]
+            if offset <= duration:
+                releases_processed += (duration - offset) // periods[tid] + 1
+            task_starts = starts[tid]
+            task_execs = execs[tid]
+            done = len(task_starts)
+            if done and task_starts[-1] + task_execs[-1] > duration:
+                done -= 1
+            completed[tid] = done
+            finishes_processed += done
+            u = unit_of[tid]
+            busy[u] += sum(task_execs)
+            unit_dispatches[u] += len(task_starts)
+
+        for name, u in unit_index.items():
+            state = self._units[name]
+            state.busy_time = busy[u]
+            state.dispatches = unit_dispatches[u]
+
+        # Instantaneous tasks never entered the event queue; their
+        # release/completion counters are pure arithmetic.
+        inst_releases = 0
+        for tid in range(n):
+            if inst[tid] and offsets[tid] <= duration:
+                inst_releases += (duration - offsets[tid]) // periods[tid] + 1
+        self._stats.events_processed += (
+            releases_processed + finishes_processed + inst_releases
+        )
+        self._stats.jobs_released += releases_processed + inst_releases
+        self._stats.jobs_completed += finishes_processed + inst_releases
+
+        self._fastflow = flow = _FastFlow(
+            graph=graph,
+            duration=duration,
+            tasks=tasks,
+            inst=inst,
+            periods=periods,
+            offsets=offsets,
+            starts=starts,
+            execs=execs,
+            completed=completed,
+            topo_index=self._topo_index,
+        )
+        if self._observers:
+            self._fastpath_notify(flow, comp_times, comp_gids)
+
+    def _fastpath_notify(
+        self,
+        flow: "_FastFlow",
+        comp_times: List[Time],
+        comp_gids: List[int],
+    ) -> None:
+        """Replay the completion stream of monitored tasks, in order.
+
+        The classic loop notifies per completion in global chronological
+        order — CPU finishes in processed order first, then same-instant
+        instantaneous completions in topological order.  Restricting
+        that stream to the tasks any observer is interested in preserves
+        the relative order the observers would have seen.
+        """
+        tasks = flow.tasks
+        name_of = [task.name for task in tasks]
+        monitored: Optional[Set[str]] = set()
+        for observer in self._observers:
+            interested = observer.interested_tasks
+            if interested is None:
+                monitored = None
+                break
+            monitored.update(interested)
+        notify_for: Dict[str, Tuple[Observer, ...]] = {
+            task.name: tuple(
+                observer
+                for observer in self._observers
+                if observer.interested_tasks is None
+                or task.name in observer.interested_tasks
+            )
+            for task in tasks
+        }
+
+        # (time, 0=CPU/1=instantaneous, tie-break, gid, job index)
+        stream: List[Tuple[Time, int, int, int, int]] = []
+        counters = [0] * len(tasks)
+        for order, gid in enumerate(comp_gids):
+            index = counters[gid]
+            counters[gid] = index + 1
+            if monitored is None or name_of[gid] in monitored:
+                stream.append((comp_times[order], 0, order, gid, index))
+        topo = flow.topo_index
+        for gid, task in enumerate(tasks):
+            if not flow.inst[gid]:
+                continue
+            if monitored is not None and task.name not in monitored:
+                continue
+            period = flow.periods[gid]
+            offset = flow.offsets[gid]
+            key = topo[task.name]
+            for index in range(flow.n_releases(gid)):
+                stream.append((offset + index * period, 1, key, gid, index))
+        stream.sort()
+
+        for _, _, _, gid, index in stream:
+            job, token = flow.materialize(gid, index)
+            for observer in notify_for[name_of[gid]]:
+                observer.on_job_complete(job, token)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -677,6 +1135,226 @@ class Simulator:
             observer.on_job_complete(job, token)
 
 
+class _FastFlow:
+    """Lazy data-flow reconstruction over a completed fast-path run.
+
+    Phase 1 recorded, per task, the start/execution times of every
+    dispatched job (CPU tasks) or nothing at all (instantaneous tasks,
+    whose behaviour is pure arithmetic over ``offset + k * period``).
+    This resolver answers "what did job ``k`` of task ``v`` read?"
+    after the fact:
+
+    * the number of writes of producer ``u`` visible to a read at time
+      ``s`` is ``bisect_right(finish_times(u), s)`` (writes at ``t``
+      are visible to reads at ``t``, matching the per-instant phase
+      ordering of the live loops);
+    * the FIFO head among ``m`` visible writes on a channel of
+      capacity ``c`` is write ``max(0, m - c)`` — eviction only ever
+      removes the oldest token;
+    * provenance is folded bottom-up over that read relation as
+      interned bitmask + stamp-array values
+      (:class:`~repro.sim.provenance.ProvenancePacker`), memoized per
+      ``(task, job)``, so only the backward closure of the jobs
+      somebody observes is ever resolved.
+
+    Tokens and jobs are materialized (with plain dict provenance) only
+    at the observer/channel boundary, keeping observer and test
+    compatibility with the live loops.
+    """
+
+    __slots__ = (
+        "tasks",
+        "inst",
+        "periods",
+        "offsets",
+        "topo_index",
+        "duration",
+        "_names",
+        "_gid",
+        "_starts",
+        "_execs",
+        "_completed",
+        "_finishes",
+        "_in_ch",
+        "_is_source",
+        "_packer",
+        "_prov",
+        "_reads",
+        "_tokens",
+    )
+
+    def __init__(
+        self,
+        *,
+        graph: CauseEffectGraph,
+        duration: Time,
+        tasks: Tuple[Task, ...],
+        inst: List[bool],
+        periods: List[Time],
+        offsets: List[Time],
+        starts: List[List[Time]],
+        execs: List[List[Time]],
+        completed: List[int],
+        topo_index: Dict[str, int],
+    ) -> None:
+        self.tasks = tasks
+        self.inst = inst
+        self.periods = periods
+        self.offsets = offsets
+        self.topo_index = topo_index
+        self.duration = duration
+        self._names = [task.name for task in tasks]
+        self._gid = {task.name: i for i, task in enumerate(tasks)}
+        self._starts = starts
+        self._execs = execs
+        self._completed = completed
+        self._finishes: List[Optional[List[Time]]] = [None] * len(tasks)
+        gid = self._gid
+        self._in_ch: List[List[Tuple[int, int]]] = [
+            [
+                (gid[p], graph.channel(p, task.name).capacity)
+                for p in graph.predecessors(task.name)
+            ]
+            for task in tasks
+        ]
+        sources = graph.sources()
+        self._is_source = [task.name in set(sources) for task in tasks]
+        self._packer = ProvenancePacker(sources)
+        self._prov: Dict[Tuple[int, int], tuple] = {}
+        self._reads: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
+        self._tokens: Dict[Tuple[int, int], Token] = {}
+
+    # -- write/read geometry -------------------------------------------
+
+    def n_releases(self, gid: int) -> int:
+        """Releases of task ``gid`` processed within the horizon."""
+        offset = self.offsets[gid]
+        if offset > self.duration:
+            return 0
+        return (self.duration - offset) // self.periods[gid] + 1
+
+    def _finish_times(self, gid: int) -> List[Time]:
+        found = self._finishes[gid]
+        if found is None:
+            starts = self._starts[gid]
+            execs = self._execs[gid]
+            found = [
+                starts[k] + execs[k] for k in range(self._completed[gid])
+            ]
+            self._finishes[gid] = found
+        return found
+
+    def _writes_upto(self, gid: int, time: Time) -> int:
+        """Writes of ``gid`` visible to a read at ``time`` (<=)."""
+        if self.inst[gid]:
+            offset = self.offsets[gid]
+            if time < offset:
+                return 0
+            return (time - offset) // self.periods[gid] + 1
+        return bisect_right(self._finish_times(gid), time)
+
+    def total_writes(self, gid: int) -> int:
+        """All writes of ``gid`` within the horizon."""
+        if self.inst[gid]:
+            return self.n_releases(gid)
+        return self._completed[gid]
+
+    def reads_of(self, gid: int, index: int) -> Tuple[Tuple[int, int], ...]:
+        """``(producer gid, producer write index)`` read by job ``index``."""
+        key = (gid, index)
+        found = self._reads.get(key)
+        if found is None:
+            if self.inst[gid]:
+                at = self.offsets[gid] + index * self.periods[gid]
+            else:
+                at = self._starts[gid][index]
+            reads = []
+            for producer, capacity in self._in_ch[gid]:
+                m = self._writes_upto(producer, at)
+                if m:
+                    reads.append(
+                        (producer, m - capacity if m > capacity else 0)
+                    )
+            found = tuple(reads)
+            self._reads[key] = found
+        return found
+
+    # -- provenance / materialization ----------------------------------
+
+    def _prov_of(self, gid: int, index: int) -> tuple:
+        key = (gid, index)
+        found = self._prov.get(key)
+        if found is None:
+            if self._is_source[gid]:
+                stamp = self.offsets[gid] + index * self.periods[gid]
+                found = self._packer.source(self._names[gid], stamp)
+            else:
+                reads = self.reads_of(gid, index)
+                if not reads:
+                    found = self._packer.empty
+                elif len(reads) == 1:
+                    found = self._prov_of(*reads[0])
+                else:
+                    found = self._packer.merge(
+                        self._prov_of(p, k) for p, k in reads
+                    )
+            self._prov[key] = found
+        return found
+
+    def token(self, gid: int, index: int) -> Token:
+        """The output token of completed job ``index`` of task ``gid``."""
+        key = (gid, index)
+        found = self._tokens.get(key)
+        if found is None:
+            name = self._names[gid]
+            release = self.offsets[gid] + index * self.periods[gid]
+            if self._is_source[gid]:
+                found = Token(release, name, release, {name: (release, release)})
+            else:
+                produced_at = (
+                    release
+                    if self.inst[gid]
+                    else self._finish_times(gid)[index]
+                )
+                found = Token(
+                    produced_at,
+                    name,
+                    release,
+                    self._packer.unpack(self._prov_of(gid, index)),
+                )
+            self._tokens[key] = found
+        return found
+
+    def materialize(self, gid: int, index: int) -> Tuple[Job, Token]:
+        """A ``(job, token)`` pair as the live loops hand to observers."""
+        task = self.tasks[gid]
+        release = self.offsets[gid] + index * self.periods[gid]
+        job = Job(task, index, release)
+        if self.inst[gid]:
+            job.start = release
+            job.finish = release
+            job.exec_time = 0
+        else:
+            job.start = self._starts[gid][index]
+            job.exec_time = self._execs[gid][index]
+            job.finish = job.start + job.exec_time
+        if not self._is_source[gid]:
+            job.reads = tuple(
+                self.token(p, k) for p, k in self.reads_of(gid, index)
+            )
+        return job, self.token(gid, index)
+
+    def fill_channel(self, state: ChannelState) -> None:
+        """Rebuild a channel's counters and final buffer contents."""
+        gid = self._gid[state.src]
+        total = self.total_writes(gid)
+        state.writes = total
+        capacity = state.capacity
+        state.evictions = total - capacity if total > capacity else 0
+        for k in range(total - capacity if total > capacity else 0, total):
+            state._buffer.append(self.token(gid, k))
+
+
 def randomize_offsets(
     graph: CauseEffectGraph, rng: random.Random
 ) -> CauseEffectGraph:
@@ -700,6 +1378,7 @@ def simulate(
     observers: Sequence[Observer] = (),
     semantics: str = "implicit",
     faults=None,
+    loop: str = "auto",
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it."""
     return Simulator(
@@ -710,4 +1389,5 @@ def simulate(
         observers=observers,
         semantics=semantics,
         faults=faults,
+        loop=loop,
     ).run()

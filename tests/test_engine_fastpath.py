@@ -1,0 +1,168 @@
+"""Equivalence of the two-phase fast path with the classic event loop.
+
+Every observable of a run — job tables, stats counters, channel
+states, disparity/backward-time/data-age metrics — must be identical
+between ``loop="fast"`` (schedule-only phase + lazy data-flow
+reconstruction) and ``loop="classic"`` (the reference inlined loop).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen import generate_random_scenario
+from repro.model.system import System
+from repro.model.task import ModelError
+from repro.sim.engine import Simulator, randomize_offsets
+from repro.sim.exec_time import extremes_policy, wcet_policy
+from repro.sim.metrics import (
+    BackwardTimeMonitor,
+    DataAgeMonitor,
+    DisparityMonitor,
+    JobTableMonitor,
+)
+
+
+def _random_system(seed: int, n_tasks: int) -> System:
+    rng = random.Random(seed)
+    scenario = generate_random_scenario(n_tasks, rng)
+    graph = randomize_offsets(scenario.system.graph, rng)
+    return System(graph=graph, response_times=scenario.system.response_times)
+
+
+def _run(system, duration, seed, loop, policy=None):
+    job_table = JobTableMonitor()
+    disparity = DisparityMonitor(warmup=duration // 4)
+    backward = BackwardTimeMonitor()
+    age = DataAgeMonitor()
+    kwargs = {} if policy is None else {"policy": policy}
+    sim = Simulator(
+        system,
+        duration,
+        seed=seed,
+        observers=[job_table, disparity, backward, age],
+        loop=loop,
+        **kwargs,
+    )
+    result = sim.run()
+    return sim, result, job_table, disparity, backward, age
+
+
+def _assert_equivalent(system, duration, seed, policy=None):
+    fast = _run(system, duration, seed, "fast", policy)
+    classic = _run(system, duration, seed, "classic", policy)
+    sim_f, res_f, jobs_f, disp_f, back_f, age_f = fast
+    sim_c, res_c, jobs_c, disp_c, back_c, age_c = classic
+
+    # Stats counters.
+    assert res_f.stats.jobs_released == res_c.stats.jobs_released
+    assert res_f.stats.jobs_completed == res_c.stats.jobs_completed
+    assert res_f.stats.events_processed == res_c.stats.events_processed
+    assert res_f.stats.busy_time == res_c.stats.busy_time
+
+    # Full job table, in notification order.
+    assert jobs_f.jobs == jobs_c.jobs
+    instantaneous = {
+        task.name for task in system.graph.tasks if task.is_instantaneous
+    }
+    jobs_f.check_invariants(instantaneous)
+
+    # Metrics.
+    assert disp_f.max_disparity == disp_c.max_disparity
+    assert disp_f.samples == disp_c.samples
+    assert back_f.ranges.keys() == back_c.ranges.keys()
+    for key in back_f.ranges:
+        assert back_f.ranges[key] == back_c.ranges[key]
+    for key in age_f.ranges:
+        assert age_f.ranges[key] == age_c.ranges[key]
+
+    # Channel states (lazily reconstructed on the fast path).
+    for channel in system.graph.channels:
+        state_f = sim_f.channel_state(channel.src, channel.dst)
+        state_c = sim_c.channel_state(channel.src, channel.dst)
+        assert state_f.writes == state_c.writes
+        assert state_f.evictions == state_c.evictions
+        snap_f, snap_c = state_f.snapshot(), state_c.snapshot()
+        assert len(snap_f) == len(snap_c)
+        for tok_f, tok_c in zip(snap_f, snap_c):
+            assert tok_f.produced_at == tok_c.produced_at
+            assert tok_f.producer == tok_c.producer
+            assert tok_f.producer_release == tok_c.producer_release
+            assert tok_f.provenance == tok_c.provenance
+        state_f.validate_fifo_order()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_tasks=st.integers(min_value=5, max_value=14),
+)
+def test_fastpath_matches_classic_uniform(seed, n_tasks):
+    system = _random_system(seed, n_tasks)
+    duration = 3 * max(task.period for task in system.graph.tasks)
+    _assert_equivalent(system, duration, seed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_fastpath_matches_classic_other_policies(seed):
+    system = _random_system(seed, 8)
+    duration = 3 * max(task.period for task in system.graph.tasks)
+    _assert_equivalent(system, duration, seed, policy=wcet_policy)
+    _assert_equivalent(system, duration, seed, policy=extremes_policy)
+
+
+def test_fastpath_matches_classic_with_buffers():
+    system = _random_system(123, 10)
+    # Enlarge every channel into a small FIFO (Lemma 6 territory).
+    plan = {
+        (c.src, c.dst): 1 + (i % 3)
+        for i, c in enumerate(system.graph.channels)
+    }
+    buffered = system.with_buffer_plan(plan)
+    duration = 4 * max(task.period for task in buffered.graph.tasks)
+    _assert_equivalent(buffered, duration, 123)
+
+
+def test_fastpath_rejected_for_let_and_faults():
+    system = _random_system(5, 6)
+    with pytest.raises(ModelError):
+        Simulator(system, 10**9, semantics="let", loop="fast").run()
+    from repro.sim.faults import FaultPlan
+
+    task = next(t.name for t in system.graph.tasks)
+    plan = FaultPlan().drop(task, 0, 10**8)
+    with pytest.raises(ModelError):
+        Simulator(system, 10**9, faults=plan, loop="fast").run()
+
+
+def test_auto_falls_back_on_zero_bcet():
+    from repro.model.graph import CauseEffectGraph
+    from repro.model.task import Task
+    from repro.units import ms
+
+    graph = CauseEffectGraph()
+    graph.add_task(
+        Task("s", period=ms(10), wcet=0, bcet=0, offset=ms(1), ecu="e", priority=2)
+    )
+    graph.add_task(
+        Task(
+            "t",
+            period=ms(10),
+            wcet=ms(2),
+            bcet=0,
+            offset=ms(2),
+            ecu="e",
+            priority=1,
+        )
+    )
+    graph.add_channel("s", "t")
+    system = System.build(graph)
+    sim = Simulator(system, ms(100))
+    assert sim._select_loop() == "classic"
+    with pytest.raises(ModelError):
+        Simulator(system, ms(100), loop="fast").run()

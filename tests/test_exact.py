@@ -123,3 +123,64 @@ class TestOffsetSearch:
             maximize_disparity_offsets(
                 fusion_system(), "fuse", random.Random(0), restarts=0
             )
+
+
+class TestSteadyStateEarlyExit:
+    """The warmup+3H convergence probe must not change any result."""
+
+    @staticmethod
+    def _reference(system, task, max_windows=8):
+        """The pre-probe algorithm: one full-horizon run, then scan."""
+        from repro.exact.hyperperiod import _window_values
+
+        hyperperiod = system.graph.hyperperiod()
+        warmup = warmup_horizon(system)
+        values = _window_values(
+            system,
+            task,
+            policy=wcet_policy,
+            seed=0,
+            semantics="implicit",
+            warmup=warmup,
+            hyperperiod=hyperperiod,
+            horizon_windows=max_windows,
+            count=max_windows,
+        )
+        for index in range(1, max_windows):
+            if values[index] == values[index - 1]:
+                return (values[index], True, index + 1)
+        return (max(values), False, max_windows)
+
+    def test_probe_matches_full_run_on_random_scenarios(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.gen import generate_random_scenario
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            seed=st.integers(min_value=0, max_value=2**31 - 1),
+            n_tasks=st.integers(min_value=5, max_value=10),
+        )
+        def check(seed, n_tasks):
+            scenario = generate_random_scenario(n_tasks, random.Random(seed))
+            system, sink = scenario.system, scenario.sink
+            result = steady_state_disparity(system, sink)
+            reference = self._reference(system, sink)
+            assert (
+                result.disparity,
+                result.converged,
+                result.windows_used,
+            ) == reference
+
+        check()
+
+    def test_probe_matches_full_run_on_fusion_offsets(self):
+        for offset in (0, 3, 7, 15, 29):
+            system = fusion_system(offset)
+            result = steady_state_disparity(system, "fuse")
+            assert (
+                result.disparity,
+                result.converged,
+                result.windows_used,
+            ) == self._reference(system, "fuse")
