@@ -47,9 +47,10 @@ from repro.model.chain import Chain, enumerate_source_chains
 from repro.model.graph import CauseEffectGraph
 from repro.model.system import System
 from repro.sched.response_time import ResponseTimeTable
+from repro.sim.batch import BatchResult, CompiledScenario, run_batch
 from repro.sim.engine import Observer, SimulationResult, randomize_offsets, simulate
 from repro.sim.exec_time import ExecTimePolicy, named_policy
-from repro.sim.metrics import DisparityMonitor
+from repro.sim.metrics import DisparityMonitor  # noqa: F401  (re-export)
 from repro.units import Time
 
 #: A policy given either by CLI name or as a callable.
@@ -77,6 +78,7 @@ class AnalysisSession:
         self._cache = BackwardBoundsTable(system, strategy=bounds_strategy)
         self._chains: Dict[str, Tuple[Chain, ...]] = {}
         self._results: Dict[Tuple[str, str, bool], TaskDisparityResult] = {}
+        self._compiled: Dict[str, CompiledScenario] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -275,21 +277,55 @@ class AnalysisSession:
         generator seeded with ``seed``), and returns the largest
         disparity any run observed — the ``Sim`` estimator of Fig. 6,
         a *lower* bound on the true worst case.
+
+        Replications run through the batched engine
+        (:mod:`repro.sim.batch`): the scenario is compiled once per
+        session and reused, with results byte-identical to ``sims``
+        sequential :meth:`simulate` calls under the same generator.
         """
-        if rng is None:
-            rng = random.Random(seed)
-        worst: Time = 0
-        for _ in range(sims):
-            monitor = DisparityMonitor([task], warmup=warmup)
-            self.simulate(
-                duration,
-                seed=rng.randrange(2**31),
-                policy=policy,
-                observers=[monitor],
-                offsets_rng=rng,
-            )
-            worst = max(worst, monitor.disparity(task))
-        return worst
+        return self.observed_batch(
+            task,
+            sims=sims,
+            duration=duration,
+            warmup=warmup,
+            rng=rng,
+            seed=seed,
+            policy=policy,
+        ).max_disparity
+
+    def observed_batch(
+        self,
+        task: str,
+        *,
+        sims: int,
+        duration: Time,
+        warmup: Time = 0,
+        rng: Optional[random.Random] = None,
+        seed: int = 0,
+        policy: PolicyLike = "uniform",
+    ) -> BatchResult:
+        """Batched replications of ``task`` with per-run disparities.
+
+        Like :meth:`observed_disparity` but returns the full
+        :class:`~repro.sim.batch.BatchResult` (per-replication
+        disparities, percentiles, engine label and phase timing).  The
+        compiled scenario is cached per task on this session.
+        """
+        compiled = self._compiled.get(task)
+        if compiled is None:
+            compiled = CompiledScenario(self._system, task)
+            self._compiled[task] = compiled
+        return run_batch(
+            self._system,
+            task,
+            sims=sims,
+            duration=duration,
+            warmup=warmup,
+            rng=rng,
+            seed=seed,
+            policy=policy,
+            compiled=compiled,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

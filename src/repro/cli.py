@@ -5,8 +5,9 @@ Usage examples::
     python -m repro fig6 --part ab --preset smoke
     python -m repro fig6 --part cd --preset default --csv out/fig6cd.csv
     python -m repro fig6 --part ab --jobs 4 --progress --checkpoint out/ab.ckpt
-    python -m repro analyze --tasks 15 --seed 7
+    python -m repro analyze --tasks 15 --seed 7 --replications 20
     python -m repro bench --check BENCH_kernel.json
+    python -m repro bench --kernel batch
     python -m repro waters
 
 ``fig6`` regenerates the paper's evaluation figures as text tables (and
@@ -28,11 +29,46 @@ from repro.units import seconds, to_ms
 
 
 def _profiled(func, args: argparse.Namespace) -> tuple:
-    """Re-run ``func(args)`` under cProfile with the flag cleared."""
+    """Re-run ``func(args)`` under cProfile with the flag cleared.
+
+    Work done inside the batched replication engine is reported as its
+    own compile/replicate split below the cProfile table, so setup
+    amortization is visible without digging through the call tree.
+    """
     from repro.profile import profile_to_text
+    from repro.sim.batch import PHASE_TIMES, reset_phase_times
 
     args.profile = False
-    return profile_to_text(func, args)
+    reset_phase_times()
+    code, text = profile_to_text(func, args)
+    if any(PHASE_TIMES.values()):
+        text += (
+            f"batch engine phases: "
+            f"compile {PHASE_TIMES['compile_s']:.3f}s, "
+            f"replicate {PHASE_TIMES['replicate_s']:.3f}s\n"
+        )
+    return code, text
+
+
+def _print_observed(system, task: str, args: argparse.Namespace) -> None:
+    """Batched-replication summary for ``--replications N`` commands."""
+    from repro.api import AnalysisSession
+
+    duration = seconds(args.sim_duration)
+    result = AnalysisSession(system).observed_batch(
+        task,
+        sims=args.replications,
+        duration=duration,
+        warmup=duration // 4,
+        seed=args.seed or 0,
+    )
+    pct = result.percentiles()
+    print(
+        f"observed disparity ({result.sims} replications, "
+        f"{args.sim_duration:g}s horizon, {result.engine} engine): "
+        f"max {to_ms(result.max_disparity):.3f}ms, "
+        f"p50 {to_ms(pct['p50']):.3f}ms, p90 {to_ms(pct['p90']):.3f}ms"
+    )
 
 
 def _cmd_fig6(args: argparse.Namespace) -> int:
@@ -168,6 +204,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         )
     else:
         print("buffer design: no improvement found")
+    if args.replications:
+        print()
+        _print_observed(system, sink, args)
     return 0
 
 
@@ -217,6 +256,9 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         system = scenario.system
         task = args.task if args.task else scenario.sink
     print(render_explanation(explain_disparity(system, task)))
+    if args.replications:
+        print()
+        _print_observed(system, task, args)
     if args.optimize:
         from repro.explore import optimize_priorities
 
@@ -238,13 +280,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
     from repro.profile import (
+        KERNELS,
         compare_to_baseline,
         format_benchmarks,
         load_baseline,
         run_benchmarks,
     )
 
-    results = run_benchmarks(quick=args.quick)
+    kernels = KERNELS if args.kernel == "all" else (args.kernel,)
+    results = run_benchmarks(quick=args.quick, kernels=kernels)
     print(format_benchmarks(results))
 
     if args.write:
@@ -333,6 +377,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig6.add_argument("--duration", type=float, help="simulated seconds per run")
     fig6.add_argument("--graphs", type=int, help="graphs per X point")
     fig6.add_argument("--sims", type=int, help="simulations per graph")
+    fig6.add_argument(
+        "--replications",
+        type=int,
+        dest="sims",
+        help="alias for --sims (replications per graph)",
+    )
     fig6.add_argument("--seed", type=int, help="master seed")
     fig6.add_argument(
         "--jobs",
@@ -377,6 +427,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--task", help="analyzed task (default: the graph's sink)"
     )
     analyze.add_argument(
+        "--replications",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also report the observed disparity over N batched "
+        "replications with random offsets",
+    )
+    analyze.add_argument(
+        "--sim-duration",
+        type=float,
+        default=6.0,
+        metavar="SECONDS",
+        help="simulated horizon per replication (default 6)",
+    )
+    analyze.add_argument(
         "--profile",
         action="store_true",
         help="print a cProfile top-30 report after the analysis",
@@ -410,6 +475,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the priority-swap local search",
     )
     diagnose.add_argument(
+        "--replications",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also report the observed disparity over N batched "
+        "replications with random offsets",
+    )
+    diagnose.add_argument(
+        "--sim-duration",
+        type=float,
+        default=6.0,
+        metavar="SECONDS",
+        help="simulated horizon per replication (default 6)",
+    )
+    diagnose.add_argument(
         "--profile",
         action="store_true",
         help="print a cProfile top-30 report after the diagnosis",
@@ -418,12 +498,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench",
-        help="measure simulator-kernel and analysis throughput",
+        help="measure simulator-kernel, batch-engine and analysis "
+        "throughput",
     )
     bench.add_argument(
         "--quick",
         action="store_true",
         help="shrink horizons for CI (metrics stay comparable)",
+    )
+    bench.add_argument(
+        "--kernel",
+        choices=("sim", "batch", "analysis", "all"),
+        default="all",
+        help="measure only one benchmark section (default: all; "
+        "--check skips sections absent from the run)",
     )
     bench.add_argument(
         "--write",

@@ -16,11 +16,16 @@ into tooling a system designer can sweep:
 
 All sweeps re-run the full analysis per candidate (response times
 included, since periods change them), so results are exact rather than
-incremental approximations.
+incremental approximations.  Each sweep can additionally measure an
+*observed* disparity per candidate (``observed_sims`` batched
+replications through :func:`repro.sim.batch.run_batch`, compiled once
+per candidate); per-candidate seeds are derived up front from ``seed``
+in input order, so the observed column is identical for any ``jobs``.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,23 +37,89 @@ from repro.units import Time
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One candidate design and its resulting disparity bound."""
+    """One candidate design and its resulting disparity bound.
+
+    ``observed`` is the max disparity over the candidate's batched
+    replications (``None`` unless the sweep requested them and the
+    candidate is schedulable) — the empirical lower bound next to the
+    analytic upper bound.
+    """
 
     value: int
     bound: Optional[Time]
     schedulable: bool
+    observed: Optional[Time] = None
 
 
-def _period_point(params: Tuple[System, str, str, Time, str]) -> SweepPoint:
+@dataclass(frozen=True)
+class _ObservedSpec:
+    """Per-sweep replication request plus one candidate's seed."""
+
+    sims: int
+    duration: Time
+    warmup: Time
+    point_seed: int
+
+
+def _observe(
+    system: System, analyzed_task: str, spec: Optional[_ObservedSpec]
+) -> Optional[Time]:
+    """Max observed disparity of one candidate (batched replications)."""
+    if spec is None or spec.sims <= 0:
+        return None
+    from repro.sim.batch import run_batch
+
+    return run_batch(
+        system,
+        analyzed_task,
+        sims=spec.sims,
+        duration=spec.duration,
+        warmup=spec.warmup,
+        rng=random.Random(spec.point_seed),
+    ).max_disparity
+
+
+def _observed_specs(
+    n_points: int,
+    sims: int,
+    duration: Optional[Time],
+    warmup: Time,
+    seed: int,
+) -> List[Optional[_ObservedSpec]]:
+    """One spec per candidate, seeds derived up front in input order."""
+    if sims <= 0:
+        return [None] * n_points
+    if duration is None or duration <= 0:
+        raise ModelError(
+            "observed_sims > 0 requires a positive observed_duration"
+        )
+    rng = random.Random(seed)
+    return [
+        _ObservedSpec(
+            sims=sims,
+            duration=duration,
+            warmup=warmup,
+            point_seed=rng.randrange(2**31),
+        )
+        for _ in range(n_points)
+    ]
+
+
+def _period_point(
+    params: Tuple[System, str, str, Time, str, Optional[_ObservedSpec]]
+) -> SweepPoint:
     """One candidate of :func:`period_sensitivity` (pool-safe)."""
-    system, task, analyzed_task, period, method = params
+    system, task, analyzed_task, period, method, spec = params
     graph = system.graph.copy()
     original = graph.task(task)
     try:
         graph.replace_task(replace(original, period=period))
         candidate = System.build(graph)
         bound = disparity_bound(candidate, analyzed_task, method=method)
-        return SweepPoint(value=period, bound=bound, schedulable=True)
+        observed = _observe(candidate, analyzed_task, spec)
+        return SweepPoint(
+            value=period, bound=bound, schedulable=True, observed=observed
+        )
     except ModelError:
         return SweepPoint(value=period, bound=None, schedulable=False)
 
@@ -61,6 +132,10 @@ def period_sensitivity(
     *,
     method: str = "forkjoin",
     jobs: int = 1,
+    observed_sims: int = 0,
+    observed_duration: Optional[Time] = None,
+    observed_warmup: Time = 0,
+    seed: int = 0,
 ) -> List[SweepPoint]:
     """Disparity bound of ``analyzed_task`` per candidate ``T(task)``.
 
@@ -68,25 +143,40 @@ def period_sensitivity(
     ``schedulable=False`` and no bound instead of raising, so a sweep
     over an aggressive range still yields a complete picture.
     Candidates are independent full re-analyses, so ``jobs > 1`` fans
-    them across worker processes with identical results.
+    them across worker processes with identical results.  With
+    ``observed_sims > 0`` each schedulable candidate also runs that
+    many batched replications of ``observed_duration`` (warmup
+    ``observed_warmup``) and reports the max observed disparity.
     """
     from repro.parallel.engine import PoolRunner
 
+    specs = _observed_specs(
+        len(candidate_periods),
+        observed_sims,
+        observed_duration,
+        observed_warmup,
+        seed,
+    )
     params = [
-        (system, task, analyzed_task, period, method)
-        for period in candidate_periods
+        (system, task, analyzed_task, period, method, spec)
+        for period, spec in zip(candidate_periods, specs)
     ]
     with PoolRunner(jobs) as pool:
         results, _ = pool.map_ordered(_period_point, params)
     return results
 
 
-def _capacity_point(params: Tuple[System, str, str, str, int, str]) -> SweepPoint:
+def _capacity_point(
+    params: Tuple[System, str, str, str, int, str, Optional[_ObservedSpec]]
+) -> SweepPoint:
     """One candidate of :func:`buffer_capacity_sweep` (pool-safe)."""
-    system, src, dst, analyzed_task, capacity, method = params
+    system, src, dst, analyzed_task, capacity, method, spec = params
     candidate = system.with_channel_capacity(src, dst, capacity)
     bound = disparity_bound(candidate, analyzed_task, method=method)
-    return SweepPoint(value=capacity, bound=bound, schedulable=True)
+    observed = _observe(candidate, analyzed_task, spec)
+    return SweepPoint(
+        value=capacity, bound=bound, schedulable=True, observed=observed
+    )
 
 
 def buffer_capacity_sweep(
@@ -97,6 +187,10 @@ def buffer_capacity_sweep(
     max_capacity: int = 12,
     method: str = "forkjoin",
     jobs: int = 1,
+    observed_sims: int = 0,
+    observed_duration: Optional[Time] = None,
+    observed_warmup: Time = 0,
+    seed: int = 0,
 ) -> List[SweepPoint]:
     """Disparity bound of ``analyzed_task`` per capacity of ``channel``.
 
@@ -106,6 +200,8 @@ def buffer_capacity_sweep(
     windows and rises again once it overshoots — with the minimum at
     the capacity Algorithm 1 computes for the binding pair.
     ``jobs > 1`` evaluates the capacities across worker processes.
+    With ``observed_sims > 0`` every capacity additionally reports the
+    max observed disparity over that many batched replications.
     """
     if max_capacity < 1:
         raise ModelError(f"max_capacity must be >= 1, got {max_capacity}")
@@ -113,9 +209,17 @@ def buffer_capacity_sweep(
     system.graph.channel(src, dst)  # existence check
     from repro.parallel.engine import PoolRunner
 
+    capacities = list(range(1, max_capacity + 1))
+    specs = _observed_specs(
+        len(capacities),
+        observed_sims,
+        observed_duration,
+        observed_warmup,
+        seed,
+    )
     params = [
-        (system, src, dst, analyzed_task, capacity, method)
-        for capacity in range(1, max_capacity + 1)
+        (system, src, dst, analyzed_task, capacity, method, spec)
+        for capacity, spec in zip(capacities, specs)
     ]
     with PoolRunner(jobs) as pool:
         results, _ = pool.map_ordered(_capacity_point, params)

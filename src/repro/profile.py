@@ -9,12 +9,16 @@ optimization work:
 * :func:`bench_sim_kernel` measures raw simulator throughput
   (completed jobs per wall-clock second) on a fixed WATERS-style
   scenario — the quantity the two-phase fast path optimizes.
+* :func:`bench_batch_kernel` measures the batched replication engine
+  (:mod:`repro.sim.batch`) against the same replications run as
+  independent simulations — a paired, in-process comparison whose
+  speedup ratio the regression gate tracks.
 * :func:`bench_analysis_scaling` measures the *per-chain* cost of the
   backward-bounds analysis on diamond-ladder graphs whose chain count
   doubles per rung; the DAG-shared prefix DP
   (:class:`repro.chains.backward.BackwardBoundsTable`) makes that cost
   *fall* as chains multiply, which the benchmark asserts.
-* :func:`run_benchmarks` bundles both into the JSON document committed
+* :func:`run_benchmarks` bundles the sections into the JSON document committed
   as ``BENCH_kernel.json``; :func:`compare_to_baseline` implements the
   CI regression gate against that file (throughput metrics only, so
   the comparison survives horizon changes between quick and full
@@ -118,6 +122,92 @@ def bench_sim_kernel(
 
 
 # ----------------------------------------------------------------------
+# batched replications vs per-run setup
+# ----------------------------------------------------------------------
+
+def bench_batch_kernel(
+    *,
+    n_tasks: int = 10,
+    sims: int = 20,
+    duration_s: float = 6.0,
+    seed: int = 2023,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Compiled batch engine vs N sequential simulator runs, paired.
+
+    Runs the same ``sims`` replications twice from identical generator
+    states — once as independent ``simulate()`` calls (per-run scenario
+    setup, the pre-batch Fig. 6 path) and once through
+    :func:`repro.sim.batch.run_batch` (compile once, replicate many) —
+    asserts the per-replication disparities match, and reports both
+    (min-of-``repeats``) walls plus their ratio.  The defaults mirror
+    one graph of the default Fig. 6 (a)/(b) campaign (20 replications
+    of a 6 s horizon).  Measuring the pair back-to-back in one process
+    keeps the speedup honest on machines with drifting load; the ratio
+    is also what the regression gate checks, since it survives machine
+    changes where absolute throughput does not.
+    """
+    from repro.api import AnalysisSession
+    from repro.gen import generate_random_scenario
+    from repro.sim.batch import run_batch
+    from repro.sim.metrics import DisparityMonitor
+    from repro.units import seconds
+
+    rng = random.Random(seed)
+    scenario = generate_random_scenario(n_tasks, rng)
+    system, sink = scenario.system, scenario.sink
+    duration = seconds(duration_s)
+    warmup = duration // 4
+    state = rng.getstate()
+    session = AnalysisSession(system)
+
+    sequential_s: Optional[float] = None
+    batched_s: Optional[float] = None
+    engine = ""
+    for _ in range(max(1, repeats)):
+        rng.setstate(state)
+        start = time.perf_counter()
+        sequential: List[int] = []
+        for _ in range(sims):
+            monitor = DisparityMonitor([sink], warmup=warmup)
+            session.simulate(
+                duration,
+                seed=rng.randrange(2**31),
+                observers=[monitor],
+                offsets_rng=rng,
+            )
+            sequential.append(monitor.disparity(sink))
+        elapsed = time.perf_counter() - start
+        sequential_s = elapsed if sequential_s is None else min(
+            sequential_s, elapsed
+        )
+
+        rng.setstate(state)
+        start = time.perf_counter()
+        result = run_batch(
+            system, sink, sims=sims, duration=duration, warmup=warmup,
+            rng=rng,
+        )
+        elapsed = time.perf_counter() - start
+        batched_s = elapsed if batched_s is None else min(batched_s, elapsed)
+        engine = result.engine
+        if list(result.disparities) != sequential:
+            raise AssertionError(
+                "batched replications diverged from sequential runs"
+            )
+    return {
+        "n_tasks": n_tasks,
+        "sims": sims,
+        "duration_s": duration_s,
+        "engine": engine,
+        "sequential_s": round(sequential_s, 4),
+        "batched_s": round(batched_s, 4),
+        "speedup": round(sequential_s / batched_s, 2) if batched_s else 0.0,
+        "sims_per_s": round(sims / batched_s, 2) if batched_s else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
 # analysis scaling (prefix-shared backward bounds)
 # ----------------------------------------------------------------------
 
@@ -214,44 +304,71 @@ def bench_analysis_scaling(
 # the committed benchmark document
 # ----------------------------------------------------------------------
 
-def run_benchmarks(*, quick: bool = False) -> Dict[str, Any]:
+#: Benchmark sections of :func:`run_benchmarks`, in document order.
+KERNELS = ("sim", "batch", "analysis")
+
+
+def run_benchmarks(
+    *,
+    quick: bool = False,
+    kernels: Sequence[str] = KERNELS,
+) -> Dict[str, Any]:
     """All benchmark metrics as one JSON-serializable document.
 
     ``quick=True`` shrinks horizons for CI (the reported metrics are
-    throughputs, so they stay comparable with a full run on the same
-    machine).  The ``recorded`` block preserves the measured end-to-end
-    campaign times of the optimization PR for context; it is *not*
-    re-measured here and not part of the regression gate.
+    throughputs and ratios, so they stay comparable with a full run on
+    the same machine).  ``kernels`` selects which sections to measure
+    (any subset of :data:`KERNELS`); :func:`format_benchmarks` and
+    :func:`compare_to_baseline` skip absent sections.  The ``recorded``
+    block preserves the measured end-to-end campaign times of the
+    optimization PRs for context; it is *not* re-measured here and not
+    part of the regression gate.
     """
-    kernel = (
-        bench_sim_kernel(n_tasks=20, sims=3, duration_s=1.0)
-        if quick
-        else bench_sim_kernel()
-    )
-    analysis = (
-        bench_analysis_scaling(levels=4, widths=(1, 2, 4))
-        if quick
-        else bench_analysis_scaling()
-    )
-    return {
-        "schema": SCHEMA_VERSION,
-        "quick": quick,
-        "kernel": kernel,
-        "analysis": analysis,
-    }
+    unknown = set(kernels) - set(KERNELS)
+    if unknown:
+        raise ValueError(f"unknown benchmark kernels: {sorted(unknown)}")
+    document: Dict[str, Any] = {"schema": SCHEMA_VERSION, "quick": quick}
+    if "sim" in kernels:
+        document["kernel"] = (
+            bench_sim_kernel(n_tasks=20, sims=3, duration_s=1.0)
+            if quick
+            else bench_sim_kernel()
+        )
+    if "batch" in kernels:
+        document["batch"] = (
+            bench_batch_kernel(sims=8, duration_s=2.0, repeats=2)
+            if quick
+            else bench_batch_kernel()
+        )
+    if "analysis" in kernels:
+        document["analysis"] = (
+            bench_analysis_scaling(levels=4, widths=(1, 2, 4))
+            if quick
+            else bench_analysis_scaling()
+        )
+    return document
 
 
 def format_benchmarks(results: Dict[str, Any]) -> str:
     """Human-readable table of a :func:`run_benchmarks` document."""
     lines = []
-    kernel = results["kernel"]
-    lines.append(
-        f"sim kernel   {kernel['jobs']:>9} jobs in {kernel['wall_s']:.2f}s"
-        f"  -> {kernel['jobs_per_s']:,.0f} jobs/s"
-        f"  ({kernel['n_tasks']} tasks, {kernel['sims']} sims, "
-        f"{kernel['duration_s']}s horizon)"
-    )
-    for row in results["analysis"]:
+    kernel = results.get("kernel")
+    if kernel is not None:
+        lines.append(
+            f"sim kernel   {kernel['jobs']:>9} jobs in {kernel['wall_s']:.2f}s"
+            f"  -> {kernel['jobs_per_s']:,.0f} jobs/s"
+            f"  ({kernel['n_tasks']} tasks, {kernel['sims']} sims, "
+            f"{kernel['duration_s']}s horizon)"
+        )
+    batch = results.get("batch")
+    if batch is not None:
+        lines.append(
+            f"batch        {batch['sims']:>9} sims"
+            f"  {batch['sequential_s']:.2f}s sequential ->"
+            f" {batch['batched_s']:.2f}s batched"
+            f"  ({batch['speedup']:.2f}x, {batch['sims_per_s']:,.1f} sims/s)"
+        )
+    for row in results.get("analysis", ()):
         lines.append(
             f"analysis     {row['chains']:>9} chains in {row['wall_s']:.3f}s"
             f"  -> {row['per_chain_us']:.1f} us/chain"
@@ -269,6 +386,12 @@ def format_benchmarks(results: Dict[str, Any]) -> str:
             f" -> {rec['campaign_cd_optimized_s']}s"
             f" ({rec['campaign_cd_speedup']}x single worker)"
         )
+        if "batch_ab_sim_stage_speedup" in rec:
+            lines.append(
+                f"recorded     fig6 AB sim stage: "
+                f"{rec['batch_ab_sim_stage_speedup']}x with batched "
+                f"replications"
+            )
     return "\n".join(lines)
 
 
@@ -281,24 +404,42 @@ def compare_to_baseline(
     """Regressions of ``current`` vs the committed ``baseline``.
 
     Returns one message per metric that regressed by more than
-    ``tolerance`` (relative).  Only throughput-style metrics are
-    compared — ``jobs_per_s`` must not drop, ``per_chain_us`` (at each
-    ladder shape present in both documents) must not rise — so a quick
-    run can be gated against a full-run baseline.
+    ``tolerance`` (relative).  Only ratio- and throughput-style metrics
+    are compared — ``jobs_per_s`` must not drop, the batch ``speedup``
+    (sequential wall over batched wall, a machine-independent ratio)
+    must not drop, and ``per_chain_us`` (at each ladder shape present
+    in both documents) must not rise — so a quick run can be gated
+    against a full-run baseline.  Sections absent from either document
+    are skipped, keeping old baselines comparable.
     """
     regressions: List[str] = []
-    cur_rate = current["kernel"]["jobs_per_s"]
-    base_rate = baseline["kernel"]["jobs_per_s"]
-    if cur_rate < base_rate * (1.0 - tolerance):
-        regressions.append(
-            f"sim kernel throughput {cur_rate:,.0f} jobs/s is "
-            f"{(1 - cur_rate / base_rate) * 100:.0f}% below the committed "
-            f"{base_rate:,.0f} jobs/s"
-        )
+    cur_kernel = current.get("kernel")
+    base_kernel = baseline.get("kernel")
+    if cur_kernel is not None and base_kernel is not None:
+        cur_rate = cur_kernel["jobs_per_s"]
+        base_rate = base_kernel["jobs_per_s"]
+        if cur_rate < base_rate * (1.0 - tolerance):
+            regressions.append(
+                f"sim kernel throughput {cur_rate:,.0f} jobs/s is "
+                f"{(1 - cur_rate / base_rate) * 100:.0f}% below the "
+                f"committed {base_rate:,.0f} jobs/s"
+            )
+    cur_batch = current.get("batch")
+    base_batch = baseline.get("batch")
+    if cur_batch is not None and base_batch is not None:
+        cur_speedup = cur_batch["speedup"]
+        base_speedup = base_batch["speedup"]
+        if cur_speedup < base_speedup * (1.0 - tolerance):
+            regressions.append(
+                f"batch replication speedup {cur_speedup:.2f}x is "
+                f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
+                f"committed {base_speedup:.2f}x"
+            )
     base_by_shape = {
-        (row["levels"], row["width"]): row for row in baseline["analysis"]
+        (row["levels"], row["width"]): row
+        for row in baseline.get("analysis", ())
     }
-    for row in current["analysis"]:
+    for row in current.get("analysis", ()):
         base_row = base_by_shape.get((row["levels"], row["width"]))
         if base_row is None:
             continue

@@ -1,0 +1,912 @@
+"""Batched replications: compile a scenario once, simulate it many times.
+
+Every replication of one scenario re-derives the same static facts
+before its event loop even starts — task/unit tables, the priority
+order on every compute unit, release grids over the horizon, interned
+source bitmasks for packed provenance, and the backward closure of the
+monitored task.  For an N-replication estimate (the ``Sim`` series of
+Fig. 6 draws fresh offsets and execution times per run but never
+changes the scenario), all of that is loop-invariant.
+
+:class:`CompiledScenario` hoists it: the scenario is compiled once
+into immutable tables, and each replication varies only the RNG-drawn
+inputs.  The per-replication schedule is then produced by a loop that
+is strictly cheaper than the engine's fast path:
+
+* the whole release stream is *precomputed*.  Within one instant the
+  fast path pops releases from its heap in the order of the static key
+  ``(time, k > 0, -period, -offset, tid)`` (initial releases carry the
+  heapify order, i.e. plain ``tid``), which holds whenever offsets lie
+  in ``[0, T]`` — so one vectorized sort per replication replaces every
+  release-heap operation;
+* per-unit ready queues become priority-rank bitmasks (eligibility
+  requires unique priorities per unit), with per-task pending counters
+  carrying FIFO multiplicity;
+* only the backward closure of the monitored task records start and
+  finish times, and provenance is resolved by a specialized memoized
+  DP equal to the engine's ``_FastFlow`` resolver.
+
+The result is **byte-identical** to N independent :func:`simulate`
+calls under the same derived seeds (pinned by
+``tests/test_sim_batch.py``); scenarios the compiled loop cannot
+handle — zero-BCET compute tasks, duplicate priorities on one unit,
+offsets outside ``[0, T]`` — transparently fall back to the plain
+:class:`~repro.sim.engine.Simulator`, preserving identity at the cost
+of the speedup.
+
+:func:`run_batch` packages the common case: draw ``(seed, offsets)``
+pairs exactly like ``AnalysisSession.observed_disparity`` and return a
+:class:`BatchResult` with per-replication disparities plus aggregates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import time as _time
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+try:  # pragma: no cover - exercised via both branches in CI images
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.model.system import System
+from repro.model.task import ModelError
+from repro.sim.engine import simulate
+from repro.sim.exec_time import (
+    ExecTimePolicy,
+    named_policy,
+    uniform_policy,
+    wcet_policy,
+)
+from repro.sim.metrics import DisparityMonitor
+from repro.sim.provenance import ProvenancePacker
+from repro.units import Time
+
+#: A policy given either by CLI name or as a callable.
+PolicyLike = Union[str, ExecTimePolicy]
+
+#: Wall-clock accumulators for ``--profile`` reporting: scenario
+#: compilation (batch phase) vs. the per-replication loops.
+PHASE_TIMES = {"compile_s": 0.0, "replicate_s": 0.0}
+
+
+def reset_phase_times() -> None:
+    """Zero the module-level compile/replicate accumulators."""
+    PHASE_TIMES["compile_s"] = 0.0
+    PHASE_TIMES["replicate_s"] = 0.0
+
+
+def _resolve_policy(policy: PolicyLike) -> ExecTimePolicy:
+    return named_policy(policy) if isinstance(policy, str) else policy
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of a batched replication run.
+
+    Attributes:
+        task: The monitored task.
+        disparities: Per-replication observed disparity, in replication
+            order (replication ``i`` used the ``i``-th derived seed).
+        engine: ``"compiled"`` when the compiled loop ran, otherwise
+            ``"simulator"`` (per-replication fallback).
+        compile_s: Wall seconds spent compiling the scenario (0 when a
+            pre-compiled scenario was reused).
+        run_s: Wall seconds spent in the replication loop.
+    """
+
+    task: str
+    disparities: Tuple[Time, ...]
+    engine: str
+    compile_s: float
+    run_s: float
+
+    @property
+    def sims(self) -> int:
+        """Number of replications."""
+        return len(self.disparities)
+
+    @property
+    def max_disparity(self) -> Time:
+        """Largest observed disparity (0 when no replication ran)."""
+        return max(self.disparities, default=0)
+
+    def percentile(self, q: float) -> Time:
+        """Nearest-rank percentile of the per-replication disparities."""
+        if not 0 <= q <= 100:
+            raise ModelError(f"percentile must be in [0, 100], got {q}")
+        if not self.disparities:
+            return 0
+        ordered = sorted(self.disparities)
+        rank = max(1, -(-int(q * len(ordered)) // 100))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def percentiles(self) -> Dict[str, Time]:
+        """The common summary: p50/p90/p99 and the maximum."""
+        return {
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max_disparity,
+        }
+
+
+class CompiledScenario:
+    """One scenario frozen into tables that N replications share.
+
+    Compilation derives, once: the task and unit tables, per-unit
+    priority ranks (as bitmask bit positions), per-task release grids
+    over cached horizons, the interned source bitmasks of the packed
+    provenance domain, and the backward closure of the monitored task
+    (only those tasks are recorded during a replication).
+
+    Eligibility for the compiled loop requires every compute task to
+    be mapped to a unit with ``BCET >= 1`` and priorities to be unique
+    per unit; ``ineligible_reason`` says which rule failed.  Ineligible
+    scenarios (and replications whose offsets leave ``[0, T]``) run
+    through the plain simulator instead — same results, no speedup.
+    """
+
+    def __init__(self, system: System, task: str) -> None:
+        t0 = _time.perf_counter()
+        graph = system.graph
+        self.system = system
+        self.graph = graph
+        self.task = task
+        tasks = tuple(graph.tasks)
+        self.tasks = tasks
+        n = len(tasks)
+        self.n = n
+        self.names = [t.name for t in tasks]
+        gid = {t.name: i for i, t in enumerate(tasks)}
+        if task not in gid:
+            raise ModelError(f"unknown task {task!r}")
+        self.inst = [t.is_instantaneous for t in tasks]
+        self.periods = [t.period for t in tasks]
+        self.bcets = [t.bcet for t in tasks]
+        self.wcets = [t.wcet for t in tasks]
+        self.spans = [t.wcet - t.bcet + 1 for t in tasks]
+
+        unit_names = sorted({t.ecu for t in tasks if t.ecu is not None})
+        unit_index = {name: i for i, name in enumerate(unit_names)}
+        self.unit_of = [
+            unit_index[t.ecu] if t.ecu is not None else -1 for t in tasks
+        ]
+        self.n_units = len(unit_names)
+
+        self.ineligible_reason: Optional[str] = None
+        for t in tasks:
+            if t.is_instantaneous:
+                continue
+            if t.ecu is None:
+                self.ineligible_reason = (
+                    f"compute task {t.name!r} has no unit assignment"
+                )
+                break
+            if t.bcet < 1:
+                self.ineligible_reason = (
+                    f"compute task {t.name!r} has BCET 0 (sub-instant "
+                    f"cascades need the engine's event loop)"
+                )
+                break
+
+        # Per unit: member tasks by ascending priority value; bit i of
+        # the unit's ready mask stands for the rank-i member, so the
+        # lowest set bit is always the next task to dispatch.
+        self.rank_tid: List[List[int]] = []
+        self.bit_of = [0] * n
+        for u in range(self.n_units):
+            members = sorted(
+                (
+                    tid
+                    for tid in range(n)
+                    if self.unit_of[tid] == u and not self.inst[tid]
+                ),
+                key=lambda tid: (tasks[tid].priority or 0, tid),
+            )
+            self.rank_tid.append(members)
+            prios = [tasks[tid].priority for tid in members]
+            if len(set(prios)) != len(prios) and self.ineligible_reason is None:
+                self.ineligible_reason = (
+                    f"unit {unit_names[u]!r} has duplicate priorities "
+                    f"(ready order would depend on arrival, not rank)"
+                )
+            for rank, tid in enumerate(members):
+                self.bit_of[tid] = 1 << rank
+
+        # Backward closure of the monitored task: the only tasks whose
+        # schedule a replication must record.
+        closure = set()
+        stack = [task]
+        while stack:
+            name = stack.pop()
+            if name in closure:
+                continue
+            closure.add(name)
+            stack.extend(graph.predecessors(name))
+        self.keep = [t.name in closure for t in tasks]
+        self.m_gid = gid[task]
+
+        sources = graph.sources()
+        self.packer = ProvenancePacker(sources)
+        src_set = set(sources)
+        self.is_source = [t.name in src_set for t in tasks]
+        self.in_edges = [
+            [
+                (gid[p], graph.channel(p, t.name).capacity)
+                for p in graph.predecessors(t.name)
+            ]
+            for t in tasks
+        ]
+        # Rank of each distinct period, descending (the static-order
+        # key sorts rescheduled releases by -period): used to pack the
+        # whole sort key of a release into one int64 when it fits.
+        distinct = sorted(
+            {self.periods[tid] for tid in range(n) if not self.inst[tid]},
+            reverse=True,
+        )
+        per_rank = {per: r for r, per in enumerate(distinct)}
+        self.per_rank = [
+            per_rank[self.periods[tid]] if not self.inst[tid] else 0
+            for tid in range(n)
+        ]
+        self._packable = n <= 64 and len(distinct) <= 64
+        self._grid_cache: Dict[Time, list] = {}
+        elapsed = _time.perf_counter() - t0
+        self.compile_s = elapsed
+        PHASE_TIMES["compile_s"] += elapsed
+
+    # ------------------------------------------------------------------
+    # eligibility
+    # ------------------------------------------------------------------
+
+    @property
+    def eligible(self) -> bool:
+        """True when the compiled loop can replicate this scenario."""
+        return self.ineligible_reason is None
+
+    def _offsets_in_domain(self, offsets: Sequence[Time]) -> bool:
+        periods = self.periods
+        for tid, off in enumerate(offsets):
+            if not 0 <= off <= periods[tid]:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # release stream
+    # ------------------------------------------------------------------
+
+    def _grids(self, duration: Time) -> list:
+        """Per-task static release grids for one horizon (cached)."""
+        found = self._grid_cache.get(duration)
+        if found is None:
+            # The packed key fits one int64 as
+            # ``t(rest) | k>0 (1 bit) | period rank (6) | low rank (6)``
+            # where the low rank is ``tid`` for initial releases and
+            # the per-replication (-offset, tid) rank for rescheduled
+            # ones; unique by construction, so an unstable single-key
+            # argsort replaces the five-key lexsort.
+            packed = (
+                _np is not None
+                and self._packable
+                and duration + max(self.periods, default=0) < 1 << 49
+            )
+            found = []
+            for tid in range(self.n):
+                if self.inst[tid]:
+                    found.append(None)
+                    continue
+                per = self.periods[tid]
+                maxlen = duration // per + 1
+                if _np is None:
+                    found.append(maxlen)
+                    continue
+                t = _np.arange(maxlen, dtype=_np.int64) * per
+                gk = None
+                if packed:
+                    gk = (t << 13) | (1 << 12) | (self.per_rank[tid] << 6)
+                    gk[0] = tid
+                flag = _np.ones(maxlen, dtype=_np.int64)
+                flag[0] = 0
+                found.append(
+                    (
+                        t,
+                        flag,
+                        _np.full(maxlen, -per, dtype=_np.int64),
+                        _np.full(maxlen, tid, dtype=_np.int64),
+                        gk,
+                    )
+                )
+            self._grid_cache[duration] = found
+        return found
+
+    def _release_stream(
+        self, offsets: Sequence[Time], duration: Time
+    ) -> Tuple[List[Time], List[int]]:
+        """All releases in exactly the fast path's pop order.
+
+        Initial releases (``k = 0``) enter the release heap in task
+        order at heapify time, so they tie-break by ``tid`` alone;
+        rescheduled ones tie-break by ``(-period, -offset, tid)`` —
+        valid for offsets in ``[0, T]`` (checked by the caller).
+        """
+        grids = self._grids(duration)
+        if _np is None:
+            entries = []
+            for tid in range(self.n):
+                if self.inst[tid]:
+                    continue
+                off = offsets[tid]
+                if off > duration:
+                    continue
+                per = self.periods[tid]
+                entries.append((off, 0, 0, 0, tid))
+                entries.extend(
+                    (t, 1, -per, -off, tid)
+                    for t in range(off + per, duration + 1, per)
+                )
+            entries.sort()
+            return [e[0] for e in entries], [e[4] for e in entries]
+        if grids and any(
+            g is not None and g[4] is not None for g in grids
+        ):
+            # Packed single-key path: the (-offset, tid) tie-break of
+            # rescheduled releases becomes a rank added into the low
+            # bits (rank order restricted to any subset preserves it).
+            by_off = sorted(
+                (
+                    tid
+                    for tid in range(self.n)
+                    if not self.inst[tid]
+                ),
+                key=lambda tid: (-offsets[tid], tid),
+            )
+            low_rank = {tid: r for r, tid in enumerate(by_off)}
+            keys, tids = [], []
+            for tid in range(self.n):
+                g = grids[tid]
+                if g is None:
+                    continue
+                off = offsets[tid]
+                if off > duration:
+                    continue
+                count = (duration - off) // self.periods[tid] + 1
+                k = g[4][:count] + (off << 13)
+                if count > 1:
+                    k[1:] += low_rank[tid]
+                keys.append(k)
+                tids.append(g[3][:count])
+            if not keys:
+                return [], []
+            key_all = _np.concatenate(keys)
+            tid_all = _np.concatenate(tids)
+            order = _np.argsort(key_all)
+            return (
+                (key_all[order] >> 13).tolist(),
+                tid_all[order].tolist(),
+            )
+        ts, flags, negpers, tids, negoffs = [], [], [], [], []
+        for tid in range(self.n):
+            g = grids[tid]
+            if g is None:
+                continue
+            off = offsets[tid]
+            if off > duration:
+                continue
+            count = (duration - off) // self.periods[tid] + 1
+            t, flag, negper, tidarr, _ = g
+            ts.append(t[:count] + off)
+            flags.append(flag[:count])
+            negpers.append(negper[:count])
+            tids.append(tidarr[:count])
+            negoffs.append(_np.full(count, -off, dtype=_np.int64))
+        if not ts:
+            return [], []
+        t_all = _np.concatenate(ts)
+        tid_all = _np.concatenate(tids)
+        order = _np.lexsort(
+            (
+                tid_all,
+                _np.concatenate(negoffs),
+                _np.concatenate(negpers),
+                _np.concatenate(flags),
+                t_all,
+            )
+        )
+        return t_all[order].tolist(), tid_all[order].tolist()
+
+    # ------------------------------------------------------------------
+    # the compiled replication loop
+    # ------------------------------------------------------------------
+
+    def _schedule(
+        self,
+        offsets: Sequence[Time],
+        seed: int,
+        duration: Time,
+        policy: ExecTimePolicy,
+    ) -> Tuple[List[List[Time]], List[List[Time]], List[int]]:
+        """One replication's schedule of the monitored closure.
+
+        Returns ``(starts, fins, completed)`` for the kept tasks; the
+        RNG stream (and hence every execution-time draw) is identical
+        to the engine loops under the same seed.
+        """
+        rng = random.Random(seed)
+        rng_random = rng.random
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
+
+        n = self.n
+        periods = self.periods
+        bcets = self.bcets
+        wcets = self.wcets
+        spans = self.spans
+        tasks = self.tasks
+        unit_of = self.unit_of
+        bit_of = self.bit_of
+        rank_tid = self.rank_tid
+        keep = self.keep
+        n_units = self.n_units
+        fast_uniform = policy is uniform_policy
+        fast_wcet = policy is wcet_policy
+
+        rel_times, rel_tids = self._release_stream(offsets, duration)
+        sentinel = duration + 1
+        rel_times.append(sentinel)
+        rel_tids.append(-1)
+
+        ready_mask = [0] * n_units
+        pend = [0] * n
+        running = [-1] * n_units
+        counts = [0] * n
+        starts: List[List[Time]] = [[] for _ in range(n)]
+        fins: List[List[Time]] = [[] for _ in range(n)]
+        sa = [s.append for s in starts]
+        fa = [f.append for f in fins]
+        fin_heap: List[Tuple[Time, int, int]] = [(sentinel, 0, -1)]
+        fin_head = sentinel
+        seq = 0
+        ri = 0
+
+        def draw(tid: int) -> Time:
+            """Non-default policy draw, with the range re-check."""
+            k = counts[tid]
+            counts[tid] = k + 1
+            exec_time = policy(tasks[tid], k, rng)
+            if not bcets[tid] <= exec_time <= wcets[tid]:
+                raise ModelError(
+                    f"policy returned execution time {exec_time} outside "
+                    f"[{bcets[tid]}, {wcets[tid]}] for {tasks[tid].name!r}"
+                )
+            return exec_time
+
+        while True:
+            now = rel_times[ri]
+            if now <= fin_head:
+                # Release event (at equal times releases go first).
+                if now > duration:
+                    break
+                tid = rel_tids[ri]
+                ri += 1
+                u = unit_of[tid]
+                if rel_times[ri] == now or fin_head == now:
+                    # Multi-event instant: gather every same-instant
+                    # release and finish, then dispatch idle units.
+                    pend[tid] += 1
+                    ready_mask[u] |= bit_of[tid]
+                    touched = [u]
+                    while rel_times[ri] == now:
+                        tid2 = rel_tids[ri]
+                        ri += 1
+                        u2 = unit_of[tid2]
+                        pend[tid2] += 1
+                        ready_mask[u2] |= bit_of[tid2]
+                        touched.append(u2)
+                    while fin_head == now:
+                        u2 = heappop(fin_heap)[2]
+                        fin_head = fin_heap[0][0]
+                        running[u2] = -1
+                        touched.append(u2)
+                    for u2 in touched:
+                        m = ready_mask[u2]
+                        if running[u2] < 0 and m:
+                            b = m & -m
+                            tid2 = rank_tid[u2][b.bit_length() - 1]
+                            c = pend[tid2] - 1
+                            pend[tid2] = c
+                            if not c:
+                                ready_mask[u2] = m ^ b
+                            if fast_uniform:
+                                span = spans[tid2]
+                                exec_time = (
+                                    bcets[tid2] + int(rng_random() * span)
+                                    if span > 1
+                                    else bcets[tid2]
+                                )
+                            elif fast_wcet:
+                                exec_time = wcets[tid2]
+                            else:
+                                exec_time = draw(tid2)
+                            if keep[tid2]:
+                                sa[tid2](now)
+                                fa[tid2](now + exec_time)
+                            running[u2] = tid2
+                            seq += 1
+                            heappush(fin_heap, (now + exec_time, seq, u2))
+                            fin_head = fin_heap[0][0]
+                elif running[u] < 0:
+                    # Idle unit, single release: dispatch directly.
+                    if fast_uniform:
+                        span = spans[tid]
+                        exec_time = (
+                            bcets[tid] + int(rng_random() * span)
+                            if span > 1
+                            else bcets[tid]
+                        )
+                    elif fast_wcet:
+                        exec_time = wcets[tid]
+                    else:
+                        exec_time = draw(tid)
+                    if keep[tid]:
+                        sa[tid](now)
+                        fa[tid](now + exec_time)
+                    running[u] = tid
+                    seq += 1
+                    heappush(fin_heap, (now + exec_time, seq, u))
+                    fin_head = fin_heap[0][0]
+                else:
+                    # Busy unit: queue and move on.
+                    pend[tid] += 1
+                    ready_mask[u] |= bit_of[tid]
+            else:
+                # Finish event.
+                now = fin_head
+                if now > duration:
+                    break
+                u = fin_heap[0][2]
+                m = ready_mask[u]
+                if m:
+                    b = m & -m
+                    tid = rank_tid[u][b.bit_length() - 1]
+                    c = pend[tid] - 1
+                    pend[tid] = c
+                    if not c:
+                        ready_mask[u] = m ^ b
+                    if fast_uniform:
+                        span = spans[tid]
+                        exec_time = (
+                            bcets[tid] + int(rng_random() * span)
+                            if span > 1
+                            else bcets[tid]
+                        )
+                    elif fast_wcet:
+                        exec_time = wcets[tid]
+                    else:
+                        exec_time = draw(tid)
+                    if keep[tid]:
+                        sa[tid](now)
+                        fa[tid](now + exec_time)
+                    running[u] = tid
+                    seq += 1
+                    heapreplace(fin_heap, (now + exec_time, seq, u))
+                    fin_head = fin_heap[0][0]
+                else:
+                    running[u] = -1
+                    heappop(fin_heap)
+                    fin_head = fin_heap[0][0]
+                if fin_head == now:
+                    # Sibling finishes at the same instant: complete
+                    # them all before dispatching any replacement.
+                    fin2 = []
+                    while fin_head == now:
+                        u2 = heappop(fin_heap)[2]
+                        fin_head = fin_heap[0][0]
+                        running[u2] = -1
+                        fin2.append(u2)
+                    for u2 in fin2:
+                        m = ready_mask[u2]
+                        if running[u2] < 0 and m:
+                            b = m & -m
+                            tid2 = rank_tid[u2][b.bit_length() - 1]
+                            c = pend[tid2] - 1
+                            pend[tid2] = c
+                            if not c:
+                                ready_mask[u2] = m ^ b
+                            if fast_uniform:
+                                span = spans[tid2]
+                                exec_time = (
+                                    bcets[tid2] + int(rng_random() * span)
+                                    if span > 1
+                                    else bcets[tid2]
+                                )
+                            elif fast_wcet:
+                                exec_time = wcets[tid2]
+                            else:
+                                exec_time = draw(tid2)
+                            if keep[tid2]:
+                                sa[tid2](now)
+                                fa[tid2](now + exec_time)
+                            running[u2] = tid2
+                            seq += 1
+                            heappush(fin_heap, (now + exec_time, seq, u2))
+                            fin_head = fin_heap[0][0]
+
+        completed = [0] * n
+        inst = self.inst
+        for tid in range(n):
+            if not keep[tid] or inst[tid]:
+                continue
+            fs = fins[tid]
+            done = len(fs)
+            if done and fs[-1] > duration:
+                done -= 1
+            completed[tid] = done
+        return starts, fins, completed
+
+    def _prov_resolver(
+        self,
+        offsets: Sequence[Time],
+        starts: List[List[Time]],
+        fins: List[List[Time]],
+    ):
+        """Memoized packed-provenance DP over one recorded schedule.
+
+        Mirrors ``_FastFlow._prov_of``/``reads_of``/``_writes_upto``
+        folded into one closure: writes at ``t`` are visible to reads
+        at ``t``, the FIFO head among ``m`` visible writes on a
+        capacity-``c`` channel is write ``max(0, m - c)``, and
+        provenance folds bottom-up as interned bitmask + stamp pairs.
+        """
+        periods = self.periods
+        inst = self.inst
+        is_source = self.is_source
+        in_edges = self.in_edges
+        names = self.names
+        pk = self.packer
+        pk_source = pk.source
+        pk_merge = pk.merge
+        pk_empty = pk.empty
+        memo: List[dict] = [{} for _ in range(self.n)]
+
+        def prov(g: int, k: int) -> tuple:
+            mg = memo[g]
+            got = mg.get(k)
+            if got is not None:
+                return got
+            if is_source[g]:
+                p = pk_source(names[g], offsets[g] + k * periods[g])
+            else:
+                at = offsets[g] + k * periods[g] if inst[g] else starts[g][k]
+                reads = []
+                for pg, cap in in_edges[g]:
+                    if inst[pg]:
+                        po = offsets[pg]
+                        mm = 0 if at < po else (at - po) // periods[pg] + 1
+                    else:
+                        mm = bisect_right(fins[pg], at)
+                    if mm:
+                        reads.append((pg, mm - cap if mm > cap else 0))
+                if not reads:
+                    p = pk_empty
+                elif len(reads) == 1:
+                    p = prov(*reads[0])
+                else:
+                    p = pk_merge(prov(pg, kk) for pg, kk in reads)
+            mg[k] = p
+            return p
+
+        return prov
+
+    def _monitored_count(
+        self, offsets: Sequence[Time], duration: Time, completed: List[int]
+    ) -> int:
+        gid = self.m_gid
+        if not self.inst[gid]:
+            return completed[gid]
+        offset = offsets[gid]
+        if offset > duration:
+            return 0
+        return (duration - offset) // self.periods[gid] + 1
+
+    def disparity(
+        self,
+        offsets: Sequence[Time],
+        seed: int,
+        duration: Time,
+        warmup: Time = 0,
+        policy: PolicyLike = uniform_policy,
+    ) -> Time:
+        """Observed disparity of one replication.
+
+        Equals ``simulate()`` + :class:`DisparityMonitor` on the system
+        with these ``offsets`` (listed in graph-task order) under the
+        same ``seed`` and ``policy``; replications the compiled loop
+        cannot handle run exactly that fallback.
+        """
+        resolved = _resolve_policy(policy)
+        t0 = _time.perf_counter()
+        try:
+            if self.ineligible_reason is not None or not self._offsets_in_domain(
+                offsets
+            ):
+                return self._fallback_disparity(
+                    offsets, seed, duration, warmup, resolved
+                )
+            starts, fins, completed = self._schedule(
+                offsets, seed, duration, resolved
+            )
+            prov = self._prov_resolver(offsets, starts, fins)
+            gid = self.m_gid
+            count = self._monitored_count(offsets, duration, completed)
+            offset = offsets[gid]
+            period = self.periods[gid]
+            k0 = 0
+            if warmup > offset:
+                k0 = -(-(warmup - offset) // period)
+            best = -1
+            pd = self.packer.disparity
+            for k in range(k0, count):
+                d = pd(prov(gid, k))
+                if d is not None and d > best:
+                    best = d
+            return best if best >= 0 else 0
+        finally:
+            PHASE_TIMES["replicate_s"] += _time.perf_counter() - t0
+
+    def windowed_maxima(
+        self,
+        offsets: Sequence[Time],
+        duration: Time,
+        start: Time,
+        window: Time,
+        count: int,
+        *,
+        seed: int = 0,
+        policy: PolicyLike = wcet_policy,
+    ) -> List[Time]:
+        """Per-window disparity maxima of the monitored task.
+
+        The compiled equivalent of the steady-state probe's
+        ``_WindowedDisparity`` observer: completed jobs released at or
+        after ``start`` are bucketed into consecutive windows of length
+        ``window``; windows without a sample read 0.  Requires an
+        eligible scenario and in-domain offsets (callers check
+        :attr:`eligible`; the offset search draws in ``[1, T]``).
+        """
+        if self.ineligible_reason is not None:
+            raise ModelError(
+                f"scenario not compiled-loop eligible: {self.ineligible_reason}"
+            )
+        if not self._offsets_in_domain(offsets):
+            raise ModelError("offsets outside [0, T] for windowed probe")
+        resolved = _resolve_policy(policy)
+        t0 = _time.perf_counter()
+        try:
+            starts, fins, completed = self._schedule(
+                offsets, seed, duration, resolved
+            )
+            prov = self._prov_resolver(offsets, starts, fins)
+            gid = self.m_gid
+            total = self._monitored_count(offsets, duration, completed)
+            offset = offsets[gid]
+            period = self.periods[gid]
+            k0 = 0
+            if start > offset:
+                k0 = -(-(start - offset) // period)
+            per_window: Dict[int, Time] = {}
+            pd = self.packer.disparity
+            for k in range(k0, total):
+                d = pd(prov(gid, k))
+                if d is None:
+                    continue
+                index = (offset + k * period - start) // window
+                if d > per_window.get(index, -1):
+                    per_window[index] = d
+            return [per_window.get(i, 0) for i in range(count)]
+        finally:
+            PHASE_TIMES["replicate_s"] += _time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    # fallback
+    # ------------------------------------------------------------------
+
+    def _with_offsets(self, offsets: Sequence[Time]) -> System:
+        graph = self.graph.copy()
+        for name, offset in zip(self.names, offsets):
+            graph.replace_task(graph.task(name).with_offset(offset))
+        return System(
+            graph=graph, response_times=self.system.response_times
+        )
+
+    def _fallback_disparity(
+        self,
+        offsets: Sequence[Time],
+        seed: int,
+        duration: Time,
+        warmup: Time,
+        policy: ExecTimePolicy,
+    ) -> Time:
+        monitor = DisparityMonitor([self.task], warmup=warmup)
+        simulate(
+            self._with_offsets(offsets),
+            duration,
+            seed=seed,
+            policy=policy,
+            observers=[monitor],
+        )
+        return monitor.disparity(self.task)
+
+
+def compile_scenario(system: System, task: str) -> CompiledScenario:
+    """Compile ``system`` for batched replications monitoring ``task``."""
+    return CompiledScenario(system, task)
+
+
+def run_batch(
+    system: System,
+    task: str,
+    *,
+    sims: int,
+    duration: Time,
+    warmup: Time = 0,
+    rng: Optional[random.Random] = None,
+    seed: int = 0,
+    policy: PolicyLike = uniform_policy,
+    compiled: Optional[CompiledScenario] = None,
+) -> BatchResult:
+    """Run ``sims`` randomized replications against one compiled scenario.
+
+    Seeds and offsets are drawn exactly like
+    ``AnalysisSession.observed_disparity``: per replication, first an
+    execution-time seed from ``rng`` (or a local generator seeded with
+    ``seed``), then one offset in ``[1, T]`` per task in graph order —
+    so the per-replication disparities are byte-identical to the
+    sequential ``simulate()`` loop under the same generator state.
+    """
+    if sims < 0:
+        raise ModelError(f"sims must be >= 0, got {sims}")
+    resolved = _resolve_policy(policy)
+    if rng is None:
+        rng = random.Random(seed)
+    compile_s = 0.0
+    if compiled is None:
+        compiled = CompiledScenario(system, task)
+        compile_s = compiled.compile_s
+    elif compiled.task != task:
+        raise ModelError(
+            f"compiled scenario monitors {compiled.task!r}, not {task!r}"
+        )
+    t0 = _time.perf_counter()
+    periods = compiled.periods
+    n = compiled.n
+    disparities = []
+    for _ in range(sims):
+        run_seed = rng.randrange(2**31)
+        offsets = [rng.randint(1, periods[tid]) for tid in range(n)]
+        disparities.append(
+            compiled.disparity(offsets, run_seed, duration, warmup, resolved)
+        )
+    return BatchResult(
+        task=task,
+        disparities=tuple(disparities),
+        engine="compiled" if compiled.eligible else "simulator",
+        compile_s=compile_s,
+        run_s=_time.perf_counter() - t0,
+    )
+
+
+__all__ = [
+    "BatchResult",
+    "CompiledScenario",
+    "PHASE_TIMES",
+    "PolicyLike",
+    "compile_scenario",
+    "reset_phase_times",
+    "run_batch",
+]

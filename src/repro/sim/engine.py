@@ -169,11 +169,11 @@ class Simulator:
             (:class:`repro.sim.faults.FaultPlan`); suppressed releases
             produce no job, so consumers keep reading stale data.
         loop: Event-loop selection, primarily a testing aid.  ``"auto"``
-            (default) picks the fastest exact loop for the run:
-            the two-phase fast path for implicit semantics without
-            faults when every CPU task has ``BCET >= 1``, the classic
-            inlined loop when some CPU task can execute in zero time,
-            and the general loop for LET/fault runs.  ``"fast"``,
+            (default) picks the fastest exact loop for the run: the
+            two-phase fast path for implicit semantics without faults
+            (zero-BCET CPU tasks included — their same-instant finish
+            cascades are replayed from a recorded depth table), and
+            the general loop for LET/fault runs.  ``"fast"``,
             ``"classic"`` and ``"general"`` force a specific loop (and
             raise when the run is not eligible for it); all loops
             produce identical results.
@@ -279,20 +279,22 @@ class Simulator:
         if choice == "classic":
             return "classic"
         # The two-phase fast path resolves data flow after the fact
-        # from "writes at t are visible to reads at t" bisection; a CPU
-        # job that can execute in zero time would finish in a later
-        # sub-batch of the same instant, breaking that rule, so such
-        # systems stay on the classic loop.
+        # from "writes at t are visible to reads at t" bisection.  A
+        # CPU job that executes in zero time finishes in a later
+        # sub-batch of the same instant; the loop tracks those cascade
+        # depths so the bisection can replay the intra-instant ordering
+        # exactly.  The only remaining requirement is a unit
+        # assignment for every CPU task.
         eligible = all(
-            task.bcet >= 1 and task.ecu is not None
+            task.ecu is not None
             for task in self._graph.tasks
             if not task.is_instantaneous
         )
         if choice == "fast":
             if not eligible:
                 raise ModelError(
-                    "loop 'fast' requires every CPU task to have BCET >= 1 "
-                    "and a unit assignment"
+                    "loop 'fast' requires every CPU task to have "
+                    "a unit assignment"
                 )
             return "fast"
         return "fast" if eligible else "classic"
@@ -302,11 +304,11 @@ class Simulator:
         loop = self._select_loop()
         if loop == "fast":
             # The Fig. 6 harness spends >99% of its wall time in the
-            # simulator, so the common case (implicit communication, no
-            # fault plan, no zero-time CPU jobs) runs on a two-phase
-            # fast path: a schedule-only event loop over integer
-            # tuples, then lazy data-flow reconstruction for the jobs
-            # observers actually monitor.
+            # simulator, so the common case (implicit communication,
+            # no fault plan) runs on a two-phase fast path: a
+            # schedule-only event loop over integer tuples, then lazy
+            # data-flow reconstruction for the jobs observers actually
+            # monitor.
             self._run_fastpath()
         else:
             for task in self._graph.tasks:
@@ -650,11 +652,19 @@ class Simulator:
         merged as interned bitmasks (:class:`ProvenancePacker`),
         memoized over the backward closure of the monitored jobs.
         Channel states are rebuilt on first :meth:`channel_state`
-        access.  Eligibility (checked by :meth:`_select_loop`): every
-        CPU task executes for at least one time unit, so all events of
-        one instant sit in a single batch and "writes at ``t`` are
-        visible to reads at ``t``" has no intra-instant ordering
-        hazard.
+        access.
+
+        Zero-BCET CPU tasks are handled with a cascade-depth side
+        table: a job that executes in zero time finishes at its own
+        start instant, so its write lands in a later sub-batch of that
+        instant and must stay invisible to jobs dispatched in earlier
+        sub-batches.  Phase 1 records, per dispatched job, the number
+        of zero-time finishes on its unit that chained into this
+        dispatch at the same instant (``casc``); phase 2 turns those
+        depths into intra-instant ordering keys so the bisection
+        replays the classic loop's sub-batch visibility exactly.
+        Systems where every CPU task has BCET >= 1 never populate the
+        table and skip the extra checks entirely.
 
         The loop exploits three structural invariants for speed, all
         order-preserving (the execution-time draws stay in the exact
@@ -701,6 +711,20 @@ class Simulator:
         running = [-1] * n_units
         busy = [0] * n_units
         unit_dispatches = [0] * n_units
+
+        # Zero-BCET support: when any CPU task can execute in zero
+        # time, same-instant finish->dispatch cascades become possible
+        # and intra-instant ordering matters to data flow.  ``casc``
+        # maps (gid, job index) -> cascade depth (>= 1) for jobs whose
+        # dispatch was triggered by a zero-time finish at the same
+        # instant; ``cur_batch`` holds the depth of each unit's most
+        # recent dispatch.  Systems with BCET >= 1 everywhere skip all
+        # of this (``track`` is False and ``casc`` stays None).
+        track = any(
+            bcets[tid] == 0 for tid in range(n) if not inst[tid]
+        )
+        casc: Optional[Dict[Tuple[int, int], int]] = {} if track else None
+        cur_batch = [0] * n_units
 
         starts: List[List[Time]] = [[] for _ in range(n)]
         execs: List[List[Time]] = [[] for _ in range(n)]
@@ -765,8 +789,13 @@ class Simulator:
                 )
             return exec_time
 
-        def dispatch(u: int, now: Time) -> None:
-            """Start the next ready job (multi-event instants only)."""
+        def dispatch(u: int, now: Time, nb: int = 0) -> None:
+            """Start the next ready job (multi-event instants only).
+
+            ``nb`` is the cascade depth of this dispatch: 0 when it
+            follows a release or a positive-time finish, depth + 1
+            when a zero-time finish at the same instant triggered it.
+            """
             nonlocal seq
             _, _, tid = heappop(ready[u])
             task_starts = starts[tid]
@@ -781,6 +810,10 @@ class Simulator:
             else:
                 exec_time = draw(tid, len(task_starts) - 1)
             execs[tid].append(exec_time)
+            if track:
+                cur_batch[u] = nb
+                if nb:
+                    casc[(tid, len(task_starts) - 1)] = nb
             running[u] = tid
             seq += 1
             heappush(fin_heap, (now + exec_time, seq, u))
@@ -844,6 +877,8 @@ class Simulator:
                     else:
                         exec_time = draw(tid, len(task_starts) - 1)
                     execs[tid].append(exec_time)
+                    if track:
+                        cur_batch[u] = 0
                     running[u] = tid
                     seq += 1
                     heappush(fin_heap, (now + exec_time, seq, u))
@@ -866,6 +901,10 @@ class Simulator:
                     cg_append(tid)
                 rq = ready[u]
                 if rq:
+                    if track:
+                        nb = (
+                            cur_batch[u] + 1 if execs[tid][-1] == 0 else 0
+                        )
                     _, _, tid = heappop(rq)
                     task_starts = starts[tid]
                     task_starts.append(now)
@@ -879,6 +918,10 @@ class Simulator:
                     else:
                         exec_time = draw(tid, len(task_starts) - 1)
                     execs[tid].append(exec_time)
+                    if track:
+                        cur_batch[u] = nb
+                        if nb:
+                            casc[(tid, len(task_starts) - 1)] = nb
                     running[u] = tid
                     seq += 1
                     heapreplace(fin_heap, (now + exec_time, seq, u))
@@ -893,15 +936,32 @@ class Simulator:
                     fin2: List[int] = []
                     while fin_heap[0][0] == now:
                         fin2.append(heappop(fin_heap)[2])
-                    for u2 in fin2:
-                        tid2 = running[u2]
-                        if record[tid2]:
-                            ct_append(now)
-                            cg_append(tid2)
-                        running[u2] = -1
-                    for u2 in fin2:
-                        if running[u2] < 0 and ready[u2]:
-                            dispatch(u2, now)
+                    if track:
+                        nbs: List[int] = []
+                        for u2 in fin2:
+                            tid2 = running[u2]
+                            nbs.append(
+                                cur_batch[u2] + 1
+                                if execs[tid2][-1] == 0
+                                else 0
+                            )
+                            if record[tid2]:
+                                ct_append(now)
+                                cg_append(tid2)
+                            running[u2] = -1
+                        for u2, nb2 in zip(fin2, nbs):
+                            if running[u2] < 0 and ready[u2]:
+                                dispatch(u2, now, nb2)
+                    else:
+                        for u2 in fin2:
+                            tid2 = running[u2]
+                            if record[tid2]:
+                                ct_append(now)
+                                cg_append(tid2)
+                            running[u2] = -1
+                        for u2 in fin2:
+                            if running[u2] < 0 and ready[u2]:
+                                dispatch(u2, now)
 
         # Every per-event counter the live loops maintain is derivable
         # from the recorded schedule, so the hot loop skips them all:
@@ -956,6 +1016,7 @@ class Simulator:
             execs=execs,
             completed=completed,
             topo_index=self._topo_index,
+            casc=casc,
         )
         if self._observers:
             self._fastpath_notify(flow, comp_times, comp_gids)
@@ -969,10 +1030,13 @@ class Simulator:
         """Replay the completion stream of monitored tasks, in order.
 
         The classic loop notifies per completion in global chronological
-        order — CPU finishes in processed order first, then same-instant
-        instantaneous completions in topological order.  Restricting
-        that stream to the tasks any observer is interested in preserves
-        the relative order the observers would have seen.
+        order — positive-time CPU finishes in processed order first,
+        then same-instant instantaneous completions in topological
+        order, then zero-time CPU finishes (which the classic loop
+        only processes in later sub-batches of the instant) in cascade
+        order.  Restricting that stream to the tasks any observer is
+        interested in preserves the relative order the observers would
+        have seen.
         """
         tasks = flow.tasks
         name_of = [task.name for task in tasks]
@@ -993,14 +1057,17 @@ class Simulator:
             for task in tasks
         }
 
-        # (time, 0=CPU/1=instantaneous, tie-break, gid, job index)
+        # (time, 0=CPU/1=instantaneous/2=zero-time CPU, tie-break,
+        # gid, job index)
         stream: List[Tuple[Time, int, int, int, int]] = []
         counters = [0] * len(tasks)
+        execs = flow._execs
         for order, gid in enumerate(comp_gids):
             index = counters[gid]
             counters[gid] = index + 1
             if monitored is None or name_of[gid] in monitored:
-                stream.append((comp_times[order], 0, order, gid, index))
+                sub = 0 if execs[gid][index] else 2
+                stream.append((comp_times[order], sub, order, gid, index))
         topo = flow.topo_index
         for gid, task in enumerate(tasks):
             if not flow.inst[gid]:
@@ -1181,6 +1248,7 @@ class _FastFlow:
         "_prov",
         "_reads",
         "_tokens",
+        "_casc",
     )
 
     def __init__(
@@ -1196,6 +1264,7 @@ class _FastFlow:
         execs: List[List[Time]],
         completed: List[int],
         topo_index: Dict[str, int],
+        casc: Optional[Dict[Tuple[int, int], int]] = None,
     ) -> None:
         self.tasks = tasks
         self.inst = inst
@@ -1223,6 +1292,7 @@ class _FastFlow:
         self._prov: Dict[Tuple[int, int], tuple] = {}
         self._reads: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
         self._tokens: Dict[Tuple[int, int], Token] = {}
+        self._casc = casc
 
     # -- write/read geometry -------------------------------------------
 
@@ -1244,14 +1314,40 @@ class _FastFlow:
             self._finishes[gid] = found
         return found
 
-    def _writes_upto(self, gid: int, time: Time) -> int:
-        """Writes of ``gid`` visible to a read at ``time`` (<=)."""
+    def _writes_upto(self, gid: int, time: Time, rkey: int = 2) -> int:
+        """Writes of ``gid`` visible to a read at ``time``.
+
+        Writes strictly before ``time`` are always visible.  At
+        ``time`` itself the intra-instant sub-batch order decides:
+        every event carries an ordering key — 0 for positive-time CPU
+        finishes (processed in the instant's first batch), 1 for
+        instantaneous-task emissions (after those finishes, before any
+        dispatch), ``3 * depth + 2`` for a CPU read dispatched at
+        cascade depth ``depth``, and ``3 * (depth + 1)`` for the write
+        of a zero-time job dispatched at depth ``depth`` (its finish
+        is processed one batch later).  A same-instant write is
+        visible iff its key does not exceed the reader's ``rkey``.
+        Without zero-BCET tasks (``casc`` is None) every same-instant
+        write has key <= 1 and the plain bisection stands.
+        """
         if self.inst[gid]:
             offset = self.offsets[gid]
             if time < offset:
                 return 0
             return (time - offset) // self.periods[gid] + 1
-        return bisect_right(self._finish_times(gid), time)
+        fts = self._finish_times(gid)
+        i = bisect_right(fts, time)
+        casc = self._casc
+        if casc is not None:
+            execs = self._execs[gid]
+            while (
+                i
+                and fts[i - 1] == time
+                and execs[i - 1] == 0
+                and 3 * (casc.get((gid, i - 1), 0) + 1) > rkey
+            ):
+                i -= 1
+        return i
 
     def total_writes(self, gid: int) -> int:
         """All writes of ``gid`` within the horizon."""
@@ -1266,11 +1362,16 @@ class _FastFlow:
         if found is None:
             if self.inst[gid]:
                 at = self.offsets[gid] + index * self.periods[gid]
+                rkey = 1
             else:
                 at = self._starts[gid][index]
+                casc = self._casc
+                rkey = (
+                    3 * casc.get(key, 0) + 2 if casc is not None else 2
+                )
             reads = []
             for producer, capacity in self._in_ch[gid]:
-                m = self._writes_upto(producer, at)
+                m = self._writes_upto(producer, at, rkey)
                 if m:
                     reads.append(
                         (producer, m - capacity if m > capacity else 0)

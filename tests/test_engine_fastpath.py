@@ -14,11 +14,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from dataclasses import replace
+
 from repro.gen import generate_random_scenario
 from repro.model.system import System
 from repro.model.task import ModelError
 from repro.sim.engine import Simulator, randomize_offsets
-from repro.sim.exec_time import extremes_policy, wcet_policy
+from repro.sim.exec_time import bcet_policy, extremes_policy, wcet_policy
 from repro.sim.metrics import (
     BackwardTimeMonitor,
     DataAgeMonitor,
@@ -32,6 +34,28 @@ def _random_system(seed: int, n_tasks: int) -> System:
     scenario = generate_random_scenario(n_tasks, rng)
     graph = randomize_offsets(scenario.system.graph, rng)
     return System(graph=graph, response_times=scenario.system.response_times)
+
+
+def _zero_bcet_system(seed: int, n_tasks: int) -> System:
+    """A random system where some CPU tasks can execute in zero time.
+
+    Response times depend on WCETs only, so the analyzed table carries
+    over unchanged when BCETs are lowered.
+    """
+    rng = random.Random(seed)
+    scenario = generate_random_scenario(n_tasks, rng)
+    graph = randomize_offsets(scenario.system.graph, rng)
+    zeroed = graph.copy()
+    hit = False
+    for task in graph.tasks:
+        if task.is_instantaneous:
+            continue
+        if not hit or rng.random() < 0.5:
+            zeroed.replace_task(replace(task, bcet=0))
+            hit = True
+    return System(
+        graph=zeroed, response_times=scenario.system.response_times
+    )
 
 
 def _run(system, duration, seed, loop, policy=None):
@@ -140,7 +164,7 @@ def test_fastpath_rejected_for_let_and_faults():
         Simulator(system, 10**9, faults=plan, loop="fast").run()
 
 
-def test_auto_falls_back_on_zero_bcet():
+def test_auto_uses_fastpath_for_zero_bcet():
     from repro.model.graph import CauseEffectGraph
     from repro.model.task import Task
     from repro.units import ms
@@ -163,6 +187,68 @@ def test_auto_falls_back_on_zero_bcet():
     graph.add_channel("s", "t")
     system = System.build(graph)
     sim = Simulator(system, ms(100))
-    assert sim._select_loop() == "classic"
-    with pytest.raises(ModelError):
-        Simulator(system, ms(100), loop="fast").run()
+    assert sim._select_loop() == "fast"
+    _assert_equivalent(system, ms(100), 7)
+    # All-zero execution times: every CPU finish cascades at its own
+    # release instant — the worst case for sub-instant ordering.
+    _assert_equivalent(system, ms(100), 7, policy=bcet_policy)
+
+
+def test_fastpath_cascade_chain_on_one_unit():
+    """A same-unit chain of zero-BCET tasks with identical offsets.
+
+    Under ``bcet_policy`` every job executes in zero time, so each
+    release instant processes the whole chain as a cascade of
+    finish-triggered dispatches; the sub-instant visibility keys must
+    replay the classic loop's sub-batch order exactly.
+    """
+    from repro.model.graph import CauseEffectGraph
+    from repro.model.task import Task
+    from repro.units import ms
+
+    graph = CauseEffectGraph()
+    graph.add_task(
+        Task(
+            "src",
+            period=ms(5),
+            wcet=0,
+            bcet=0,
+            offset=ms(1),
+            ecu="e",
+            priority=5,
+        )
+    )
+    names = ["src"]
+    for i, prio in enumerate((4, 1, 3, 2)):
+        name = f"t{i}"
+        graph.add_task(
+            Task(
+                name,
+                period=ms(5),
+                wcet=ms(1),
+                bcet=0,
+                offset=ms(1),
+                ecu="e",
+                priority=prio,
+            )
+        )
+        graph.add_channel(names[-1], name)
+        names.append(name)
+    system = System.build(graph)
+    for seed in (0, 1, 2):
+        _assert_equivalent(system, ms(60), seed, policy=bcet_policy)
+        _assert_equivalent(system, ms(60), seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_tasks=st.integers(min_value=5, max_value=12),
+)
+def test_fastpath_matches_classic_zero_bcet(seed, n_tasks):
+    system = _zero_bcet_system(seed, n_tasks)
+    duration = 3 * max(task.period for task in system.graph.tasks)
+    _assert_equivalent(system, duration, seed)
+    # bcet_policy pins every draw to zero for the zeroed tasks,
+    # maximizing same-instant cascades.
+    _assert_equivalent(system, duration, seed, policy=bcet_policy)

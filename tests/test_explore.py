@@ -75,6 +75,59 @@ class TestBufferSweep:
             best_capacity([SweepPoint(value=1, bound=None, schedulable=False)])
 
 
+class TestObservedSweeps:
+    """Sweeps with batched replications attached per candidate."""
+
+    def test_observed_requires_duration(self, merged_system):
+        with pytest.raises(ModelError):
+            buffer_capacity_sweep(
+                merged_system,
+                ("sa", "pa"),
+                "sink",
+                max_capacity=2,
+                observed_sims=2,
+            )
+
+    def test_observed_below_bound_and_jobs_invariant(self, merged_system):
+        kwargs = dict(
+            max_capacity=3,
+            observed_sims=3,
+            observed_duration=ms(400),
+            observed_warmup=ms(100),
+            seed=9,
+        )
+        serial = buffer_capacity_sweep(
+            merged_system, ("sa", "pa"), "sink", jobs=1, **kwargs
+        )
+        parallel = buffer_capacity_sweep(
+            merged_system, ("sa", "pa"), "sink", jobs=2, **kwargs
+        )
+        assert serial == parallel
+        for point in serial:
+            assert point.observed is not None
+            # Observed disparity is a lower bound on the analytic one.
+            assert 0 <= point.observed <= point.bound
+
+    def test_observed_default_off(self, merged_system):
+        points = period_sensitivity(
+            merged_system, "pb", "sink", [ms(50), ms(10)]
+        )
+        assert all(p.observed is None for p in points)
+
+    def test_observed_period_sweep(self, merged_system):
+        points = period_sensitivity(
+            merged_system,
+            "pb",
+            "sink",
+            [ms(50), ms(1)],
+            observed_sims=2,
+            observed_duration=ms(300),
+        )
+        assert points[0].observed is not None
+        # Unschedulable candidates carry no observation.
+        assert not points[1].schedulable and points[1].observed is None
+
+
 class TestMargins:
     def test_margins(self, merged_system):
         margins = disparity_margins(
