@@ -71,14 +71,34 @@ class AnalysisSession:
             the :class:`BackwardBoundsCache` — e.g.
             :func:`repro.let.backward_bounds_let` retargets every query
             of this session to LET semantics.
+        semantics: Communication semantics this session simulates by
+            default (``"implicit"`` or ``"let"``).  A LET session pins
+            both sides at construction — pass
+            ``bounds_strategy=backward_bounds_let`` for the analytical
+            bounds and ``semantics="let"`` so :meth:`simulate`,
+            :meth:`observed_disparity` and :meth:`observed_batch`
+            replay LET data flow; per-call ``semantics=`` overrides
+            remain available.
     """
 
-    def __init__(self, system: System, *, bounds_strategy=None) -> None:
+    def __init__(
+        self,
+        system: System,
+        *,
+        bounds_strategy=None,
+        semantics: str = "implicit",
+    ) -> None:
+        if semantics not in ("implicit", "let"):
+            raise ValueError(
+                f"unknown semantics {semantics!r}; "
+                f"choose from ('implicit', 'let')"
+            )
         self._system = system
+        self._semantics = semantics
         self._cache = BackwardBoundsTable(system, strategy=bounds_strategy)
         self._chains: Dict[str, Tuple[Chain, ...]] = {}
         self._results: Dict[Tuple[str, str, bool], TaskDisparityResult] = {}
-        self._compiled: Dict[str, CompiledScenario] = {}
+        self._compiled: Dict[Tuple[str, str], CompiledScenario] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -92,10 +112,11 @@ class AnalysisSession:
         validate: bool = True,
         preemptive: bool = False,
         bounds_strategy=None,
+        semantics: str = "implicit",
     ) -> "AnalysisSession":
         """Validate and analyze ``graph``, then open a session on it."""
         system = System.build(graph, validate=validate, preemptive=preemptive)
-        return cls(system, bounds_strategy=bounds_strategy)
+        return cls(system, bounds_strategy=bounds_strategy, semantics=semantics)
 
     # ------------------------------------------------------------------
     # shared state
@@ -110,6 +131,11 @@ class AnalysisSession:
     def graph(self) -> CauseEffectGraph:
         """The underlying cause-effect graph."""
         return self._system.graph
+
+    @property
+    def semantics(self) -> str:
+        """The communication semantics this session simulates by default."""
+        return self._semantics
 
     @property
     def cache(self) -> BackwardBoundsCache:
@@ -223,7 +249,7 @@ class AnalysisSession:
         seed: int = 0,
         policy: PolicyLike = "uniform",
         observers: Sequence[Observer] = (),
-        semantics: str = "implicit",
+        semantics: Optional[str] = None,
         faults=None,
         offsets_rng: Optional[random.Random] = None,
     ) -> SimulationResult:
@@ -235,7 +261,8 @@ class AnalysisSession:
             policy: Execution-time policy — a CLI name (``"uniform"``,
                 ``"wcet"``, ``"bcet"``, ``"extremes"``) or a callable.
             observers: Metric collectors (see :mod:`repro.sim.metrics`).
-            semantics: ``"implicit"`` or ``"let"``.
+            semantics: ``"implicit"`` or ``"let"``; defaults to the
+                semantics the session was constructed with.
             faults: Optional release-dropout plan.
             offsets_rng: When given, every task first receives a random
                 offset in ``[1, T]`` drawn from this generator (the
@@ -255,7 +282,7 @@ class AnalysisSession:
             seed=seed,
             policy=resolved,
             observers=observers,
-            semantics=semantics,
+            semantics=self._semantics if semantics is None else semantics,
             faults=faults,
         )
 
@@ -269,6 +296,7 @@ class AnalysisSession:
         rng: Optional[random.Random] = None,
         seed: int = 0,
         policy: PolicyLike = "uniform",
+        semantics: Optional[str] = None,
     ) -> Time:
         """Max observed disparity of ``task`` over randomized runs.
 
@@ -291,6 +319,7 @@ class AnalysisSession:
             rng=rng,
             seed=seed,
             policy=policy,
+            semantics=semantics,
         ).max_disparity
 
     def observed_batch(
@@ -303,18 +332,23 @@ class AnalysisSession:
         rng: Optional[random.Random] = None,
         seed: int = 0,
         policy: PolicyLike = "uniform",
+        semantics: Optional[str] = None,
     ) -> BatchResult:
         """Batched replications of ``task`` with per-run disparities.
 
         Like :meth:`observed_disparity` but returns the full
         :class:`~repro.sim.batch.BatchResult` (per-replication
         disparities, percentiles, engine label and phase timing).  The
-        compiled scenario is cached per task on this session.
+        semantics default to the session's (a LET session replays LET
+        data flow here, never implicit), and the compiled scenario is
+        cached per ``(task, semantics)`` on this session.
         """
-        compiled = self._compiled.get(task)
+        sem = self._semantics if semantics is None else semantics
+        key = (task, sem)
+        compiled = self._compiled.get(key)
         if compiled is None:
-            compiled = CompiledScenario(self._system, task)
-            self._compiled[task] = compiled
+            compiled = CompiledScenario(self._system, task, semantics=sem)
+            self._compiled[key] = compiled
         return run_batch(
             self._system,
             task,
@@ -325,6 +359,7 @@ class AnalysisSession:
             seed=seed,
             policy=policy,
             compiled=compiled,
+            semantics=sem,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -4,7 +4,25 @@ LET decouples data-flow timing from scheduling: jobs read at release
 and publish at their deadline.  The analysis here retargets the
 paper's disparity theorems to LET by swapping the per-chain
 backward-time bounds; the simulator supports LET via
-``simulate(..., semantics="let")``.
+``simulate(..., semantics="let")``, which resolves to the two-phase
+fast path (LET data flow is pure release/deadline arithmetic — see
+``docs/performance.md``).
+
+For both sides of a LET study in one object, construct the session
+with the matching pair::
+
+    from repro.api import AnalysisSession
+    from repro.let import backward_bounds_let
+
+    session = AnalysisSession(
+        system, bounds_strategy=backward_bounds_let, semantics="let"
+    )
+    bound = session.disparity(sink)                  # LET Theorem 2
+    seen = session.observed_batch(sink, sims=100, duration=horizon)
+
+``observed_batch`` then replays LET replications through the compiled
+batch engine (byte-identical to sequential ``simulate`` calls, several
+times faster than the general loop).
 """
 
 from repro.let.analysis import (

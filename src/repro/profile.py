@@ -13,6 +13,9 @@ optimization work:
   (:mod:`repro.sim.batch`) against the same replications run as
   independent simulations — a paired, in-process comparison whose
   speedup ratio the regression gate tracks.
+* :func:`bench_let_kernel` is the same paired comparison under LET
+  semantics, with the sequential side pinned to the general loop (the
+  pre-fast-path LET baseline).
 * :func:`bench_analysis_scaling` measures the *per-chain* cost of the
   backward-bounds analysis on diamond-ladder graphs whose chain count
   doubles per rung; the DAG-shared prefix DP
@@ -207,6 +210,95 @@ def bench_batch_kernel(
     }
 
 
+def bench_let_kernel(
+    *,
+    n_tasks: int = 10,
+    sims: int = 20,
+    duration_s: float = 6.0,
+    seed: int = 2023,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """LET compiled batch engine vs N general-loop runs, paired.
+
+    The LET twin of :func:`bench_batch_kernel`: the sequential side
+    replays ``sims`` replications as independent
+    ``simulate(semantics="let", loop="general")`` calls — the only LET
+    path that existed before the fast-path/batch work reached LET — and
+    the batched side routes the same replications through a LET
+    session's :meth:`~repro.api.AnalysisSession.observed_batch` (i.e.
+    ``run_batch`` with ``semantics="let"`` on a scenario compiled
+    once).  Both
+    start from identical generator states, the per-replication
+    disparities are asserted equal, and the (min-of-``repeats``) walls
+    plus their ratio are reported; the ratio feeds the regression gate.
+    """
+    from repro.api import AnalysisSession
+    from repro.gen import generate_random_scenario
+    from repro.model.system import System
+    from repro.sim.engine import Simulator, randomize_offsets
+    from repro.sim.metrics import DisparityMonitor
+    from repro.units import seconds
+
+    rng = random.Random(seed)
+    scenario = generate_random_scenario(n_tasks, rng)
+    system, sink = scenario.system, scenario.sink
+    duration = seconds(duration_s)
+    warmup = duration // 4
+    state = rng.getstate()
+    session = AnalysisSession(system, semantics="let")
+
+    sequential_s: Optional[float] = None
+    batched_s: Optional[float] = None
+    engine = ""
+    for _ in range(max(1, repeats)):
+        rng.setstate(state)
+        start = time.perf_counter()
+        sequential: List[int] = []
+        for _ in range(sims):
+            monitor = DisparityMonitor([sink], warmup=warmup)
+            run_seed = rng.randrange(2**31)
+            run_system = System(
+                graph=randomize_offsets(system.graph, rng),
+                response_times=system.response_times,
+            )
+            Simulator(
+                run_system,
+                duration,
+                seed=run_seed,
+                observers=[monitor],
+                semantics="let",
+                loop="general",
+            ).run()
+            sequential.append(monitor.disparity(sink))
+        elapsed = time.perf_counter() - start
+        sequential_s = elapsed if sequential_s is None else min(
+            sequential_s, elapsed
+        )
+
+        rng.setstate(state)
+        start = time.perf_counter()
+        result = session.observed_batch(
+            sink, sims=sims, duration=duration, warmup=warmup, rng=rng,
+        )
+        elapsed = time.perf_counter() - start
+        batched_s = elapsed if batched_s is None else min(batched_s, elapsed)
+        engine = result.engine
+        if list(result.disparities) != sequential:
+            raise AssertionError(
+                "LET batched replications diverged from general-loop runs"
+            )
+    return {
+        "n_tasks": n_tasks,
+        "sims": sims,
+        "duration_s": duration_s,
+        "engine": engine,
+        "sequential_s": round(sequential_s, 4),
+        "batched_s": round(batched_s, 4),
+        "speedup": round(sequential_s / batched_s, 2) if batched_s else 0.0,
+        "sims_per_s": round(sims / batched_s, 2) if batched_s else 0.0,
+    }
+
+
 # ----------------------------------------------------------------------
 # analysis scaling (prefix-shared backward bounds)
 # ----------------------------------------------------------------------
@@ -305,7 +397,7 @@ def bench_analysis_scaling(
 # ----------------------------------------------------------------------
 
 #: Benchmark sections of :func:`run_benchmarks`, in document order.
-KERNELS = ("sim", "batch", "analysis")
+KERNELS = ("sim", "batch", "let", "analysis")
 
 
 def run_benchmarks(
@@ -340,6 +432,12 @@ def run_benchmarks(
             if quick
             else bench_batch_kernel()
         )
+    if "let" in kernels:
+        document["let"] = (
+            bench_let_kernel(sims=8, duration_s=2.0, repeats=2)
+            if quick
+            else bench_let_kernel()
+        )
     if "analysis" in kernels:
         document["analysis"] = (
             bench_analysis_scaling(levels=4, widths=(1, 2, 4))
@@ -367,6 +465,14 @@ def format_benchmarks(results: Dict[str, Any]) -> str:
             f"  {batch['sequential_s']:.2f}s sequential ->"
             f" {batch['batched_s']:.2f}s batched"
             f"  ({batch['speedup']:.2f}x, {batch['sims_per_s']:,.1f} sims/s)"
+        )
+    let = results.get("let")
+    if let is not None:
+        lines.append(
+            f"let batch    {let['sims']:>9} sims"
+            f"  {let['sequential_s']:.2f}s general loop ->"
+            f" {let['batched_s']:.2f}s batched"
+            f"  ({let['speedup']:.2f}x, {let['sims_per_s']:,.1f} sims/s)"
         )
     for row in results.get("analysis", ()):
         lines.append(
@@ -432,6 +538,17 @@ def compare_to_baseline(
         if cur_speedup < base_speedup * (1.0 - tolerance):
             regressions.append(
                 f"batch replication speedup {cur_speedup:.2f}x is "
+                f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
+                f"committed {base_speedup:.2f}x"
+            )
+    cur_let = current.get("let")
+    base_let = baseline.get("let")
+    if cur_let is not None and base_let is not None:
+        cur_speedup = cur_let["speedup"]
+        base_speedup = base_let["speedup"]
+        if cur_speedup < base_speedup * (1.0 - tolerance):
+            regressions.append(
+                f"LET batch speedup {cur_speedup:.2f}x is "
                 f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
                 f"committed {base_speedup:.2f}x"
             )

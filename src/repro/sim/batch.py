@@ -26,13 +26,19 @@ is strictly cheaper than the engine's fast path:
   finish times, and provenance is resolved by a specialized memoized
   DP equal to the engine's ``_FastFlow`` resolver.
 
-The result is **byte-identical** to N independent :func:`simulate`
-calls under the same derived seeds (pinned by
-``tests/test_sim_batch.py``); scenarios the compiled loop cannot
-handle — zero-BCET compute tasks, duplicate priorities on one unit,
-offsets outside ``[0, T]`` — transparently fall back to the plain
-:class:`~repro.sim.engine.Simulator`, preserving identity at the cost
-of the speedup.
+Both communication semantics compile: under ``semantics="implicit"``
+data flow is resolved from recorded finish times (with the same
+cascade-depth side table the engine's fast path uses for zero-BCET
+compute tasks), under ``semantics="let"`` from the time-deterministic
+LET publication/read instants, with an inline deadline check per
+finish.  The result is **byte-identical** to N independent
+:func:`simulate` calls under the same derived seeds (pinned by
+``tests/test_sim_batch.py`` and ``tests/test_let_fastpath.py``);
+scenarios the compiled loop cannot handle — duplicate priorities on
+one unit, unmapped compute tasks, offsets outside ``[0, T]`` —
+transparently fall back to the plain
+:class:`~repro.sim.engine.Simulator` under the same semantics,
+preserving identity at the cost of the speedup.
 
 :func:`run_batch` packages the common case: draw ``(seed, offsets)``
 pairs exactly like ``AnalysisSession.observed_disparity`` and return a
@@ -97,6 +103,11 @@ class BatchResult:
         compile_s: Wall seconds spent compiling the scenario (0 when a
             pre-compiled scenario was reused).
         run_s: Wall seconds spent in the replication loop.
+        semantics: The communication semantics the replications ran
+            under (``"implicit"`` or ``"let"``).
+        reason: Why the run fell back to the per-replication simulator
+            (every failed eligibility rule, ``"; "``-joined), ``None``
+            when the compiled loop ran.
     """
 
     task: str
@@ -104,6 +115,8 @@ class BatchResult:
     engine: str
     compile_s: float
     run_s: float
+    semantics: str = "implicit"
+    reason: Optional[str] = None
 
     @property
     def sims(self) -> int:
@@ -145,14 +158,34 @@ class CompiledScenario:
     (only those tasks are recorded during a replication).
 
     Eligibility for the compiled loop requires every compute task to
-    be mapped to a unit with ``BCET >= 1`` and priorities to be unique
-    per unit; ``ineligible_reason`` says which rule failed.  Ineligible
-    scenarios (and replications whose offsets leave ``[0, T]``) run
-    through the plain simulator instead — same results, no speedup.
+    be mapped to a unit and priorities to be unique per unit;
+    ``ineligible_reasons`` lists *every* rule that failed (and
+    ``ineligible_reason`` joins them), so one compile diagnoses every
+    fallback cause at once.  Ineligible scenarios (and replications
+    whose offsets leave ``[0, T]``) run through the plain simulator
+    instead — same results, no speedup.  Zero-BCET compute tasks are
+    eligible: the loop records the same cascade-depth side table the
+    engine's fast path uses, so same-instant sub-batch visibility
+    replays exactly.
+
+    ``semantics`` selects the communication model the replications
+    reproduce: ``"implicit"`` (read at start / write at finish) or
+    ``"let"`` (read at release, publish at deadline, deadline checked
+    per finish).  The schedule loop is shared; only the data-flow
+    resolver differs.
     """
 
-    def __init__(self, system: System, task: str) -> None:
+    def __init__(
+        self, system: System, task: str, *, semantics: str = "implicit"
+    ) -> None:
         t0 = _time.perf_counter()
+        if semantics not in ("implicit", "let"):
+            raise ModelError(
+                f"unknown semantics {semantics!r}; "
+                f"choose from ('implicit', 'let')"
+            )
+        self.semantics = semantics
+        self._let = semantics == "let"
         graph = system.graph
         self.system = system
         self.graph = graph
@@ -178,21 +211,22 @@ class CompiledScenario:
         ]
         self.n_units = len(unit_names)
 
-        self.ineligible_reason: Optional[str] = None
+        # Every failed eligibility rule is collected (not just the
+        # first), so one compile reports all fallback causes.
+        reasons: List[str] = []
         for t in tasks:
             if t.is_instantaneous:
                 continue
             if t.ecu is None:
-                self.ineligible_reason = (
+                reasons.append(
                     f"compute task {t.name!r} has no unit assignment"
                 )
-                break
-            if t.bcet < 1:
-                self.ineligible_reason = (
-                    f"compute task {t.name!r} has BCET 0 (sub-instant "
-                    f"cascades need the engine's event loop)"
-                )
-                break
+        # Zero-BCET compute tasks stay eligible: the schedule loop
+        # records cascade depths (implicit) and LET visibility never
+        # depends on same-instant finish ordering.
+        self._track = not self._let and any(
+            t.bcet == 0 for t in tasks if not t.is_instantaneous
+        )
 
         # Per unit: member tasks by ascending priority value; bit i of
         # the unit's ready mask stands for the rank-i member, so the
@@ -210,13 +244,14 @@ class CompiledScenario:
             )
             self.rank_tid.append(members)
             prios = [tasks[tid].priority for tid in members]
-            if len(set(prios)) != len(prios) and self.ineligible_reason is None:
-                self.ineligible_reason = (
+            if len(set(prios)) != len(prios):
+                reasons.append(
                     f"unit {unit_names[u]!r} has duplicate priorities "
                     f"(ready order would depend on arrival, not rank)"
                 )
             for rank, tid in enumerate(members):
                 self.bit_of[tid] = 1 << rank
+        self.ineligible_reasons: Tuple[str, ...] = tuple(reasons)
 
         # Backward closure of the monitored task: the only tasks whose
         # schedule a replication must record.
@@ -267,7 +302,14 @@ class CompiledScenario:
     @property
     def eligible(self) -> bool:
         """True when the compiled loop can replicate this scenario."""
-        return self.ineligible_reason is None
+        return not self.ineligible_reasons
+
+    @property
+    def ineligible_reason(self) -> Optional[str]:
+        """All failed eligibility rules joined, ``None`` when eligible."""
+        if not self.ineligible_reasons:
+            return None
+        return "; ".join(self.ineligible_reasons)
 
     def _offsets_in_domain(self, offsets: Sequence[Time]) -> bool:
         periods = self.periods
@@ -429,12 +471,23 @@ class CompiledScenario:
         seed: int,
         duration: Time,
         policy: ExecTimePolicy,
-    ) -> Tuple[List[List[Time]], List[List[Time]], List[int]]:
+    ) -> Tuple[
+        List[List[Time]],
+        List[List[Time]],
+        List[int],
+        Optional[Dict[Tuple[int, int], int]],
+    ]:
         """One replication's schedule of the monitored closure.
 
-        Returns ``(starts, fins, completed)`` for the kept tasks; the
-        RNG stream (and hence every execution-time draw) is identical
-        to the engine loops under the same seed.
+        Returns ``(starts, fins, completed, casc)`` for the kept
+        tasks; the RNG stream (and hence every execution-time draw) is
+        identical to the engine loops under the same seed.  ``casc``
+        is the cascade-depth side table for zero-BCET scenarios
+        (implicit semantics only, ``None`` otherwise): per kept job
+        dispatched by a zero-time finish at the same instant, the
+        sub-batch depth the engine's fast path would record.  Under
+        LET the loop instead checks each finish against its job's
+        deadline, raising the engine's ``LET violation`` error.
         """
         rng = random.Random(seed)
         rng_random = rng.random
@@ -460,6 +513,28 @@ class CompiledScenario:
         sentinel = duration + 1
         rel_times.append(sentinel)
         rel_tids.append(-1)
+
+        # Zero-BCET cascade tracking (implicit semantics): ``zrun[u]``
+        # flags whether unit ``u``'s running job executes in zero time,
+        # ``cur_batch[u]`` its dispatch's sub-batch depth; ``casc``
+        # collects depths for kept jobs exactly as the engine's fast
+        # path does.  LET replications instead count dispatches per
+        # task (``ndisp``) to check each finish against its deadline.
+        track = self._track
+        let_mode = self._let
+        zrun = [False] * n_units
+        cur_batch = [0] * n_units
+        casc: Optional[Dict[Tuple[int, int], int]] = {} if track else None
+        ndisp = [0] * n
+        names = self.names
+
+        def check_deadline(tid: int, at: Time) -> None:
+            deadline = offsets[tid] + ndisp[tid] * periods[tid]
+            if at > deadline:
+                raise ModelError(
+                    f"LET violation: job {names[tid]}#{ndisp[tid] - 1} "
+                    f"finished at {at} past its deadline {deadline}"
+                )
 
         ready_mask = [0] * n_units
         pend = [0] * n
@@ -511,6 +586,8 @@ class CompiledScenario:
                     while fin_head == now:
                         u2 = heappop(fin_heap)[2]
                         fin_head = fin_heap[0][0]
+                        if let_mode:
+                            check_deadline(running[u2], now)
                         running[u2] = -1
                         touched.append(u2)
                     for u2 in touched:
@@ -536,6 +613,14 @@ class CompiledScenario:
                             if keep[tid2]:
                                 sa[tid2](now)
                                 fa[tid2](now + exec_time)
+                            if track:
+                                # Finishes drained at a release instant
+                                # belong to jobs dispatched earlier, so
+                                # this dispatch starts a fresh batch.
+                                cur_batch[u2] = 0
+                                zrun[u2] = exec_time == 0
+                            elif let_mode:
+                                ndisp[tid2] += 1
                             running[u2] = tid2
                             seq += 1
                             heappush(fin_heap, (now + exec_time, seq, u2))
@@ -556,6 +641,11 @@ class CompiledScenario:
                     if keep[tid]:
                         sa[tid](now)
                         fa[tid](now + exec_time)
+                    if track:
+                        cur_batch[u] = 0
+                        zrun[u] = exec_time == 0
+                    elif let_mode:
+                        ndisp[tid] += 1
                     running[u] = tid
                     seq += 1
                     heappush(fin_heap, (now + exec_time, seq, u))
@@ -570,6 +660,10 @@ class CompiledScenario:
                 if now > duration:
                     break
                 u = fin_heap[0][2]
+                if let_mode:
+                    check_deadline(running[u], now)
+                if track:
+                    nb = cur_batch[u] + 1 if zrun[u] else 0
                 m = ready_mask[u]
                 if m:
                     b = m & -m
@@ -592,6 +686,13 @@ class CompiledScenario:
                     if keep[tid]:
                         sa[tid](now)
                         fa[tid](now + exec_time)
+                        if track and nb:
+                            casc[(tid, len(starts[tid]) - 1)] = nb
+                    if track:
+                        cur_batch[u] = nb
+                        zrun[u] = exec_time == 0
+                    elif let_mode:
+                        ndisp[tid] += 1
                     running[u] = tid
                     seq += 1
                     heapreplace(fin_heap, (now + exec_time, seq, u))
@@ -607,6 +708,8 @@ class CompiledScenario:
                     while fin_head == now:
                         u2 = heappop(fin_heap)[2]
                         fin_head = fin_heap[0][0]
+                        if let_mode:
+                            check_deadline(running[u2], now)
                         running[u2] = -1
                         fin2.append(u2)
                     for u2 in fin2:
@@ -618,6 +721,11 @@ class CompiledScenario:
                             pend[tid2] = c
                             if not c:
                                 ready_mask[u2] = m ^ b
+                            if track:
+                                # The finished job's zero flag is still
+                                # in ``zrun`` — no dispatch on this unit
+                                # happened since the drain above.
+                                nb2 = cur_batch[u2] + 1 if zrun[u2] else 0
                             if fast_uniform:
                                 span = spans[tid2]
                                 exec_time = (
@@ -632,6 +740,13 @@ class CompiledScenario:
                             if keep[tid2]:
                                 sa[tid2](now)
                                 fa[tid2](now + exec_time)
+                                if track and nb2:
+                                    casc[(tid2, len(starts[tid2]) - 1)] = nb2
+                            if track:
+                                cur_batch[u2] = nb2
+                                zrun[u2] = exec_time == 0
+                            elif let_mode:
+                                ndisp[tid2] += 1
                             running[u2] = tid2
                             seq += 1
                             heappush(fin_heap, (now + exec_time, seq, u2))
@@ -647,27 +762,37 @@ class CompiledScenario:
             if done and fs[-1] > duration:
                 done -= 1
             completed[tid] = done
-        return starts, fins, completed
+        return starts, fins, completed, casc
 
     def _prov_resolver(
         self,
         offsets: Sequence[Time],
         starts: List[List[Time]],
         fins: List[List[Time]],
+        completed: List[int],
+        casc: Optional[Dict[Tuple[int, int], int]] = None,
     ):
         """Memoized packed-provenance DP over one recorded schedule.
 
         Mirrors ``_FastFlow._prov_of``/``reads_of``/``_writes_upto``
-        folded into one closure: writes at ``t`` are visible to reads
-        at ``t``, the FIFO head among ``m`` visible writes on a
-        capacity-``c`` channel is write ``max(0, m - c)``, and
-        provenance folds bottom-up as interned bitmask + stamp pairs.
+        folded into one closure.  Under implicit semantics writes at
+        ``t`` are visible to reads at ``t`` (``casc`` replays the
+        sub-batch order of same-instant zero-time finishes, exactly as
+        the engine's fast path does), the FIFO head among ``m``
+        visible writes on a capacity-``c`` channel is write
+        ``max(0, m - c)``, and provenance folds bottom-up as interned
+        bitmask + stamp pairs.  Under LET both sides are arithmetic:
+        jobs read at their release, sources publish at release, every
+        other producer at its deadline (one period after release),
+        with CPU producers publishing only jobs they completed within
+        the horizon.
         """
         periods = self.periods
         inst = self.inst
         is_source = self.is_source
         in_edges = self.in_edges
         names = self.names
+        let_mode = self._let
         pk = self.packer
         pk_source = pk.source
         pk_merge = pk.merge
@@ -682,14 +807,43 @@ class CompiledScenario:
             if is_source[g]:
                 p = pk_source(names[g], offsets[g] + k * periods[g])
             else:
-                at = offsets[g] + k * periods[g] if inst[g] else starts[g][k]
+                if let_mode or inst[g]:
+                    at = offsets[g] + k * periods[g]
+                    rkey = 1
+                else:
+                    at = starts[g][k]
+                    rkey = (
+                        3 * casc.get((g, k), 0) + 2
+                        if casc is not None
+                        else 2
+                    )
                 reads = []
                 for pg, cap in in_edges[g]:
-                    if inst[pg]:
-                        po = offsets[pg]
+                    po = offsets[pg]
+                    if let_mode:
+                        if at < po:
+                            mm = 0
+                        elif is_source[pg]:
+                            mm = (at - po) // periods[pg] + 1
+                        else:
+                            mm = (at - po) // periods[pg]
+                            if not inst[pg] and mm > completed[pg]:
+                                mm = completed[pg]
+                    elif inst[pg]:
                         mm = 0 if at < po else (at - po) // periods[pg] + 1
                     else:
-                        mm = bisect_right(fins[pg], at)
+                        fts = fins[pg]
+                        mm = bisect_right(fts, at)
+                        if casc is not None:
+                            sts = starts[pg]
+                            while (
+                                mm
+                                and fts[mm - 1] == at
+                                and sts[mm - 1] == at
+                                and 3 * (casc.get((pg, mm - 1), 0) + 1)
+                                > rkey
+                            ):
+                                mm -= 1
                     if mm:
                         reads.append((pg, mm - cap if mm > cap else 0))
                 if not reads:
@@ -738,10 +892,10 @@ class CompiledScenario:
                 return self._fallback_disparity(
                     offsets, seed, duration, warmup, resolved
                 )
-            starts, fins, completed = self._schedule(
+            starts, fins, completed, casc = self._schedule(
                 offsets, seed, duration, resolved
             )
-            prov = self._prov_resolver(offsets, starts, fins)
+            prov = self._prov_resolver(offsets, starts, fins, completed, casc)
             gid = self.m_gid
             count = self._monitored_count(offsets, duration, completed)
             offset = offsets[gid]
@@ -788,10 +942,10 @@ class CompiledScenario:
         resolved = _resolve_policy(policy)
         t0 = _time.perf_counter()
         try:
-            starts, fins, completed = self._schedule(
+            starts, fins, completed, casc = self._schedule(
                 offsets, seed, duration, resolved
             )
-            prov = self._prov_resolver(offsets, starts, fins)
+            prov = self._prov_resolver(offsets, starts, fins, completed, casc)
             gid = self.m_gid
             total = self._monitored_count(offsets, duration, completed)
             offset = offsets[gid]
@@ -839,13 +993,16 @@ class CompiledScenario:
             seed=seed,
             policy=policy,
             observers=[monitor],
+            semantics=self.semantics,
         )
         return monitor.disparity(self.task)
 
 
-def compile_scenario(system: System, task: str) -> CompiledScenario:
+def compile_scenario(
+    system: System, task: str, *, semantics: str = "implicit"
+) -> CompiledScenario:
     """Compile ``system`` for batched replications monitoring ``task``."""
-    return CompiledScenario(system, task)
+    return CompiledScenario(system, task, semantics=semantics)
 
 
 def run_batch(
@@ -859,6 +1016,7 @@ def run_batch(
     seed: int = 0,
     policy: PolicyLike = uniform_policy,
     compiled: Optional[CompiledScenario] = None,
+    semantics: str = "implicit",
 ) -> BatchResult:
     """Run ``sims`` randomized replications against one compiled scenario.
 
@@ -867,7 +1025,9 @@ def run_batch(
     execution-time seed from ``rng`` (or a local generator seeded with
     ``seed``), then one offset in ``[1, T]`` per task in graph order —
     so the per-replication disparities are byte-identical to the
-    sequential ``simulate()`` loop under the same generator state.
+    sequential ``simulate()`` loop under the same generator state and
+    ``semantics`` (``"implicit"`` or ``"let"``).  A pre-``compiled``
+    scenario must have been compiled under the same semantics.
     """
     if sims < 0:
         raise ModelError(f"sims must be >= 0, got {sims}")
@@ -876,11 +1036,16 @@ def run_batch(
         rng = random.Random(seed)
     compile_s = 0.0
     if compiled is None:
-        compiled = CompiledScenario(system, task)
+        compiled = CompiledScenario(system, task, semantics=semantics)
         compile_s = compiled.compile_s
     elif compiled.task != task:
         raise ModelError(
             f"compiled scenario monitors {compiled.task!r}, not {task!r}"
+        )
+    elif compiled.semantics != semantics:
+        raise ModelError(
+            f"compiled scenario replays {compiled.semantics!r} semantics, "
+            f"not {semantics!r}"
         )
     t0 = _time.perf_counter()
     periods = compiled.periods
@@ -898,6 +1063,8 @@ def run_batch(
         engine="compiled" if compiled.eligible else "simulator",
         compile_s=compile_s,
         run_s=_time.perf_counter() - t0,
+        semantics=semantics,
+        reason=compiled.ineligible_reason,
     )
 
 

@@ -170,13 +170,16 @@ class Simulator:
             produce no job, so consumers keep reading stale data.
         loop: Event-loop selection, primarily a testing aid.  ``"auto"``
             (default) picks the fastest exact loop for the run: the
-            two-phase fast path for implicit semantics without faults
-            (zero-BCET CPU tasks included — their same-instant finish
-            cascades are replayed from a recorded depth table), and
-            the general loop for LET/fault runs.  ``"fast"``,
-            ``"classic"`` and ``"general"`` force a specific loop (and
-            raise when the run is not eligible for it); all loops
-            produce identical results.
+            two-phase fast path for implicit *and* LET semantics
+            without faults (zero-BCET CPU tasks included — their
+            same-instant finish cascades are replayed from a recorded
+            depth table), and the general loop for fault runs.
+            ``"fast"``, ``"classic"`` and ``"general"`` force a
+            specific loop; all loops produce identical results.  The
+            loop/semantics/faults combination is validated here in the
+            constructor, so a misconfigured run (``loop="fast"`` with
+            a fault plan, ``loop="classic"`` with LET) raises
+            :class:`ModelError` at construction, not at :meth:`run`.
     """
 
     def __init__(
@@ -236,6 +239,10 @@ class Simulator:
         self._seq = 0
         self._job_counters: Dict[str, int] = {}
         self._stats = SimulationStats(duration=duration)
+        # Resolve (and validate) the loop now: a misconfigured
+        # loop/semantics/faults combination should fail at
+        # construction, not midway through a sweep.
+        self._resolved_loop = self._select_loop()
 
     # ------------------------------------------------------------------
     # public API
@@ -265,31 +272,52 @@ class Simulator:
         return state
 
     def _select_loop(self) -> str:
-        """Resolve the ``loop`` argument against this run's features."""
+        """Resolve the ``loop`` argument against this run's features.
+
+        Called from ``__init__`` so misconfiguration raises at
+        construction (the resolved loop is cached for :meth:`run`).
+        """
         choice = self._loop
         if choice == "general":
             return "general"
-        if self._semantics != "implicit" or self._faults is not None:
+        if self._faults is not None:
+            # Fault plans suppress releases data-dependently; only the
+            # general loop models them.
             if choice != "auto":
                 raise ModelError(
-                    f"loop {choice!r} requires implicit semantics without "
-                    f"faults; this run needs the general loop"
+                    f"loop {choice!r} requires a run without a fault "
+                    f"plan; this run needs the general loop"
                 )
             return "general"
-        if choice == "classic":
-            return "classic"
-        # The two-phase fast path resolves data flow after the fact
-        # from "writes at t are visible to reads at t" bisection.  A
-        # CPU job that executes in zero time finishes in a later
-        # sub-batch of the same instant; the loop tracks those cascade
-        # depths so the bisection can replay the intra-instant ordering
-        # exactly.  The only remaining requirement is a unit
-        # assignment for every CPU task.
+        # The two-phase fast path resolves data flow after the fact:
+        # under implicit semantics by "writes at t are visible to
+        # reads at t" bisection over recorded finish times (with a
+        # cascade-depth side table replaying same-instant zero-BCET
+        # sub-batches), under LET from the time-deterministic
+        # publication/read instants.  Scheduling never depends on
+        # data under either semantics, so phase 1 is shared.  The
+        # only requirement is a unit assignment for every CPU task.
         eligible = all(
             task.ecu is not None
             for task in self._graph.tasks
             if not task.is_instantaneous
         )
+        if self._semantics == "let":
+            if choice == "classic":
+                raise ModelError(
+                    "loop 'classic' requires implicit semantics; LET "
+                    "runs use the fast or general loop"
+                )
+            if choice == "fast":
+                if not eligible:
+                    raise ModelError(
+                        "loop 'fast' requires every CPU task to have "
+                        "a unit assignment"
+                    )
+                return "fast"
+            return "fast" if eligible else "general"
+        if choice == "classic":
+            return "classic"
         if choice == "fast":
             if not eligible:
                 raise ModelError(
@@ -301,14 +329,14 @@ class Simulator:
 
     def run(self) -> SimulationResult:
         """Run to the horizon and return stats plus the observers."""
-        loop = self._select_loop()
+        loop = self._resolved_loop
         if loop == "fast":
             # The Fig. 6 harness spends >99% of its wall time in the
-            # simulator, so the common case (implicit communication,
-            # no fault plan) runs on a two-phase fast path: a
-            # schedule-only event loop over integer tuples, then lazy
-            # data-flow reconstruction for the jobs observers actually
-            # monitor.
+            # simulator, so the common case (implicit or LET
+            # semantics, no fault plan) runs on a two-phase fast
+            # path: a schedule-only event loop over integer tuples,
+            # then lazy data-flow reconstruction for the jobs
+            # observers actually monitor.
             self._run_fastpath()
         else:
             for task in self._graph.tasks:
@@ -635,8 +663,9 @@ class Simulator:
     def _run_fastpath(self) -> None:
         """Two-phase fast path: schedule first, data flow lazily after.
 
-        Under implicit communication, scheduling never depends on data
-        (reads never block), so phase 1 simulates the schedule alone —
+        Under both implicit and LET communication, scheduling never
+        depends on data (reads never block), so phase 1 simulates the
+        schedule alone —
         an event loop over plain integer tuples with no jobs, tokens,
         channels or provenance, and with the release streams of
         off-CPU instantaneous tasks (sources, zero-WCET relays) taken
@@ -665,6 +694,15 @@ class Simulator:
         replays the classic loop's sub-batch visibility exactly.
         Systems where every CPU task has BCET >= 1 never populate the
         table and skip the extra checks entirely.
+
+        Under LET semantics phase 1 is the same schedule-only loop
+        plus an inline deadline check at every finish (a LET job must
+        finish by release + period; the general loop raises the same
+        :class:`ModelError`).  The cascade table is not needed: LET
+        data flow depends only on publication/read *instants*
+        (deadline / release), never on same-instant finish ordering.
+        Phase 2 resolves LET reads arithmetically (see
+        :class:`_FastFlow`).
 
         The loop exploits three structural invariants for speed, all
         order-preserving (the execution-time draws stay in the exact
@@ -719,12 +757,27 @@ class Simulator:
         # dispatch was triggered by a zero-time finish at the same
         # instant; ``cur_batch`` holds the depth of each unit's most
         # recent dispatch.  Systems with BCET >= 1 everywhere skip all
-        # of this (``track`` is False and ``casc`` stays None).
-        track = any(
+        # of this (``track`` is False and ``casc`` stays None), and so
+        # do LET runs: LET visibility depends only on publication and
+        # read instants, never on same-instant finish ordering.
+        let_mode = self._semantics == "let"
+        track = not let_mode and any(
             bcets[tid] == 0 for tid in range(n) if not inst[tid]
         )
         casc: Optional[Dict[Tuple[int, int], int]] = {} if track else None
         cur_batch = [0] * n_units
+
+        names = [task.name for task in tasks]
+
+        def check_deadline(tid: int, now: Time) -> None:
+            """LET deadline check at a finish, mirroring ``_complete``."""
+            k = len(starts[tid]) - 1
+            deadline = offsets[tid] + (k + 1) * periods[tid]
+            if now > deadline:
+                raise ModelError(
+                    f"LET violation: job {names[tid]}#{k} "
+                    f"finished at {now} past its deadline {deadline}"
+                )
 
         starts: List[List[Time]] = [[] for _ in range(n)]
         execs: List[List[Time]] = [[] for _ in range(n)]
@@ -853,6 +906,8 @@ class Simulator:
                     while fin_heap[0][0] == now:
                         u2 = heappop(fin_heap)[2]
                         tid2 = running[u2]
+                        if let_mode:
+                            check_deadline(tid2, now)
                         if record[tid2]:
                             ct_append(now)
                             cg_append(tid2)
@@ -896,6 +951,8 @@ class Simulator:
                     break
                 u = head[2]
                 tid = running[u]
+                if let_mode:
+                    check_deadline(tid, now)
                 if record[tid]:
                     ct_append(now)
                     cg_append(tid)
@@ -955,6 +1012,8 @@ class Simulator:
                     else:
                         for u2 in fin2:
                             tid2 = running[u2]
+                            if let_mode:
+                                check_deadline(tid2, now)
                             if record[tid2]:
                                 ct_append(now)
                                 cg_append(tid2)
@@ -999,8 +1058,27 @@ class Simulator:
         for tid in range(n):
             if inst[tid] and offsets[tid] <= duration:
                 inst_releases += (duration - offsets[tid]) // periods[tid] + 1
+
+        # Under LET the general loop also processes one publication
+        # event per completed non-source job whose deadline falls
+        # within the horizon; mirror that in the event counter.
+        pubs_processed = 0
+        if let_mode:
+            for tid in range(n):
+                offset = offsets[tid]
+                if offset > duration or graph.is_source(names[tid]):
+                    continue
+                horizon_pubs = (duration - offset) // periods[tid]
+                if inst[tid]:
+                    pubs_processed += horizon_pubs
+                else:
+                    done = completed[tid]
+                    pubs_processed += (
+                        done if done < horizon_pubs else horizon_pubs
+                    )
         self._stats.events_processed += (
             releases_processed + finishes_processed + inst_releases
+            + pubs_processed
         )
         self._stats.jobs_released += releases_processed + inst_releases
         self._stats.jobs_completed += finishes_processed + inst_releases
@@ -1017,6 +1095,7 @@ class Simulator:
             completed=completed,
             topo_index=self._topo_index,
             casc=casc,
+            semantics=self._semantics,
         )
         if self._observers:
             self._fastpath_notify(flow, comp_times, comp_gids)
@@ -1211,10 +1290,17 @@ class _FastFlow:
     This resolver answers "what did job ``k`` of task ``v`` read?"
     after the fact:
 
-    * the number of writes of producer ``u`` visible to a read at time
-      ``s`` is ``bisect_right(finish_times(u), s)`` (writes at ``t``
-      are visible to reads at ``t``, matching the per-instant phase
+    * under implicit semantics the number of writes of producer ``u``
+      visible to a read at time ``s`` is
+      ``bisect_right(finish_times(u), s)`` (writes at ``t`` are
+      visible to reads at ``t``, matching the per-instant phase
       ordering of the live loops);
+    * under LET semantics both sides are arithmetic: job ``k`` of a
+      consumer reads at its release ``offset + k * period``, and a
+      non-source producer's ``j``-th publication lands at its deadline
+      ``offset + (j + 1) * period`` (sources still publish at
+      release); a CPU producer only publishes jobs it completed within
+      the horizon, so the count is capped by ``completed``;
     * the FIFO head among ``m`` visible writes on a channel of
       capacity ``c`` is write ``max(0, m - c)`` — eviction only ever
       removes the oldest token;
@@ -1249,6 +1335,7 @@ class _FastFlow:
         "_reads",
         "_tokens",
         "_casc",
+        "_let",
     )
 
     def __init__(
@@ -1265,6 +1352,7 @@ class _FastFlow:
         completed: List[int],
         topo_index: Dict[str, int],
         casc: Optional[Dict[Tuple[int, int], int]] = None,
+        semantics: str = "implicit",
     ) -> None:
         self.tasks = tasks
         self.inst = inst
@@ -1293,6 +1381,7 @@ class _FastFlow:
         self._reads: Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]] = {}
         self._tokens: Dict[Tuple[int, int], Token] = {}
         self._casc = casc
+        self._let = semantics == "let"
 
     # -- write/read geometry -------------------------------------------
 
@@ -1329,7 +1418,25 @@ class _FastFlow:
         visible iff its key does not exceed the reader's ``rkey``.
         Without zero-BCET tasks (``casc`` is None) every same-instant
         write has key <= 1 and the plain bisection stands.
+
+        Under LET the count is arithmetic instead: sources publish at
+        release (``offset + j * period``), every other producer at its
+        deadline (``offset + (j + 1) * period``), a publication at
+        ``t`` being visible to a read at ``t``; CPU producers publish
+        only jobs they completed within the horizon.
         """
+        if self._let:
+            offset = self.offsets[gid]
+            if time < offset:
+                return 0
+            if self._is_source[gid]:
+                return (time - offset) // self.periods[gid] + 1
+            m = (time - offset) // self.periods[gid]
+            if not self.inst[gid]:
+                done = self._completed[gid]
+                if m > done:
+                    m = done
+            return m
         if self.inst[gid]:
             offset = self.offsets[gid]
             if time < offset:
@@ -1351,6 +1458,19 @@ class _FastFlow:
 
     def total_writes(self, gid: int) -> int:
         """All writes of ``gid`` within the horizon."""
+        if self._let and not self._is_source[gid]:
+            # Publications processed within the horizon: deadlines
+            # ``offset + (j + 1) * period <= duration``, capped by the
+            # completed count for CPU producers.
+            offset = self.offsets[gid]
+            if self.duration < offset:
+                return 0
+            m = (self.duration - offset) // self.periods[gid]
+            if not self.inst[gid]:
+                done = self._completed[gid]
+                if m > done:
+                    m = done
+            return m
         if self.inst[gid]:
             return self.n_releases(gid)
         return self._completed[gid]
@@ -1360,7 +1480,11 @@ class _FastFlow:
         key = (gid, index)
         found = self._reads.get(key)
         if found is None:
-            if self.inst[gid]:
+            if self._let:
+                # LET jobs read at release, CPU and relay alike.
+                at = self.offsets[gid] + index * self.periods[gid]
+                rkey = 2  # unused: LET visibility ignores sub-batches
+            elif self.inst[gid]:
                 at = self.offsets[gid] + index * self.periods[gid]
                 rkey = 1
             else:

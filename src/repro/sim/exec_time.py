@@ -22,10 +22,17 @@ ExecTimePolicy = Callable[[Task, int, random.Random], Time]
 
 
 def uniform_policy(task: Task, job_index: int, rng: random.Random) -> Time:
-    """Uniform draw from ``[B(tau), W(tau)]`` (the default)."""
+    """Uniform draw from ``[B(tau), W(tau)]`` (the default).
+
+    The draw is ``bcet + int(rng.random() * span)`` — the exact stream
+    the optimized loops inline — so every loop (classic, fast, general,
+    compiled batch) consumes the same number of RNG states and produces
+    identical schedules for the same seed.  Degenerate ranges
+    (``bcet == wcet``) consume no randomness at all.
+    """
     if task.bcet == task.wcet:
         return task.wcet
-    return rng.randint(task.bcet, task.wcet)
+    return task.bcet + int(rng.random() * (task.wcet - task.bcet + 1))
 
 
 def wcet_policy(task: Task, job_index: int, rng: random.Random) -> Time:

@@ -152,16 +152,31 @@ def test_fastpath_matches_classic_with_buffers():
     _assert_equivalent(buffered, duration, 123)
 
 
-def test_fastpath_rejected_for_let_and_faults():
+def test_loop_validation_happens_at_construction():
+    """Misconfigured loop/semantics/faults combinations fail in __init__.
+
+    LET is now fast-path eligible (``loop="fast"`` works, ``"classic"``
+    does not reconstruct LET data flow), and fault plans still require
+    the general loop — but every rejection must fire at construction,
+    before ``.run()``.
+    """
     system = _random_system(5, 6)
+    assert Simulator(system, 10**9, semantics="let")._resolved_loop == "fast"
+    assert (
+        Simulator(system, 10**9, semantics="let", loop="fast")._resolved_loop
+        == "fast"
+    )
     with pytest.raises(ModelError):
-        Simulator(system, 10**9, semantics="let", loop="fast").run()
+        Simulator(system, 10**9, semantics="let", loop="classic")
     from repro.sim.faults import FaultPlan
 
     task = next(t.name for t in system.graph.tasks)
     plan = FaultPlan().drop(task, 0, 10**8)
+    assert Simulator(system, 10**9, faults=plan)._resolved_loop == "general"
     with pytest.raises(ModelError):
-        Simulator(system, 10**9, faults=plan, loop="fast").run()
+        Simulator(system, 10**9, faults=plan, loop="fast")
+    with pytest.raises(ModelError):
+        Simulator(system, 10**9, faults=plan, loop="classic")
 
 
 def test_auto_uses_fastpath_for_zero_bcet():

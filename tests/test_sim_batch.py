@@ -111,26 +111,68 @@ def test_batch_pure_python_release_stream(monkeypatch):
     assert without_numpy.disparities == with_numpy.disparities
 
 
-def test_ineligible_zero_bcet_falls_back_identically():
+def test_zero_bcet_replays_through_compiled_loop():
+    """Zero-BCET scenarios are compiled-eligible via the cascade table.
+
+    The compiled loop carries the same cascade-depth side table as the
+    fast path's phase 2, so instantaneous finish-cascades order
+    identically and the per-replication simulator fallback is no longer
+    needed here.
+    """
     system, sink = _scenario(13, 8)
     graph = system.graph.copy()
     victim = next(t for t in graph.tasks if not t.is_instantaneous)
     graph.replace_task(replace(victim, bcet=0))
     lowered = System(graph=graph, response_times=system.response_times)
     compiled = CompiledScenario(lowered, sink)
-    assert not compiled.eligible
-    assert "BCET" in compiled.ineligible_reason
+    assert compiled.eligible
+    assert compiled.ineligible_reason is None
     duration = 2 * max(task.period for task in graph.tasks)
-    _assert_batch_matches(
-        lowered,
-        sink,
-        sims=3,
-        duration=duration,
-        warmup=0,
-        seed=21,
-        policy="uniform",
-        engine="simulator",
+    for policy in ("uniform", "bcet"):
+        _assert_batch_matches(
+            lowered,
+            sink,
+            sims=3,
+            duration=duration,
+            warmup=0,
+            seed=21,
+            policy=policy,
+            engine="compiled",
+        )
+
+
+def test_ineligible_reason_collects_all_failed_rules():
+    """Every failed eligibility rule is reported, not just the first."""
+    from repro.model.graph import CauseEffectGraph
+    from repro.model.task import Task, source_task
+    from repro.units import ms
+
+    graph = CauseEffectGraph()
+    graph.add_task(source_task("src", ms(10), ecu="e", priority=0))
+    graph.add_task(Task("a", ms(10), ms(2), ms(1), ecu="e", priority=1))
+    graph.add_task(Task("b", ms(20), ms(3), ms(1), ecu="e", priority=2))
+    graph.add_task(Task("c", ms(20), ms(1), ms(1), ecu="f", priority=1))
+    graph.add_channel("src", "a")
+    graph.add_channel("a", "b")
+    graph.add_channel("b", "c")
+    built = System.build(graph)
+    # Collide priorities *and* strip a unit assignment after analysis so
+    # two independent rules fail at once (the analysis itself would
+    # reject either graph, so surgery happens on the analyzed system).
+    mangled = built.graph.copy()
+    mangled.replace_task(replace(mangled.task("b"), priority=1))
+    mangled.replace_task(replace(mangled.task("c"), ecu=None))
+    system = System(graph=mangled, response_times=built.response_times)
+    compiled = CompiledScenario(system, "c")
+    assert not compiled.eligible
+    assert len(compiled.ineligible_reasons) == 2
+    assert any("no unit assignment" in r for r in compiled.ineligible_reasons)
+    assert any(
+        "duplicate priorities" in r for r in compiled.ineligible_reasons
     )
+    joined = compiled.ineligible_reason
+    for reason in compiled.ineligible_reasons:
+        assert reason in joined
 
 
 def test_ineligible_duplicate_priorities_falls_back_identically():
@@ -171,9 +213,10 @@ def test_session_observed_batch_caches_compiled_scenario():
     duration = 2 * max(task.period for task in system.graph.tasks)
     session = AnalysisSession(system)
     first = session.observed_batch(sink, sims=2, duration=duration, seed=1)
-    compiled = session._compiled[sink]
+    compiled = session._compiled[(sink, "implicit")]
     second = session.observed_batch(sink, sims=2, duration=duration, seed=1)
-    assert session._compiled[sink] is compiled  # reused, not recompiled
+    # reused, not recompiled
+    assert session._compiled[(sink, "implicit")] is compiled
     assert first.disparities == second.disparities
     assert second.compile_s == 0.0
     assert session.observed_disparity(
