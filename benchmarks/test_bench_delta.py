@@ -1,0 +1,76 @@
+"""Delta-compilation benchmarks: replayed views vs per-candidate compiles.
+
+The delta-compilation work splits :class:`repro.sim.batch.CompiledScenario`
+into offset-independent tables compiled once plus cheap per-candidate
+:meth:`~repro.sim.batch.CompiledScenario.with_offsets` views.  Two
+structural assertions guard it (machine independent, current run only):
+
+* evaluating many offset candidates through delta-replayed views must
+  beat compiling a fresh scenario per candidate — with byte-identical
+  per-candidate disparities (asserted inside the paired bench);
+* constructing a view must be orders of magnitude cheaper than a
+  compile, so sweeps can create one view per candidate without budget.
+
+The committed-baseline regression gate for the ``delta`` section lives
+with the other sections in ``test_bench_kernel.py``
+(``BENCH_kernel.json`` / ``repro bench --check``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.gen import generate_random_scenario
+from repro.profile import bench_delta_kernel
+from repro.sim.batch import CompiledScenario
+
+
+@pytest.mark.benchmark(group="delta")
+def test_delta_replay_beats_fresh_compile(benchmark):
+    """Paired sweep: delta-replayed views outrun per-candidate compiles."""
+    result = benchmark.pedantic(bench_delta_kernel, rounds=1, iterations=1)
+    print()
+    print(
+        f"delta: {result['candidates']} candidates, "
+        f"{result['fresh_s']:.3f}s recompiled -> "
+        f"{result['delta_s']:.3f}s delta-replayed "
+        f"({result['speedup']:.2f}x)"
+    )
+    assert result["delta_replay"], "candidates fell off the delta path"
+    assert result["delta_s"] < result["fresh_s"]
+
+
+@pytest.mark.benchmark(group="delta")
+def test_offset_view_is_cheap(benchmark):
+    """One view per candidate costs a fraction of one compile."""
+    rng = random.Random(2023)
+    scenario = generate_random_scenario(20, rng)
+    system, sink = scenario.system, scenario.sink
+    periods = [task.period for task in system.graph.tasks]
+    vectors = [
+        tuple(rng.randint(1, period) for period in periods)
+        for _ in range(500)
+    ]
+
+    def measure():
+        started = time.perf_counter()
+        compiled = CompiledScenario(system, sink)
+        compile_s = time.perf_counter() - started
+        started = time.perf_counter()
+        views = [compiled.with_offsets(vector) for vector in vectors]
+        views_s = time.perf_counter() - started
+        return compile_s, views_s / len(views), views
+
+    compile_s, per_view_s, views = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"compile {compile_s*1e3:.2f} ms, view {per_view_s*1e6:.2f} us "
+        f"({compile_s/per_view_s:.0f}x cheaper per candidate)"
+    )
+    assert all(view.delta_replay for view in views)
+    assert per_view_s * 20 < compile_s

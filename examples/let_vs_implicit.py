@@ -17,22 +17,16 @@ analytically and in simulation.
 Run:  python examples/let_vs_implicit.py
 """
 
-import random
-
 from repro import (
     CauseEffectGraph,
-    DisparityMonitor,
     System,
     Task,
-    disparity_bound,
     format_time,
     ms,
-    randomize_offsets,
-    simulate,
     source_task,
 )
 from repro.chains.backward import BackwardBoundsCache
-from repro.let import disparity_bound_let, let_bounds_cache
+from repro.let import let_bounds_cache, semantics_tradeoff
 from repro.model.chain import enumerate_source_chains
 from repro.units import seconds
 
@@ -51,19 +45,6 @@ def build_system() -> System:
     return System.build(graph)
 
 
-def simulated_disparity(system: System, semantics: str, seed: int) -> int:
-    rng = random.Random(seed)
-    worst = 0
-    for run in range(6):
-        graph = randomize_offsets(system.graph, rng)
-        variant = System(graph=graph, response_times=system.response_times)
-        monitor = DisparityMonitor(["fuse"], warmup=seconds(1))
-        simulate(variant, seconds(8), seed=run, observers=[monitor],
-                 semantics=semantics)
-        worst = max(worst, monitor.disparity("fuse"))
-    return worst
-
-
 def main() -> None:
     system = build_system()
 
@@ -79,19 +60,22 @@ def main() -> None:
             f"  LET: [{format_time(let.bcbt)}, {format_time(let.wcbt)}]"
         )
 
+    # One paired study: analytical bound + 6 batched random-offset
+    # replications per semantics, both semantics on identical seed
+    # streams (delta-replayed through one compiled scenario each).
+    result = semantics_tradeoff(
+        system, "fuse", sims=6, duration=seconds(8), warmup=seconds(1), seed=3
+    )
+
     print("\n=== worst-case time disparity of 'fuse' ===")
-    implicit_bound = disparity_bound(system, "fuse", method="forkjoin")
-    let_bound = disparity_bound_let(system, "fuse")
-    print(f"  implicit (Theorem 2): {format_time(implicit_bound)}")
-    print(f"  LET:                  {format_time(let_bound)}")
+    print(f"  implicit (Theorem 2): {format_time(result.implicit.bound)}")
+    print(f"  LET:                  {format_time(result.let.bound)}")
 
     print("\n=== simulated disparity (6 random-offset runs each) ===")
-    for semantics in ("implicit", "let"):
-        observed = simulated_disparity(system, semantics, seed=3)
-        bound = implicit_bound if semantics == "implicit" else let_bound
+    for point in result.points:
         print(
-            f"  {semantics:<9} observed {format_time(observed):>11} "
-            f"<= bound {format_time(bound):>11}: {observed <= bound}"
+            f"  {point.semantics:<9} observed {format_time(point.observed):>11} "
+            f"<= bound {format_time(point.bound):>11}: {point.sound}"
         )
 
     print("\nLET makes the sampling windows deterministic (no response-time")

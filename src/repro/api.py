@@ -322,6 +322,28 @@ class AnalysisSession:
             semantics=semantics,
         ).max_disparity
 
+    def compiled_scenario(
+        self, task: str, *, semantics: Optional[str] = None
+    ) -> CompiledScenario:
+        """The offset-independent compiled core of ``task`` (memoized).
+
+        A :class:`~repro.sim.batch.CompiledScenario` carries only
+        offset-independent state (task/unit tables, priority ranks,
+        provenance domain, backward closure, cached release-stream
+        tables), so one core per ``(task, semantics)`` serves every
+        replication and every offset candidate of this session:
+        :meth:`observed_batch` replays it per replication and callers
+        can derive per-candidate views directly via
+        ``compiled_scenario(task).with_offsets(offsets)``.
+        """
+        sem = self._semantics if semantics is None else semantics
+        key = (task, sem)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = CompiledScenario(self._system, task, semantics=sem)
+            self._compiled[key] = compiled
+        return compiled
+
     def observed_batch(
         self,
         task: str,
@@ -340,15 +362,13 @@ class AnalysisSession:
         :class:`~repro.sim.batch.BatchResult` (per-replication
         disparities, percentiles, engine label and phase timing).  The
         semantics default to the session's (a LET session replays LET
-        data flow here, never implicit), and the compiled scenario is
-        cached per ``(task, semantics)`` on this session.
+        data flow here, never implicit), and the offset-independent
+        compiled core is cached per ``(task, semantics)`` on this
+        session (see :meth:`compiled_scenario`) — each replication is
+        an offset-delta replay of that shared core.
         """
         sem = self._semantics if semantics is None else semantics
-        key = (task, sem)
-        compiled = self._compiled.get(key)
-        if compiled is None:
-            compiled = CompiledScenario(self._system, task, semantics=sem)
-            self._compiled[key] = compiled
+        compiled = self.compiled_scenario(task, semantics=sem)
         return run_batch(
             self._system,
             task,

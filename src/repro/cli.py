@@ -498,8 +498,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = subparsers.add_parser(
         "bench",
-        help="measure simulator-kernel, batch-engine (implicit and LET) "
-        "and analysis throughput",
+        help="measure simulator-kernel, batch-engine (implicit and LET), "
+        "delta-replay and analysis throughput",
     )
     bench.add_argument(
         "--quick",
@@ -508,7 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--kernel",
-        choices=("sim", "batch", "let", "analysis", "all"),
+        choices=("sim", "batch", "let", "delta", "analysis", "all"),
         default="all",
         help="measure only one benchmark section (default: all; "
         "--check skips sections absent from the run)",

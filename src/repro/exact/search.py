@@ -13,9 +13,12 @@ Two structural properties make the search fast and parallel:
 * **Compiled objective.** Every evaluation re-simulates the same
   system with nothing but the offset vector changed — exactly the
   shape :class:`repro.sim.batch.CompiledScenario` amortizes.  The
-  scenario is compiled once per restart and each steady-state probe
-  runs through the compiled replication loop (results are pinned equal
-  to :func:`~repro.exact.hyperperiod.steady_state_disparity`); systems
+  scenario is compiled once per restart and each candidate becomes a
+  cheap offset-delta view (:meth:`CompiledScenario.with_offsets`): the
+  precomputed release-stream tables are rebased by vector shift and
+  the steady-state probe runs through the compiled replication loop
+  (results are pinned equal to
+  :func:`~repro.exact.hyperperiod.steady_state_disparity`); systems
   the compiled loop cannot handle fall back to the reference
   implementation per evaluation.
 
@@ -118,13 +121,15 @@ class _CompiledObjective:
                 policy=self.policy,
                 max_windows=self.max_windows,
             ).disparity
-        vec = [offsets[name] for name in self.order]
+        # One candidate = one offset-delta view of the shared compiled
+        # tables; the release grid is rebased by vector shift instead
+        # of being regenerated per evaluation (candidates are drawn in
+        # [1, T], so the view always takes the delta-replay path).
+        view = self.compiled.with_offsets(offsets)
         horizon = self.hyperperiod
         warmup = max(offsets.values()) + self.warmup_base
-        probe = self.compiled.windowed_maxima
         if self.probe_ok:
-            first = probe(
-                vec,
+            first = view.windowed_maxima(
                 warmup + 3 * horizon,
                 warmup,
                 horizon,
@@ -134,8 +139,7 @@ class _CompiledObjective:
             if first[0] == first[1]:
                 return first[1]
         count = self.max_windows
-        values = probe(
-            vec,
+        values = view.windowed_maxima(
             warmup + count * horizon,
             warmup,
             horizon,

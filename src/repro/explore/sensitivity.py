@@ -19,8 +19,16 @@ included, since periods change them), so results are exact rather than
 incremental approximations.  Each sweep can additionally measure an
 *observed* disparity per candidate (``observed_sims`` batched
 replications through :func:`repro.sim.batch.run_batch`, compiled once
-per candidate); per-candidate seeds are derived up front from ``seed``
-in input order, so the observed column is identical for any ``jobs``.
+per candidate — within a candidate every replication is an
+offset-delta replay of the shared compiled tables); per-candidate
+seeds are derived up front from ``seed`` in input order, so the
+observed column is identical for any ``jobs``.
+
+Both sweeps accept ``semantics="let"`` to retarget the candidate
+analysis to the LET backward bounds (:mod:`repro.let`) *and* replay
+the observed replications under LET data flow — the pair stays
+consistent, exactly like an ``AnalysisSession`` constructed with
+``bounds_strategy=backward_bounds_let, semantics="let"``.
 """
 
 from __future__ import annotations
@@ -59,6 +67,7 @@ class _ObservedSpec:
     duration: Time
     warmup: Time
     point_seed: int
+    semantics: str = "implicit"
 
 
 def _observe(
@@ -76,7 +85,29 @@ def _observe(
         duration=spec.duration,
         warmup=spec.warmup,
         rng=random.Random(spec.point_seed),
+        semantics=spec.semantics,
     ).max_disparity
+
+
+def _check_semantics(semantics: str) -> None:
+    if semantics not in ("implicit", "let"):
+        raise ModelError(
+            f"unknown semantics {semantics!r}; "
+            f"choose from ('implicit', 'let')"
+        )
+
+
+def _candidate_bound(
+    system: System, analyzed_task: str, method: str, semantics: str
+) -> Time:
+    """One candidate's analytical bound under the sweep's semantics."""
+    if semantics == "let":
+        from repro.let.analysis import let_bounds_cache
+
+        return disparity_bound(
+            system, analyzed_task, method=method, cache=let_bounds_cache(system)
+        )
+    return disparity_bound(system, analyzed_task, method=method)
 
 
 def _observed_specs(
@@ -85,6 +116,7 @@ def _observed_specs(
     duration: Optional[Time],
     warmup: Time,
     seed: int,
+    semantics: str,
 ) -> List[Optional[_ObservedSpec]]:
     """One spec per candidate, seeds derived up front in input order."""
     if sims <= 0:
@@ -100,22 +132,23 @@ def _observed_specs(
             duration=duration,
             warmup=warmup,
             point_seed=rng.randrange(2**31),
+            semantics=semantics,
         )
         for _ in range(n_points)
     ]
 
 
 def _period_point(
-    params: Tuple[System, str, str, Time, str, Optional[_ObservedSpec]]
+    params: Tuple[System, str, str, Time, str, str, Optional[_ObservedSpec]]
 ) -> SweepPoint:
     """One candidate of :func:`period_sensitivity` (pool-safe)."""
-    system, task, analyzed_task, period, method, spec = params
+    system, task, analyzed_task, period, method, semantics, spec = params
     graph = system.graph.copy()
     original = graph.task(task)
     try:
         graph.replace_task(replace(original, period=period))
         candidate = System.build(graph)
-        bound = disparity_bound(candidate, analyzed_task, method=method)
+        bound = _candidate_bound(candidate, analyzed_task, method, semantics)
         observed = _observe(candidate, analyzed_task, spec)
         return SweepPoint(
             value=period, bound=bound, schedulable=True, observed=observed
@@ -131,6 +164,7 @@ def period_sensitivity(
     candidate_periods: Sequence[Time],
     *,
     method: str = "forkjoin",
+    semantics: str = "implicit",
     jobs: int = 1,
     observed_sims: int = 0,
     observed_duration: Optional[Time] = None,
@@ -147,18 +181,22 @@ def period_sensitivity(
     ``observed_sims > 0`` each schedulable candidate also runs that
     many batched replications of ``observed_duration`` (warmup
     ``observed_warmup``) and reports the max observed disparity.
+    ``semantics="let"`` evaluates both the bound (LET backward bounds)
+    and the observed replications under LET data flow.
     """
     from repro.parallel.engine import PoolRunner
 
+    _check_semantics(semantics)
     specs = _observed_specs(
         len(candidate_periods),
         observed_sims,
         observed_duration,
         observed_warmup,
         seed,
+        semantics,
     )
     params = [
-        (system, task, analyzed_task, period, method, spec)
+        (system, task, analyzed_task, period, method, semantics, spec)
         for period, spec in zip(candidate_periods, specs)
     ]
     with PoolRunner(jobs) as pool:
@@ -167,12 +205,12 @@ def period_sensitivity(
 
 
 def _capacity_point(
-    params: Tuple[System, str, str, str, int, str, Optional[_ObservedSpec]]
+    params: Tuple[System, str, str, str, int, str, str, Optional[_ObservedSpec]]
 ) -> SweepPoint:
     """One candidate of :func:`buffer_capacity_sweep` (pool-safe)."""
-    system, src, dst, analyzed_task, capacity, method, spec = params
+    system, src, dst, analyzed_task, capacity, method, semantics, spec = params
     candidate = system.with_channel_capacity(src, dst, capacity)
-    bound = disparity_bound(candidate, analyzed_task, method=method)
+    bound = _candidate_bound(candidate, analyzed_task, method, semantics)
     observed = _observe(candidate, analyzed_task, spec)
     return SweepPoint(
         value=capacity, bound=bound, schedulable=True, observed=observed
@@ -186,6 +224,7 @@ def buffer_capacity_sweep(
     *,
     max_capacity: int = 12,
     method: str = "forkjoin",
+    semantics: str = "implicit",
     jobs: int = 1,
     observed_sims: int = 0,
     observed_duration: Optional[Time] = None,
@@ -202,6 +241,8 @@ def buffer_capacity_sweep(
     ``jobs > 1`` evaluates the capacities across worker processes.
     With ``observed_sims > 0`` every capacity additionally reports the
     max observed disparity over that many batched replications.
+    ``semantics="let"`` evaluates both the bound (LET backward bounds)
+    and the observed replications under LET data flow.
     """
     if max_capacity < 1:
         raise ModelError(f"max_capacity must be >= 1, got {max_capacity}")
@@ -209,6 +250,7 @@ def buffer_capacity_sweep(
     system.graph.channel(src, dst)  # existence check
     from repro.parallel.engine import PoolRunner
 
+    _check_semantics(semantics)
     capacities = list(range(1, max_capacity + 1))
     specs = _observed_specs(
         len(capacities),
@@ -216,9 +258,10 @@ def buffer_capacity_sweep(
         observed_duration,
         observed_warmup,
         seed,
+        semantics,
     )
     params = [
-        (system, src, dst, analyzed_task, capacity, method, spec)
+        (system, src, dst, analyzed_task, capacity, method, semantics, spec)
         for capacity, spec in zip(capacities, specs)
     ]
     with PoolRunner(jobs) as pool:

@@ -22,7 +22,9 @@ with the matching pair::
 
 ``observed_batch`` then replays LET replications through the compiled
 batch engine (byte-identical to sequential ``simulate`` calls, several
-times faster than the general loop).
+times faster than the general loop).  :func:`semantics_tradeoff` runs
+the full paired implicit/LET study (bound + observed per semantics) on
+such sessions.
 """
 
 from repro.let.analysis import (
@@ -32,11 +34,21 @@ from repro.let.analysis import (
     let_bounds_cache,
     wcbt_upper_let,
 )
+from repro.let.sweep import (
+    SEMANTICS,
+    SemanticsPoint,
+    TradeoffResult,
+    semantics_tradeoff,
+)
 
 __all__ = [
+    "SEMANTICS",
+    "SemanticsPoint",
+    "TradeoffResult",
     "backward_bounds_let",
     "bcbt_lower_let",
     "disparity_bound_let",
     "let_bounds_cache",
+    "semantics_tradeoff",
     "wcbt_upper_let",
 ]

@@ -16,6 +16,11 @@ optimization work:
 * :func:`bench_let_kernel` is the same paired comparison under LET
   semantics, with the sequential side pinned to the general loop (the
   pre-fast-path LET baseline).
+* :func:`bench_delta_kernel` measures delta compilation: many offset
+  candidates on one system, evaluated as cheap
+  :meth:`~repro.sim.batch.CompiledScenario.with_offsets` views of one
+  compiled scenario versus a fresh compile per candidate (the
+  offset-sweep cost model before delta compilation).
 * :func:`bench_analysis_scaling` measures the *per-chain* cost of the
   backward-bounds analysis on diamond-ladder graphs whose chain count
   doubles per rung; the DAG-shared prefix DP
@@ -299,6 +304,91 @@ def bench_let_kernel(
     }
 
 
+def bench_delta_kernel(
+    *,
+    n_tasks: int = 20,
+    candidates: int = 150,
+    duration_s: float = 0.25,
+    seed: int = 2023,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Delta-replayed offset candidates vs per-candidate recompile, paired.
+
+    Models the offset-only sweep shape (``exact.search`` candidates,
+    Fig. 6 replications within one graph): ``candidates`` offset
+    vectors evaluated on the *same* system.  The fresh arm compiles a
+    new :class:`~repro.sim.batch.CompiledScenario` per candidate —
+    the pre-delta-compilation cost model, regenerating and re-sorting
+    the release grid each time — while the delta arm compiles once and
+    evaluates every candidate through a
+    :meth:`~repro.sim.batch.CompiledScenario.with_offsets` view, which
+    rebases the shared precomputed release-stream tables by vector
+    shift.  Both arms use the WCET policy with one fixed execution
+    seed, so every per-candidate disparity is deterministic; the arms
+    are asserted identical before the (min-of-``repeats``) walls and
+    their ratio are reported.  The ratio is the gate metric: it is
+    machine-independent and must stay well above 1 for delta
+    compilation to pay for itself.  The default shape (many candidates
+    on a short horizon) mirrors the coordinate-ascent probes of
+    ``exact.search``, where per-candidate compile cost is the
+    dominant overhead delta compilation removes.
+    """
+    from repro.gen import generate_random_scenario
+    from repro.sim.batch import CompiledScenario
+    from repro.sim.exec_time import wcet_policy
+    from repro.units import seconds
+
+    rng = random.Random(seed)
+    scenario = generate_random_scenario(n_tasks, rng)
+    system, sink = scenario.system, scenario.sink
+    duration = seconds(duration_s)
+    warmup = duration // 4
+    periods = [task.period for task in system.graph.tasks]
+    vectors = [
+        tuple(rng.randint(1, period) for period in periods)
+        for _ in range(candidates)
+    ]
+
+    fresh_s: Optional[float] = None
+    delta_s: Optional[float] = None
+    delta_replay = False
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fresh = [
+            CompiledScenario(system, sink)
+            .with_offsets(vector)
+            .disparity(seed, duration, warmup, wcet_policy)
+            for vector in vectors
+        ]
+        elapsed = time.perf_counter() - start
+        fresh_s = elapsed if fresh_s is None else min(fresh_s, elapsed)
+
+        start = time.perf_counter()
+        compiled = CompiledScenario(system, sink)
+        views = [compiled.with_offsets(vector) for vector in vectors]
+        delta = [
+            view.disparity(seed, duration, warmup, wcet_policy)
+            for view in views
+        ]
+        elapsed = time.perf_counter() - start
+        delta_s = elapsed if delta_s is None else min(delta_s, elapsed)
+        delta_replay = all(view.delta_replay for view in views)
+        if delta != fresh:
+            raise AssertionError(
+                "delta-replayed candidates diverged from fresh compiles"
+            )
+    return {
+        "n_tasks": n_tasks,
+        "candidates": candidates,
+        "duration_s": duration_s,
+        "delta_replay": delta_replay,
+        "fresh_s": round(fresh_s, 4),
+        "delta_s": round(delta_s, 4),
+        "speedup": round(fresh_s / delta_s, 2) if delta_s else 0.0,
+        "candidates_per_s": round(candidates / delta_s, 2) if delta_s else 0.0,
+    }
+
+
 # ----------------------------------------------------------------------
 # analysis scaling (prefix-shared backward bounds)
 # ----------------------------------------------------------------------
@@ -397,7 +487,7 @@ def bench_analysis_scaling(
 # ----------------------------------------------------------------------
 
 #: Benchmark sections of :func:`run_benchmarks`, in document order.
-KERNELS = ("sim", "batch", "let", "analysis")
+KERNELS = ("sim", "batch", "let", "delta", "analysis")
 
 
 def run_benchmarks(
@@ -438,6 +528,12 @@ def run_benchmarks(
             if quick
             else bench_let_kernel()
         )
+    if "delta" in kernels:
+        document["delta"] = (
+            bench_delta_kernel(candidates=40, repeats=2)
+            if quick
+            else bench_delta_kernel()
+        )
     if "analysis" in kernels:
         document["analysis"] = (
             bench_analysis_scaling(levels=4, widths=(1, 2, 4))
@@ -473,6 +569,15 @@ def format_benchmarks(results: Dict[str, Any]) -> str:
             f"  {let['sequential_s']:.2f}s general loop ->"
             f" {let['batched_s']:.2f}s batched"
             f"  ({let['speedup']:.2f}x, {let['sims_per_s']:,.1f} sims/s)"
+        )
+    delta = results.get("delta")
+    if delta is not None:
+        lines.append(
+            f"delta        {delta['candidates']:>9} cands"
+            f"  {delta['fresh_s']:.2f}s recompiled ->"
+            f" {delta['delta_s']:.2f}s delta-replayed"
+            f"  ({delta['speedup']:.2f}x, "
+            f"{delta['candidates_per_s']:,.1f} cands/s)"
         )
     for row in results.get("analysis", ()):
         lines.append(
@@ -549,6 +654,17 @@ def compare_to_baseline(
         if cur_speedup < base_speedup * (1.0 - tolerance):
             regressions.append(
                 f"LET batch speedup {cur_speedup:.2f}x is "
+                f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
+                f"committed {base_speedup:.2f}x"
+            )
+    cur_delta = current.get("delta")
+    base_delta = baseline.get("delta")
+    if cur_delta is not None and base_delta is not None:
+        cur_speedup = cur_delta["speedup"]
+        base_speedup = base_delta["speedup"]
+        if cur_speedup < base_speedup * (1.0 - tolerance):
+            regressions.append(
+                f"delta-replay speedup {cur_speedup:.2f}x is "
                 f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
                 f"committed {base_speedup:.2f}x"
             )

@@ -19,6 +19,16 @@ is strictly cheaper than the engine's fast path:
   heapify order, i.e. plain ``tid``), which holds whenever offsets lie
   in ``[0, T]`` — so one vectorized sort per replication replaces every
   release-heap operation;
+* the release grids themselves are **delta-compiled**: per horizon the
+  zero-offset grids of every task are concatenated once into flat
+  offset-independent tables, and each candidate offset vector is
+  applied as a vectorized shift of those tables (one ``take`` + one
+  ``argsort``) instead of regenerating, slicing and re-concatenating
+  per-task grids — the per-candidate cost of an offset-only sweep
+  (``exact.search``, the Fig. 6 replications, the buffer/period
+  sweeps' observed columns) is the shift and the replay, nothing else.
+  :meth:`CompiledScenario.with_offsets` exposes one candidate as a
+  cheap bound view;
 * per-unit ready queues become priority-rank bitmasks (eligibility
   requires unique priorities per unit), with per-task pending counters
   carrying FIFO multiplicity;
@@ -52,7 +62,9 @@ import random
 import time as _time
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from fractions import Fraction
+from math import ceil
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 try:  # pragma: no cover - exercised via both branches in CI images
     import numpy as _np
@@ -129,14 +141,24 @@ class BatchResult:
         return max(self.disparities, default=0)
 
     def percentile(self, q: float) -> Time:
-        """Nearest-rank percentile of the per-replication disparities."""
+        """Nearest-rank percentile of the per-replication disparities.
+
+        Returns the element at rank ``max(1, ceil(q * n / 100))`` (1-based)
+        of the sorted disparities, computed in exact arithmetic so float
+        ``q`` values never round across a rank boundary.  ``q = 0``
+        therefore yields the minimum, ``q = 100`` the maximum, and an
+        empty result reads 0.  Ties are resolved by multiplicity:
+        duplicated values occupy one rank each, so a value repeated
+        ``k`` times covers ``k`` consecutive ranks (the nearest-rank
+        method never interpolates between distinct values).
+        """
         if not 0 <= q <= 100:
             raise ModelError(f"percentile must be in [0, 100], got {q}")
         if not self.disparities:
             return 0
         ordered = sorted(self.disparities)
-        rank = max(1, -(-int(q * len(ordered)) // 100))
-        return ordered[min(rank, len(ordered)) - 1]
+        rank = max(1, ceil(Fraction(q) * len(ordered) / 100))
+        return ordered[rank - 1]
 
     def percentiles(self) -> Dict[str, Time]:
         """The common summary: p50/p90/p99 and the maximum."""
@@ -152,10 +174,13 @@ class CompiledScenario:
     """One scenario frozen into tables that N replications share.
 
     Compilation derives, once: the task and unit tables, per-unit
-    priority ranks (as bitmask bit positions), per-task release grids
-    over cached horizons, the interned source bitmasks of the packed
-    provenance domain, and the backward closure of the monitored task
-    (only those tasks are recorded during a replication).
+    priority ranks (as bitmask bit positions), concatenated
+    offset-independent release-stream tables per cached horizon (the
+    delta-compilation tables applied per candidate as a vector shift —
+    see :meth:`with_offsets`), the interned source bitmasks of the
+    packed provenance domain, and the backward closure of the
+    monitored task (only those tasks are recorded during a
+    replication).
 
     Eligibility for the compiled loop requires every compute task to
     be mapped to a unit and priorities to be unique per unit;
@@ -290,7 +315,9 @@ class CompiledScenario:
             for tid in range(n)
         ]
         self._packable = n <= 64 and len(distinct) <= 64
-        self._grid_cache: Dict[Time, list] = {}
+        # Offset-independent release-stream tables per horizon (the
+        # delta-compilation core), built lazily by _stream_tables().
+        self._stream_cache: Dict[Time, tuple] = {}
         elapsed = _time.perf_counter() - t0
         self.compile_s = elapsed
         PHASE_TIMES["compile_s"] += elapsed
@@ -322,48 +349,72 @@ class CompiledScenario:
     # release stream
     # ------------------------------------------------------------------
 
-    def _grids(self, duration: Time) -> list:
-        """Per-task static release grids for one horizon (cached)."""
-        found = self._grid_cache.get(duration)
-        if found is None:
-            # The packed key fits one int64 as
-            # ``t(rest) | k>0 (1 bit) | period rank (6) | low rank (6)``
-            # where the low rank is ``tid`` for initial releases and
-            # the per-replication (-offset, tid) rank for rescheduled
-            # ones; unique by construction, so an unstable single-key
-            # argsort replaces the five-key lexsort.
-            packed = (
-                _np is not None
-                and self._packable
-                and duration + max(self.periods, default=0) < 1 << 49
-            )
-            found = []
-            for tid in range(self.n):
-                if self.inst[tid]:
-                    found.append(None)
-                    continue
-                per = self.periods[tid]
-                maxlen = duration // per + 1
-                if _np is None:
-                    found.append(maxlen)
-                    continue
-                t = _np.arange(maxlen, dtype=_np.int64) * per
-                gk = None
-                if packed:
-                    gk = (t << 13) | (1 << 12) | (self.per_rank[tid] << 6)
-                    gk[0] = tid
-                flag = _np.ones(maxlen, dtype=_np.int64)
-                flag[0] = 0
-                found.append(
-                    (
-                        t,
-                        flag,
-                        _np.full(maxlen, -per, dtype=_np.int64),
-                        _np.full(maxlen, tid, dtype=_np.int64),
-                        gk,
-                    )
+    def _stream_tables(self, duration: Time) -> tuple:
+        """Offset-independent release-stream tables for one horizon.
+
+        The delta-compilation core: the zero-offset release grids of
+        every compute task are concatenated **once** per horizon into
+        flat arrays; a candidate offset vector is then applied as a
+        vectorized shift of these tables (:meth:`_release_stream`), so
+        replications and sweep candidates that differ only in offsets
+        never regenerate, slice, or re-concatenate per-task grids.
+
+        When the packed single-key encoding fits one int64 —
+        ``t(rest) | k>0 (1 bit) | period rank (6) | low rank (6)``,
+        where the low rank is ``tid`` for initial releases and the
+        per-candidate (-offset, tid) rank for rescheduled ones — the
+        cached tuple is ``("packed", base_key, tid_all, idx2)`` with
+        ``idx2 = tid + n * (k > 0)`` indexing the per-candidate shift
+        vector; otherwise it is the five-key lexsort material
+        ``("lex", t_all, flag_all, negper_all, tid_all)``.  An empty
+        stream (every task instantaneous) caches ``("empty",)``.
+
+        Grids are sized for offset 0 (``duration // T + 1`` entries per
+        task); a candidate offset in ``[0, T]`` shifts some tail
+        entries past the horizon, which sort after every in-horizon
+        release and are never consumed (the replication loop stops at
+        the first instant beyond ``duration``), so no per-candidate
+        re-slicing is needed either.
+        """
+        found = self._stream_cache.get(duration)
+        if found is not None:
+            return found
+        packed = (
+            self._packable
+            and duration + max(self.periods, default=0) < 1 << 49
+        )
+        ts, flags, negpers, tids = [], [], [], []
+        for tid in range(self.n):
+            if self.inst[tid]:
+                continue
+            per = self.periods[tid]
+            maxlen = duration // per + 1
+            t = _np.arange(maxlen, dtype=_np.int64) * per
+            flag = _np.ones(maxlen, dtype=_np.int64)
+            flag[0] = 0
+            ts.append(t)
+            flags.append(flag)
+            negpers.append(_np.full(maxlen, -per, dtype=_np.int64))
+            tids.append(_np.full(maxlen, tid, dtype=_np.int64))
+        if not ts:
+            found = ("empty",)
+        else:
+            t_all = _np.concatenate(ts)
+            flag_all = _np.concatenate(flags)
+            tid_all = _np.concatenate(tids)
+            if packed:
+                per_rank = _np.asarray(self.per_rank, dtype=_np.int64)
+                base_key = _np.where(
+                    flag_all == 0,
+                    tid_all,
+                    (t_all << 13) | (1 << 12) | (per_rank[tid_all] << 6),
                 )
-            self._grid_cache[duration] = found
+                idx2 = tid_all + flag_all * self.n
+                found = ("packed", base_key, tid_all, idx2)
+            else:
+                negper_all = _np.concatenate(negpers)
+                found = ("lex", t_all, flag_all, negper_all, tid_all)
+        self._stream_cache[duration] = found
         return found
 
     def _release_stream(
@@ -374,9 +425,11 @@ class CompiledScenario:
         Initial releases (``k = 0``) enter the release heap in task
         order at heapify time, so they tie-break by ``tid`` alone;
         rescheduled ones tie-break by ``(-period, -offset, tid)`` —
-        valid for offsets in ``[0, T]`` (checked by the caller).
+        valid for offsets in ``[0, T]`` (checked by the caller).  The
+        offset vector is applied as a delta on the cached
+        :meth:`_stream_tables`: one shift-vector ``take`` plus one
+        sort, no per-task python loop.
         """
-        grids = self._grids(duration)
         if _np is None:
             entries = []
             for tid in range(self.n):
@@ -393,71 +446,34 @@ class CompiledScenario:
                 )
             entries.sort()
             return [e[0] for e in entries], [e[4] for e in entries]
-        if grids and any(
-            g is not None and g[4] is not None for g in grids
-        ):
+        tables = self._stream_tables(duration)
+        if tables[0] == "empty":
+            return [], []
+        off = _np.fromiter(offsets, dtype=_np.int64, count=self.n)
+        if tables[0] == "packed":
             # Packed single-key path: the (-offset, tid) tie-break of
             # rescheduled releases becomes a rank added into the low
             # bits (rank order restricted to any subset preserves it).
+            _, base_key, tid_all, idx2 = tables
             by_off = sorted(
-                (
-                    tid
-                    for tid in range(self.n)
-                    if not self.inst[tid]
-                ),
+                (tid for tid in range(self.n) if not self.inst[tid]),
                 key=lambda tid: (-offsets[tid], tid),
             )
-            low_rank = {tid: r for r, tid in enumerate(by_off)}
-            keys, tids = [], []
-            for tid in range(self.n):
-                g = grids[tid]
-                if g is None:
-                    continue
-                off = offsets[tid]
-                if off > duration:
-                    continue
-                count = (duration - off) // self.periods[tid] + 1
-                k = g[4][:count] + (off << 13)
-                if count > 1:
-                    k[1:] += low_rank[tid]
-                keys.append(k)
-                tids.append(g[3][:count])
-            if not keys:
-                return [], []
-            key_all = _np.concatenate(keys)
-            tid_all = _np.concatenate(tids)
+            low = _np.zeros(self.n, dtype=_np.int64)
+            for rank, tid in enumerate(by_off):
+                low[tid] = rank
+            shifted = off << 13
+            vec2 = _np.concatenate((shifted, shifted + low))
+            key_all = base_key + vec2[idx2]
             order = _np.argsort(key_all)
             return (
                 (key_all[order] >> 13).tolist(),
                 tid_all[order].tolist(),
             )
-        ts, flags, negpers, tids, negoffs = [], [], [], [], []
-        for tid in range(self.n):
-            g = grids[tid]
-            if g is None:
-                continue
-            off = offsets[tid]
-            if off > duration:
-                continue
-            count = (duration - off) // self.periods[tid] + 1
-            t, flag, negper, tidarr, _ = g
-            ts.append(t[:count] + off)
-            flags.append(flag[:count])
-            negpers.append(negper[:count])
-            tids.append(tidarr[:count])
-            negoffs.append(_np.full(count, -off, dtype=_np.int64))
-        if not ts:
-            return [], []
-        t_all = _np.concatenate(ts)
-        tid_all = _np.concatenate(tids)
+        _, t0_all, flag_all, negper_all, tid_all = tables
+        t_all = t0_all + off[tid_all]
         order = _np.lexsort(
-            (
-                tid_all,
-                _np.concatenate(negoffs),
-                _np.concatenate(negpers),
-                _np.concatenate(flags),
-                t_all,
-            )
+            (tid_all, (-off)[tid_all], negper_all, flag_all, t_all)
         )
         return t_all[order].tolist(), tid_all[order].tolist()
 
@@ -967,6 +983,48 @@ class CompiledScenario:
             PHASE_TIMES["replicate_s"] += _time.perf_counter() - t0
 
     # ------------------------------------------------------------------
+    # delta views
+    # ------------------------------------------------------------------
+
+    def with_offsets(
+        self, offsets: Union[Sequence[Time], Mapping[str, Time]]
+    ) -> "OffsetView":
+        """A cheap per-candidate view of this scenario at ``offsets``.
+
+        The delta-compilation entry point for offset-only sweeps: the
+        offset-independent tables (task/unit tables, priority-rank
+        bitmasks, the provenance domain, the backward closure, and the
+        per-horizon release-stream tables) stay on this compiled
+        scenario and are shared by every view; the view itself holds
+        only the offset vector.  Replaying a candidate through
+        ``view.disparity(...)`` / ``view.windowed_maxima(...)`` is
+        byte-identical to a fresh :func:`compile_scenario` evaluated at
+        the same offsets — including the per-replication simulator
+        fallback when the offsets leave ``[0, T]`` (see
+        :attr:`OffsetView.in_domain`).
+
+        ``offsets`` is either a vector in graph-task order or a
+        mapping from task name to offset covering exactly the graph's
+        tasks (missing or unknown names raise).
+        """
+        if isinstance(offsets, Mapping):
+            if set(offsets) != set(self.names):
+                missing = sorted(set(self.names) - set(offsets))
+                unknown = sorted(set(offsets) - set(self.names))
+                raise ModelError(
+                    f"offset mapping must cover exactly the graph's tasks"
+                    f" (missing {missing}, unknown {unknown})"
+                )
+            vector = tuple(offsets[name] for name in self.names)
+        else:
+            vector = tuple(offsets)
+        if len(vector) != self.n:
+            raise ModelError(
+                f"expected {self.n} offsets, got {len(vector)}"
+            )
+        return OffsetView(self, vector)
+
+    # ------------------------------------------------------------------
     # fallback
     # ------------------------------------------------------------------
 
@@ -996,6 +1054,71 @@ class CompiledScenario:
             semantics=self.semantics,
         )
         return monitor.disparity(self.task)
+
+
+class OffsetView:
+    """One candidate offset vector bound to a :class:`CompiledScenario`.
+
+    Produced by :meth:`CompiledScenario.with_offsets`; holds nothing
+    but the offset vector, so constructing one per sweep candidate is
+    O(n) while all heavy tables stay shared on the compiled scenario.
+    ``in_domain`` reports whether every offset lies in ``[0, T]`` — the
+    delta-replay eligibility rule; out-of-domain views still evaluate
+    correctly through the per-replication simulator fallback.
+    """
+
+    __slots__ = ("compiled", "offsets", "in_domain")
+
+    def __init__(
+        self, compiled: CompiledScenario, offsets: Tuple[Time, ...]
+    ) -> None:
+        self.compiled = compiled
+        self.offsets = offsets
+        self.in_domain = compiled._offsets_in_domain(offsets)
+
+    @property
+    def delta_replay(self) -> bool:
+        """True when this view replays through the compiled delta loop."""
+        return self.compiled.eligible and self.in_domain
+
+    def disparity(
+        self,
+        seed: int,
+        duration: Time,
+        warmup: Time = 0,
+        policy: PolicyLike = uniform_policy,
+    ) -> Time:
+        """Observed disparity of one replication at this view's offsets."""
+        return self.compiled.disparity(
+            self.offsets, seed, duration, warmup, policy
+        )
+
+    def windowed_maxima(
+        self,
+        duration: Time,
+        start: Time,
+        window: Time,
+        count: int,
+        *,
+        seed: int = 0,
+        policy: PolicyLike = wcet_policy,
+    ) -> List[Time]:
+        """Per-window disparity maxima at this view's offsets."""
+        return self.compiled.windowed_maxima(
+            self.offsets,
+            duration,
+            start,
+            window,
+            count,
+            seed=seed,
+            policy=policy,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OffsetView({self.compiled.task!r}, "
+            f"{'delta' if self.delta_replay else 'fallback'})"
+        )
 
 
 def compile_scenario(
@@ -1053,9 +1176,14 @@ def run_batch(
     disparities = []
     for _ in range(sims):
         run_seed = rng.randrange(2**31)
-        offsets = [rng.randint(1, periods[tid]) for tid in range(n)]
+        offsets = tuple(rng.randint(1, periods[tid]) for tid in range(n))
+        # Each replication is one offset-delta view of the shared
+        # compiled tables (offsets drawn in [1, T] are always in
+        # domain, so this is always the delta replay path).
         disparities.append(
-            compiled.disparity(offsets, run_seed, duration, warmup, resolved)
+            compiled.with_offsets(offsets).disparity(
+                run_seed, duration, warmup, resolved
+            )
         )
     return BatchResult(
         task=task,
@@ -1071,6 +1199,7 @@ def run_batch(
 __all__ = [
     "BatchResult",
     "CompiledScenario",
+    "OffsetView",
     "PHASE_TIMES",
     "PolicyLike",
     "compile_scenario",
