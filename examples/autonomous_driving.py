@@ -27,7 +27,6 @@ from repro import (
     Platform,
     System,
     Task,
-    check_disparity_requirement,
     disparity_bound,
     format_time,
     ms,
@@ -37,6 +36,7 @@ from repro import (
     us,
 )
 from repro.chains.latency import max_data_age, max_reaction_time_np
+from repro.core.disparity import check_disparity_requirement
 from repro.model.chain import enumerate_source_chains
 from repro.model.platform import insert_message_tasks
 from repro.sched.priority import assign_rate_monotonic

@@ -85,38 +85,13 @@ from repro.sim import (
 )
 from repro.units import Time, format_time, ms, ns, seconds, to_ms, to_us, us
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-#: Top-level names superseded by :class:`AnalysisSession` methods.
-#: Importing them from ``repro`` still works (nothing is removed) but
-#: emits a :class:`DeprecationWarning` pointing at the replacement.
-_DEPRECATED = {
-    "all_sink_disparities": (
-        "repro.core.disparity",
-        "AnalysisSession(system).all_sinks()",
-    ),
-    "check_disparity_requirement": (
-        "repro.core.disparity",
-        "AnalysisSession(system).check_requirement(task, threshold)",
-    ),
-}
-
-
-def __getattr__(name: str):
-    deprecated = _DEPRECATED.get(name)
-    if deprecated is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    module_name, replacement = deprecated
-    import importlib
-    import warnings
-
-    warnings.warn(
-        f"repro.{name} is deprecated; use {replacement} instead "
-        f"(or import it from {module_name})",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return getattr(importlib.import_module(module_name), name)
+# The PR-1 deprecation shims (``all_sink_disparities`` /
+# ``check_disparity_requirement`` re-exported with a warning) are gone
+# after two releases of warning: use ``AnalysisSession.all_sinks()`` /
+# ``AnalysisSession.check_requirement()``, or import the functional
+# forms from :mod:`repro.core.disparity` directly.
 
 __all__ = [
     "AnalysisSession",
@@ -137,8 +112,6 @@ __all__ = [
     "wcbt_upper",
     "PairwiseResult",
     "TaskDisparityResult",
-    "all_sink_disparities",
-    "check_disparity_requirement",
     "disparity_bound",
     "disparity_bound_forkjoin",
     "disparity_bound_independent",

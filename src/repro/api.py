@@ -31,6 +31,7 @@ listing the choices.
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.chains.backward import (
@@ -47,7 +48,12 @@ from repro.model.chain import Chain, enumerate_source_chains
 from repro.model.graph import CauseEffectGraph
 from repro.model.system import System
 from repro.sched.response_time import ResponseTimeTable
-from repro.sim.batch import BatchResult, CompiledScenario, run_batch
+from repro.sim.batch import (
+    BatchResult,
+    CompiledScenario,
+    ScenarioView,
+    run_batch,
+)
 from repro.sim.engine import Observer, SimulationResult, randomize_offsets, simulate
 from repro.sim.exec_time import ExecTimePolicy, named_policy
 from repro.sim.metrics import DisparityMonitor  # noqa: F401  (re-export)
@@ -79,6 +85,12 @@ class AnalysisSession:
             :meth:`observed_disparity` and :meth:`observed_batch`
             replay LET data flow; per-call ``semantics=`` overrides
             remain available.
+        compiled_cache_size: Bound on the per-``(task, semantics)``
+            compiled-scenario memo (see :meth:`compiled_scenario`).
+            Least-recently-used entries are evicted past the bound, so
+            a long-lived session sweeping many monitored tasks holds at
+            most this many compiled cores; :meth:`compiled_cache_stats`
+            exposes the eviction counter.
     """
 
     def __init__(
@@ -87,18 +99,29 @@ class AnalysisSession:
         *,
         bounds_strategy=None,
         semantics: str = "implicit",
+        compiled_cache_size: int = 8,
     ) -> None:
         if semantics not in ("implicit", "let"):
             raise ValueError(
                 f"unknown semantics {semantics!r}; "
                 f"choose from ('implicit', 'let')"
             )
+        if compiled_cache_size < 1:
+            raise ValueError(
+                f"compiled_cache_size must be >= 1, got {compiled_cache_size}"
+            )
         self._system = system
         self._semantics = semantics
         self._cache = BackwardBoundsTable(system, strategy=bounds_strategy)
         self._chains: Dict[str, Tuple[Chain, ...]] = {}
         self._results: Dict[Tuple[str, str, bool], TaskDisparityResult] = {}
-        self._compiled: Dict[Tuple[str, str], CompiledScenario] = {}
+        self._compiled: "OrderedDict[Tuple[str, str], CompiledScenario]" = (
+            OrderedDict()
+        )
+        self._compiled_cache_size = compiled_cache_size
+        self._compiled_hits = 0
+        self._compiled_misses = 0
+        self._compiled_evictions = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -340,9 +363,51 @@ class AnalysisSession:
         key = (task, sem)
         compiled = self._compiled.get(key)
         if compiled is None:
+            self._compiled_misses += 1
             compiled = CompiledScenario(self._system, task, semantics=sem)
             self._compiled[key] = compiled
+            if len(self._compiled) > self._compiled_cache_size:
+                self._compiled.popitem(last=False)
+                self._compiled_evictions += 1
+        else:
+            self._compiled_hits += 1
+            self._compiled.move_to_end(key)
         return compiled
+
+    def compiled_cache_stats(self) -> Dict[str, int]:
+        """Counters of the bounded compiled-scenario memo.
+
+        ``size``/``maxsize`` describe the LRU occupancy, ``hits`` /
+        ``misses`` the :meth:`compiled_scenario` traffic, and
+        ``evictions`` how many compiled cores a long-lived session has
+        already dropped — the number the future service layer alarms
+        on when a sweep thrashes the bound.
+        """
+        return {
+            "size": len(self._compiled),
+            "maxsize": self._compiled_cache_size,
+            "hits": self._compiled_hits,
+            "misses": self._compiled_misses,
+            "evictions": self._compiled_evictions,
+        }
+
+    def edit_scenario(
+        self, task: str, *, semantics: Optional[str] = None, **changes
+    ) -> ScenarioView:
+        """A delta view of this session's compiled core of ``task``.
+
+        Session-level entry to :meth:`CompiledScenario.edit`: the
+        compiled core is fetched from (or admitted to) the bounded
+        memo, then the edit derives a view that shares every table the
+        edit does not touch.  Accepted edit keys are ``offsets``,
+        ``periods``, ``priorities``, and ``capacities``; unknown keys
+        raise ``ValueError`` listing the choices, mirroring the
+        method-name validation of :meth:`disparity`.
+
+            view = session.edit_scenario("sink", periods={"cam": ms(40)})
+            observed = view.disparity(seed=3, duration=seconds(2))
+        """
+        return self.compiled_scenario(task, semantics=semantics).edit(**changes)
 
     def observed_batch(
         self,

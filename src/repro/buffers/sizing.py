@@ -154,12 +154,71 @@ def disparity_bound_buffered(
 
 @dataclass(frozen=True)
 class MultiChainDesign:
-    """Result of a multi-chain buffer design heuristic."""
+    """Result of a multi-chain buffer design heuristic.
+
+    ``observed_before`` / ``observed_after`` are the max observed
+    disparities of the undesigned and designed systems over paired
+    batched replications (same seeds and offset draws, the designed
+    side a ``capacities`` delta view of the base compiled scenario);
+    ``None`` unless requested via ``observed_sims``.
+    """
 
     task: str
     plan: Dict[Tuple[str, str], int]
     bound_before: Time
     bound_after: Time
+    observed_before: Optional[Time] = None
+    observed_after: Optional[Time] = None
+
+
+def _observed_pair(
+    system: System,
+    plan: Dict[Tuple[str, str], int],
+    task: str,
+    sims: int,
+    duration: Optional[Time],
+    warmup: Time,
+    seed: int,
+) -> Tuple[Time, Time]:
+    """Paired observed disparities of the base and buffered systems.
+
+    Capacity edits are the cheapest structural delta: the designed
+    side shares the base's release streams *and* its schedule memo
+    (buffer sizes never affect scheduling), so the paired replications
+    compute every schedule once and re-resolve only the data flow.
+    """
+    if duration is None or duration <= 0:
+        raise ModelError(
+            "observed_sims > 0 requires a positive observed_duration"
+        )
+    import random
+
+    from repro.sim.batch import compile_scenario, run_batch
+
+    base = compile_scenario(system, task)
+    before = run_batch(
+        system,
+        task,
+        sims=sims,
+        duration=duration,
+        warmup=warmup,
+        rng=random.Random(seed),
+        compiled=base,
+    ).max_disparity
+    buffered = system.with_buffer_plan(plan)
+    after_compiled = (
+        base.edit(capacities=dict(plan)).compiled if plan else base
+    )
+    after = run_batch(
+        buffered,
+        task,
+        sims=sims,
+        duration=duration,
+        warmup=warmup,
+        rng=random.Random(seed),
+        compiled=after_compiled,
+    ).max_disparity
+    return before, after
 
 
 def design_buffers_greedy(
@@ -168,6 +227,10 @@ def design_buffers_greedy(
     *,
     max_iterations: int = 8,
     method: str = "forkjoin",
+    observed_sims: int = 0,
+    observed_duration: Optional[Time] = None,
+    observed_warmup: Time = 0,
+    observed_seed: int = 0,
 ) -> MultiChainDesign:
     """Iterative pairwise buffer design: fix the binding pair, repeat.
 
@@ -180,7 +243,11 @@ def design_buffers_greedy(
 
     Compared to :func:`design_buffers_multi` (one-shot window
     alignment), the greedy loop handles interacting chains better at
-    the cost of one full analysis per round.
+    the cost of one full analysis per round.  With ``observed_sims >
+    0`` the final plan is additionally measured by paired batched
+    replications against the undesigned system, the designed side a
+    ``capacities`` delta view of the base compiled scenario (shared
+    schedules — see :func:`_observed_pair`).
     """
     from repro.core.disparity import worst_case_disparity
 
@@ -212,8 +279,24 @@ def design_buffers_greedy(
         if candidate_bound >= best:
             break
         plan, current, best = candidate_plan, candidate, candidate_bound
+    observed_before = observed_after = None
+    if observed_sims > 0:
+        observed_before, observed_after = _observed_pair(
+            system,
+            plan,
+            task,
+            observed_sims,
+            observed_duration,
+            observed_warmup,
+            observed_seed,
+        )
     return MultiChainDesign(
-        task=task, plan=plan, bound_before=bound_before, bound_after=best
+        task=task,
+        plan=plan,
+        bound_before=bound_before,
+        bound_after=best,
+        observed_before=observed_before,
+        observed_after=observed_after,
     )
 
 

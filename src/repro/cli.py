@@ -499,7 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench",
         help="measure simulator-kernel, batch-engine (implicit and LET), "
-        "delta-replay and analysis throughput",
+        "delta-replay, structural-view and analysis throughput",
     )
     bench.add_argument(
         "--quick",
@@ -508,7 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--kernel",
-        choices=("sim", "batch", "let", "delta", "analysis", "all"),
+        choices=("sim", "batch", "let", "delta", "structural", "analysis", "all"),
         default="all",
         help="measure only one benchmark section (default: all; "
         "--check skips sections absent from the run)",

@@ -125,7 +125,9 @@ class _CompiledObjective:
         # tables; the release grid is rebased by vector shift instead
         # of being regenerated per evaluation (candidates are drawn in
         # [1, T], so the view always takes the delta-replay path).
-        view = self.compiled.with_offsets(offsets)
+        # Deterministic-policy schedules are memoized on the scenario,
+        # so re-drawn duplicate candidates replay for free.
+        view = self.compiled.edit(offsets=offsets)
         horizon = self.hyperperiod
         warmup = max(offsets.values()) + self.warmup_base
         if self.probe_ok:

@@ -20,6 +20,7 @@ intermediate assignment schedulable.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, List, Optional, Tuple
@@ -32,13 +33,22 @@ from repro.units import Time
 
 @dataclass(frozen=True)
 class PriorityOptResult:
-    """Outcome of the priority search."""
+    """Outcome of the priority search.
+
+    ``observed_before`` / ``observed_after`` are the max observed
+    disparities of the start and final assignments over paired batched
+    replications (same seeds and offset draws on both sides, so the
+    pair is directly comparable); ``None`` unless the search requested
+    them via ``observed_sims``.
+    """
 
     system: System
     bound_before: Time
     bound_after: Time
     swaps_applied: Tuple[Tuple[str, str], ...]
     evaluations: int
+    observed_before: Optional[Time] = None
+    observed_after: Optional[Time] = None
 
     @property
     def improved(self) -> bool:
@@ -62,18 +72,80 @@ def _swap_priorities(system: System, a: str, b: str) -> Optional[System]:
         return None
 
 
+def _observed_pair(
+    system: System,
+    final: System,
+    task: str,
+    sims: int,
+    duration: Optional[Time],
+    warmup: Time,
+    seed: int,
+) -> Tuple[Time, Time]:
+    """Paired observed disparities of the start and final assignments.
+
+    The base scenario is compiled once; the final assignment is a
+    ``priorities`` delta view of it (only the per-unit rank tables are
+    rebuilt — release grids, stream tables, the provenance domain and
+    the monitored closure stay shared).  Both sides replay the same
+    ``(seed, offsets)`` draws, so the pair isolates the effect of the
+    reassignment.
+    """
+    if duration is None or duration <= 0:
+        raise ModelError(
+            "observed_sims > 0 requires a positive observed_duration"
+        )
+    from repro.sim.batch import compile_scenario, run_batch
+
+    base = compile_scenario(system, task)
+    before = run_batch(
+        system,
+        task,
+        sims=sims,
+        duration=duration,
+        warmup=warmup,
+        rng=random.Random(seed),
+        compiled=base,
+    ).max_disparity
+    changed = {
+        t.name: t.priority
+        for t in final.graph.tasks
+        if t.priority != system.graph.task(t.name).priority
+    }
+    after_compiled = (
+        base.edit(priorities=changed).compiled if changed else base
+    )
+    after = run_batch(
+        final,
+        task,
+        sims=sims,
+        duration=duration,
+        warmup=warmup,
+        rng=random.Random(seed),
+        compiled=after_compiled,
+    ).max_disparity
+    return before, after
+
+
 def optimize_priorities(
     system: System,
     task: str,
     *,
     max_rounds: int = 4,
     method: str = "forkjoin",
+    observed_sims: int = 0,
+    observed_duration: Optional[Time] = None,
+    observed_warmup: Time = 0,
+    observed_seed: int = 0,
 ) -> PriorityOptResult:
     """Local search over same-unit priority swaps minimizing S-diff.
 
     Only tasks that actually execute (non-instantaneous) are swapped;
     message tasks participate (reordering CAN identifiers is a real
-    design lever).
+    design lever).  With ``observed_sims > 0`` the start and final
+    assignments are additionally measured by paired batched
+    replications (``observed_duration`` horizon, shared draws), the
+    final one evaluated through a priority delta view of the start's
+    compiled scenario — see :class:`PriorityOptResult`.
     """
     if max_rounds < 1:
         raise ModelError(f"max_rounds must be >= 1, got {max_rounds}")
@@ -104,10 +176,23 @@ def optimize_priorities(
                     improved = True
         if not improved:
             break
+    observed_before = observed_after = None
+    if observed_sims > 0:
+        observed_before, observed_after = _observed_pair(
+            system,
+            current,
+            task,
+            observed_sims,
+            observed_duration,
+            observed_warmup,
+            observed_seed,
+        )
     return PriorityOptResult(
         system=current,
         bound_before=bound_before,
         bound_after=best,
         swaps_applied=tuple(applied),
         evaluations=evaluations,
+        observed_before=observed_before,
+        observed_after=observed_after,
     )

@@ -18,11 +18,17 @@ All sweeps re-run the full analysis per candidate (response times
 included, since periods change them), so results are exact rather than
 incremental approximations.  Each sweep can additionally measure an
 *observed* disparity per candidate (``observed_sims`` batched
-replications through :func:`repro.sim.batch.run_batch`, compiled once
-per candidate — within a candidate every replication is an
-offset-delta replay of the shared compiled tables); per-candidate
-seeds are derived up front from ``seed`` in input order, so the
-observed column is identical for any ``jobs``.
+replications through :func:`repro.sim.batch.run_batch` — within a
+candidate every replication is an offset-delta replay of shared
+compiled tables).  With ``jobs=1`` the base scenario is compiled
+**once** and every candidate becomes a structural delta view of it
+(:meth:`repro.sim.batch.CompiledScenario.edit`): a period candidate
+invalidates only the edited task's release grids, a capacity candidate
+only the channel tables, everything else stays shared.  Worker
+processes (``jobs > 1``) compile per candidate instead (compiled
+scenarios do not cross process boundaries); per-candidate seeds are
+derived up front from ``seed`` in input order, so the observed column
+is identical for any ``jobs`` and for views on vs. off.
 
 Both sweeps accept ``semantics="let"`` to retarget the candidate
 analysis to the LET backward bounds (:mod:`repro.let`) *and* replay
@@ -71,9 +77,19 @@ class _ObservedSpec:
 
 
 def _observe(
-    system: System, analyzed_task: str, spec: Optional[_ObservedSpec]
+    system: System,
+    analyzed_task: str,
+    spec: Optional[_ObservedSpec],
+    compiled=None,
 ) -> Optional[Time]:
-    """Max observed disparity of one candidate (batched replications)."""
+    """Max observed disparity of one candidate (batched replications).
+
+    ``compiled`` is the candidate's derived
+    :class:`~repro.sim.batch.CompiledScenario` when the sweep runs
+    inline (``jobs=1``) and could thread one through — the replications
+    then replay the structurally shared tables instead of compiling the
+    candidate from scratch, with identical results either way.
+    """
     if spec is None or spec.sims <= 0:
         return None
     from repro.sim.batch import run_batch
@@ -85,8 +101,27 @@ def _observe(
         duration=spec.duration,
         warmup=spec.warmup,
         rng=random.Random(spec.point_seed),
+        compiled=compiled,
         semantics=spec.semantics,
     ).max_disparity
+
+
+def _base_scenario(
+    system: System, analyzed_task: str, semantics: str, sims: int, jobs: int
+):
+    """The sweep's shared base scenario, when views can be threaded.
+
+    Compiled scenarios stay within one process, so candidates can only
+    share the base when the sweep runs inline (``jobs=1``, the
+    :class:`~repro.parallel.engine.PoolRunner` fast path); with worker
+    processes each candidate compiles fresh — identical results, no
+    sharing.
+    """
+    if jobs != 1 or sims <= 0:
+        return None
+    from repro.sim.batch import compile_scenario
+
+    return compile_scenario(system, analyzed_task, semantics=semantics)
 
 
 def _check_semantics(semantics: str) -> None:
@@ -139,9 +174,17 @@ def _observed_specs(
 
 
 def _period_point(
-    params: Tuple[System, str, str, Time, str, str, Optional[_ObservedSpec]]
+    params: Tuple[System, str, str, Time, str, str, Optional[_ObservedSpec]],
+    base=None,
 ) -> SweepPoint:
-    """One candidate of :func:`period_sensitivity` (pool-safe)."""
+    """One candidate of :func:`period_sensitivity` (pool-safe).
+
+    ``base`` is the sweep's shared compiled scenario when running
+    inline: the candidate's replications then go through a
+    ``base.edit(periods={task: period})`` view instead of a fresh
+    compile (never sent to pool workers, hence a bound argument rather
+    than part of the picklable ``params``).
+    """
     system, task, analyzed_task, period, method, semantics, spec = params
     graph = system.graph.copy()
     original = graph.task(task)
@@ -149,7 +192,10 @@ def _period_point(
         graph.replace_task(replace(original, period=period))
         candidate = System.build(graph)
         bound = _candidate_bound(candidate, analyzed_task, method, semantics)
-        observed = _observe(candidate, analyzed_task, spec)
+        compiled = None
+        if base is not None and spec is not None:
+            compiled = base.edit(periods={task: period}).compiled
+        observed = _observe(candidate, analyzed_task, spec, compiled)
         return SweepPoint(
             value=period, bound=bound, schedulable=True, observed=observed
         )
@@ -180,10 +226,14 @@ def period_sensitivity(
     them across worker processes with identical results.  With
     ``observed_sims > 0`` each schedulable candidate also runs that
     many batched replications of ``observed_duration`` (warmup
-    ``observed_warmup``) and reports the max observed disparity.
+    ``observed_warmup``) and reports the max observed disparity; at
+    ``jobs=1`` those replications share one base compiled scenario,
+    each candidate a ``periods`` delta view of it.
     ``semantics="let"`` evaluates both the bound (LET backward bounds)
     and the observed replications under LET data flow.
     """
+    from functools import partial
+
     from repro.parallel.engine import PoolRunner
 
     _check_semantics(semantics)
@@ -195,23 +245,34 @@ def period_sensitivity(
         seed,
         semantics,
     )
+    base = _base_scenario(system, analyzed_task, semantics, observed_sims, jobs)
     params = [
         (system, task, analyzed_task, period, method, semantics, spec)
         for period, spec in zip(candidate_periods, specs)
     ]
     with PoolRunner(jobs) as pool:
-        results, _ = pool.map_ordered(_period_point, params)
+        results, _ = pool.map_ordered(partial(_period_point, base=base), params)
     return results
 
 
 def _capacity_point(
-    params: Tuple[System, str, str, str, int, str, str, Optional[_ObservedSpec]]
+    params: Tuple[System, str, str, str, int, str, str, Optional[_ObservedSpec]],
+    base=None,
 ) -> SweepPoint:
-    """One candidate of :func:`buffer_capacity_sweep` (pool-safe)."""
+    """One candidate of :func:`buffer_capacity_sweep` (pool-safe).
+
+    Inline sweeps thread the shared ``base`` scenario through a
+    ``capacities`` delta view — the cheapest structural edit (buffer
+    sizes never affect scheduling, so even the schedule memo stays
+    shared across every capacity candidate).
+    """
     system, src, dst, analyzed_task, capacity, method, semantics, spec = params
     candidate = system.with_channel_capacity(src, dst, capacity)
     bound = _candidate_bound(candidate, analyzed_task, method, semantics)
-    observed = _observe(candidate, analyzed_task, spec)
+    compiled = None
+    if base is not None and spec is not None:
+        compiled = base.edit(capacities={(src, dst): capacity}).compiled
+    observed = _observe(candidate, analyzed_task, spec, compiled)
     return SweepPoint(
         value=capacity, bound=bound, schedulable=True, observed=observed
     )
@@ -240,7 +301,9 @@ def buffer_capacity_sweep(
     the capacity Algorithm 1 computes for the binding pair.
     ``jobs > 1`` evaluates the capacities across worker processes.
     With ``observed_sims > 0`` every capacity additionally reports the
-    max observed disparity over that many batched replications.
+    max observed disparity over that many batched replications; at
+    ``jobs=1`` the candidates are ``capacities`` delta views of one
+    shared compiled scenario.
     ``semantics="let"`` evaluates both the bound (LET backward bounds)
     and the observed replications under LET data flow.
     """
@@ -248,6 +311,8 @@ def buffer_capacity_sweep(
         raise ModelError(f"max_capacity must be >= 1, got {max_capacity}")
     src, dst = channel
     system.graph.channel(src, dst)  # existence check
+    from functools import partial
+
     from repro.parallel.engine import PoolRunner
 
     _check_semantics(semantics)
@@ -260,12 +325,15 @@ def buffer_capacity_sweep(
         seed,
         semantics,
     )
+    base = _base_scenario(system, analyzed_task, semantics, observed_sims, jobs)
     params = [
         (system, src, dst, analyzed_task, capacity, method, semantics, spec)
         for capacity, spec in zip(capacities, specs)
     ]
     with PoolRunner(jobs) as pool:
-        results, _ = pool.map_ordered(_capacity_point, params)
+        results, _ = pool.map_ordered(
+            partial(_capacity_point, base=base), params
+        )
     return results
 
 

@@ -389,6 +389,129 @@ def bench_delta_kernel(
     }
 
 
+def bench_structural_kernel(
+    *,
+    n_tasks: int = 20,
+    candidates: int = 60,
+    duration_s: float = 0.25,
+    seed: int = 2023,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Structural delta views vs per-candidate recompile, paired.
+
+    Models the period/capacity sweep shape (``explore.sensitivity``
+    candidates, Algorithm 1 rounds): a mixed list of period edits
+    (period scaled up on rotating compute tasks) and capacity edits
+    (rotating channels) of one system, every candidate evaluated at the
+    same fixed in-domain offset vector under the WCET policy.  The
+    fresh arm builds the edited system and compiles a new
+    :class:`~repro.sim.batch.CompiledScenario` per candidate — the
+    pre-structural cost model, regenerating every grid, rank table and
+    schedule from scratch — while the view arm compiles the base once
+    and derives each candidate through
+    :meth:`~repro.sim.batch.CompiledScenario.edit`: period candidates
+    rebuild only the edited task's release grid, capacity candidates
+    share the release streams *and* the memoized schedule (buffer
+    sizes never affect scheduling), so the schedule is computed once
+    across the whole capacity half of the sweep.  The arms are
+    asserted identical before the (min-of-``repeats``) walls and their
+    machine-independent ratio — the regression-gate metric — are
+    reported.
+    """
+    from repro.gen import generate_random_scenario
+    from repro.model.system import System
+    from repro.sim.batch import CompiledScenario
+    from repro.sim.exec_time import wcet_policy
+    from repro.units import seconds
+
+    rng = random.Random(seed)
+    scenario = generate_random_scenario(n_tasks, rng)
+    system, sink = scenario.system, scenario.sink
+    duration = seconds(duration_s)
+    warmup = duration // 4
+    vector = tuple(
+        rng.randint(1, task.period) for task in system.graph.tasks
+    )
+    compute = [t.name for t in system.graph.tasks if not t.is_instantaneous]
+    channels = [(c.src, c.dst) for c in system.graph.channels]
+    # Period edits only scale periods *up*, so the fixed offset vector
+    # stays in [0, T] and both arms replay through the compiled loop.
+    # The 1:2 period:capacity mix mirrors the Algorithm 1 / sensitivity
+    # workload, where capacity rounds outnumber period probes.
+    edits: List[Tuple[str, Any]] = []
+    n_period = n_capacity = 0
+    for index in range(candidates):
+        if index % 3 == 0 and compute:
+            name = compute[n_period % len(compute)]
+            factor = 2 + n_period % 3
+            period = system.graph.task(name).period * factor
+            edits.append(("periods", {name: period}))
+            n_period += 1
+        else:
+            edge = channels[n_capacity % len(channels)]
+            capacity = 2 + n_capacity % 5
+            edits.append(("capacities", {edge: capacity}))
+            n_capacity += 1
+
+    def edited_system(kind: str, payload: Dict[Any, Any]) -> System:
+        graph = system.graph.copy()
+        if kind == "periods":
+            from dataclasses import replace
+
+            for name, period in payload.items():
+                graph.replace_task(replace(graph.task(name), period=period))
+        else:
+            for (src, dst), capacity in payload.items():
+                graph.set_channel_capacity(src, dst, capacity)
+        return System(graph=graph, response_times=system.response_times)
+
+    fresh_s: Optional[float] = None
+    view_s: Optional[float] = None
+    delta_replay = False
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fresh = [
+            CompiledScenario(edited_system(kind, payload), sink)
+            .with_offsets(vector)
+            .disparity(seed, duration, warmup, wcet_policy)
+            for kind, payload in edits
+        ]
+        elapsed = time.perf_counter() - start
+        fresh_s = elapsed if fresh_s is None else min(fresh_s, elapsed)
+
+        start = time.perf_counter()
+        base = CompiledScenario(system, sink)
+        views = [
+            base.edit(**{kind: payload, "offsets": vector})
+            for kind, payload in edits
+        ]
+        via_views = [
+            view.disparity(seed, duration, warmup, wcet_policy)
+            for view in views
+        ]
+        elapsed = time.perf_counter() - start
+        view_s = elapsed if view_s is None else min(view_s, elapsed)
+        delta_replay = all(view.delta_replay for view in views)
+        if via_views != fresh:
+            raise AssertionError(
+                "structural views diverged from per-candidate recompiles"
+            )
+    return {
+        "n_tasks": n_tasks,
+        "candidates": candidates,
+        "period_candidates": n_period,
+        "capacity_candidates": n_capacity,
+        "duration_s": duration_s,
+        "delta_replay": delta_replay,
+        "fresh_s": round(fresh_s, 4),
+        "view_s": round(view_s, 4),
+        "speedup": round(fresh_s / view_s, 2) if view_s else 0.0,
+        "candidates_per_s": round(
+            candidates / view_s, 2
+        ) if view_s else 0.0,
+    }
+
+
 # ----------------------------------------------------------------------
 # analysis scaling (prefix-shared backward bounds)
 # ----------------------------------------------------------------------
@@ -487,7 +610,7 @@ def bench_analysis_scaling(
 # ----------------------------------------------------------------------
 
 #: Benchmark sections of :func:`run_benchmarks`, in document order.
-KERNELS = ("sim", "batch", "let", "delta", "analysis")
+KERNELS = ("sim", "batch", "let", "delta", "structural", "analysis")
 
 
 def run_benchmarks(
@@ -534,6 +657,12 @@ def run_benchmarks(
             if quick
             else bench_delta_kernel()
         )
+    if "structural" in kernels:
+        document["structural"] = (
+            bench_structural_kernel(candidates=24, repeats=2)
+            if quick
+            else bench_structural_kernel()
+        )
     if "analysis" in kernels:
         document["analysis"] = (
             bench_analysis_scaling(levels=4, widths=(1, 2, 4))
@@ -578,6 +707,15 @@ def format_benchmarks(results: Dict[str, Any]) -> str:
             f" {delta['delta_s']:.2f}s delta-replayed"
             f"  ({delta['speedup']:.2f}x, "
             f"{delta['candidates_per_s']:,.1f} cands/s)"
+        )
+    structural = results.get("structural")
+    if structural is not None:
+        lines.append(
+            f"structural   {structural['candidates']:>9} edits"
+            f"  {structural['fresh_s']:.2f}s recompiled ->"
+            f" {structural['view_s']:.2f}s via views"
+            f"  ({structural['speedup']:.2f}x, "
+            f"{structural['candidates_per_s']:,.1f} edits/s)"
         )
     for row in results.get("analysis", ()):
         lines.append(
@@ -665,6 +803,17 @@ def compare_to_baseline(
         if cur_speedup < base_speedup * (1.0 - tolerance):
             regressions.append(
                 f"delta-replay speedup {cur_speedup:.2f}x is "
+                f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
+                f"committed {base_speedup:.2f}x"
+            )
+    cur_structural = current.get("structural")
+    base_structural = baseline.get("structural")
+    if cur_structural is not None and base_structural is not None:
+        cur_speedup = cur_structural["speedup"]
+        base_speedup = base_structural["speedup"]
+        if cur_speedup < base_speedup * (1.0 - tolerance):
+            regressions.append(
+                f"structural-view speedup {cur_speedup:.2f}x is "
                 f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
                 f"committed {base_speedup:.2f}x"
             )

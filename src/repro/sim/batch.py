@@ -50,6 +50,23 @@ transparently fall back to the plain
 :class:`~repro.sim.engine.Simulator` under the same semantics,
 preserving identity at the cost of the speedup.
 
+Delta compilation generalizes beyond offsets to **structural edits**:
+:meth:`CompiledScenario.edit` (and the ``with_period`` /
+``with_capacity`` / ``with_priority`` accessors) derive a sibling
+compiled scenario that invalidates only the tables the edit actually
+touches — release-stream tables on period edits, per-unit
+priority-rank tables on priority edits, channel tables on capacity
+edits — while everything else (zero-offset release grids keyed by
+``(period, horizon)``, the provenance domain, the backward closure,
+and for capacity-only edits even the memoized *schedules*) stays
+shared with the parent.  Every view — offset-only or structural —
+implements the :class:`ScenarioView` protocol (``in_domain`` /
+``delta_replay`` / ``reason`` / ``disparity`` / ``windowed_maxima`` /
+``edit``), and edits whose result the compiled loop cannot replay
+(duplicate priorities, offsets pushed outside ``[0, T]`` by a period
+change) fall back to the per-replication simulator with identical
+results.
+
 :func:`run_batch` packages the common case: draw ``(seed, offsets)``
 pairs exactly like ``AnalysisSession.observed_disparity`` and return a
 :class:`BatchResult` with per-replication disparities plus aggregates.
@@ -61,10 +78,21 @@ import heapq
 import random
 import time as _time
 from bisect import bisect_right
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, replace as _replace
 from fractions import Fraction
 from math import ceil
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 try:  # pragma: no cover - exercised via both branches in CI images
     import numpy as _np
@@ -76,6 +104,7 @@ from repro.model.task import ModelError
 from repro.sim.engine import simulate
 from repro.sim.exec_time import (
     ExecTimePolicy,
+    bcet_policy,
     named_policy,
     uniform_policy,
     wcet_policy,
@@ -100,6 +129,86 @@ def reset_phase_times() -> None:
 
 def _resolve_policy(policy: PolicyLike) -> ExecTimePolicy:
     return named_policy(policy) if isinstance(policy, str) else policy
+
+
+#: Default bound on the per-scenario schedule memo (see
+#: :class:`_ScheduleCache`); small because one entry holds the full
+#: recorded schedule of a replication.
+SCHED_CACHE_SIZE = 32
+
+#: The edit kinds :meth:`CompiledScenario.edit` accepts, in the order
+#: they are applied (period before priority, so a task named in both
+#: keeps both; capacities touch channels, not tasks).
+_EDIT_KEYS = ("offsets", "periods", "priorities", "capacities")
+
+
+def _policy_token(policy: ExecTimePolicy) -> Optional[Tuple[str, bool]]:
+    """``(name, consumes_rng)`` for schedule-memoizable policies.
+
+    A schedule is a pure function of ``(offsets, seed, duration,
+    policy)``, so replaying it from a memo is sound whenever the policy
+    can be identified reliably — which is true for the named policy
+    singletons and false for arbitrary callables (``None``: never
+    cached).  ``consumes_rng=False`` marks the deterministic policies
+    (WCET/BCET draw nothing from the generator), whose schedules are
+    additionally *seed-independent*: the memo key normalizes their seed
+    away, so candidates differing only in execution-time seeds share
+    one computed schedule.
+    """
+    if policy is uniform_policy:
+        return ("uniform", True)
+    if policy is wcet_policy:
+        return ("wcet", False)
+    if policy is bcet_policy:
+        return ("bcet", False)
+    return None
+
+
+class _ScheduleCache:
+    """Bounded LRU over recorded schedules, shared across sibling views.
+
+    Keys are ``(offsets, seed, duration, policy-name)`` (seed
+    normalized to 0 for deterministic policies); values are the
+    ``(starts, fins, completed, casc)`` tuples of
+    :meth:`CompiledScenario._schedule`, which consumers only read.
+    Capacity-derived scenarios alias their parent's instance — buffer
+    sizes never change scheduling, so one schedule serves every
+    capacity candidate evaluated at the same draws.
+    """
+
+    __slots__ = ("maxsize", "entries", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int = SCHED_CACHE_SIZE) -> None:
+        self.maxsize = maxsize
+        self.entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> Optional[tuple]:
+        found = self.entries.get(key)
+        if found is None:
+            self.misses += 1
+            return None
+        self.entries.move_to_end(key)
+        self.hits += 1
+        return found
+
+    def put(self, key: tuple, value: tuple) -> None:
+        self.entries[key] = value
+        if len(self.entries) > self.maxsize:
+            self.entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for observability (tests, the future service layer)."""
+        return {
+            "size": len(self.entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 @dataclass(frozen=True)
@@ -231,21 +340,13 @@ class CompiledScenario:
 
         unit_names = sorted({t.ecu for t in tasks if t.ecu is not None})
         unit_index = {name: i for i, name in enumerate(unit_names)}
+        self.unit_names = unit_names
         self.unit_of = [
             unit_index[t.ecu] if t.ecu is not None else -1 for t in tasks
         ]
         self.n_units = len(unit_names)
+        self._gid = gid
 
-        # Every failed eligibility rule is collected (not just the
-        # first), so one compile reports all fallback causes.
-        reasons: List[str] = []
-        for t in tasks:
-            if t.is_instantaneous:
-                continue
-            if t.ecu is None:
-                reasons.append(
-                    f"compute task {t.name!r} has no unit assignment"
-                )
         # Zero-BCET compute tasks stay eligible: the schedule loop
         # records cascade depths (implicit) and LET visibility never
         # depends on same-instant finish ordering.
@@ -253,29 +354,7 @@ class CompiledScenario:
             t.bcet == 0 for t in tasks if not t.is_instantaneous
         )
 
-        # Per unit: member tasks by ascending priority value; bit i of
-        # the unit's ready mask stands for the rank-i member, so the
-        # lowest set bit is always the next task to dispatch.
-        self.rank_tid: List[List[int]] = []
-        self.bit_of = [0] * n
-        for u in range(self.n_units):
-            members = sorted(
-                (
-                    tid
-                    for tid in range(n)
-                    if self.unit_of[tid] == u and not self.inst[tid]
-                ),
-                key=lambda tid: (tasks[tid].priority or 0, tid),
-            )
-            self.rank_tid.append(members)
-            prios = [tasks[tid].priority for tid in members]
-            if len(set(prios)) != len(prios):
-                reasons.append(
-                    f"unit {unit_names[u]!r} has duplicate priorities "
-                    f"(ready order would depend on arrival, not rank)"
-                )
-            for rank, tid in enumerate(members):
-                self.bit_of[tid] = 1 << rank
+        self.rank_tid, self.bit_of, reasons = self._rank_tables(tasks)
         self.ineligible_reasons: Tuple[str, ...] = tuple(reasons)
 
         # Backward closure of the monitored task: the only tasks whose
@@ -295,32 +374,100 @@ class CompiledScenario:
         self.packer = ProvenancePacker(sources)
         src_set = set(sources)
         self.is_source = [t.name in src_set for t in tasks]
-        self.in_edges = [
+        self.in_edges = self._channel_tables(graph)
+        self.per_rank, self._packable = self._period_ranks()
+        # Offset-independent release-stream tables per horizon (the
+        # delta-compilation core), built lazily by _stream_tables()
+        # from zero-offset grids cached per (period, horizon) in
+        # _grid_cache — the grid cache is shared (aliased) by every
+        # structurally derived sibling, so a period edit regenerates
+        # only the edited task's grid.
+        self._stream_cache: Dict[Time, tuple] = {}
+        self._grid_cache: Dict[Tuple[Time, Time], tuple] = {}
+        # Memoized recorded schedules (shared by capacity-derived
+        # siblings, where the schedule is edit-invariant).
+        self._sched_cache = _ScheduleCache()
+        elapsed = _time.perf_counter() - t0
+        self.compile_s = elapsed
+        PHASE_TIMES["compile_s"] += elapsed
+
+    # ------------------------------------------------------------------
+    # table builders (shared between compile and structural derivation)
+    # ------------------------------------------------------------------
+
+    def _rank_tables(
+        self, tasks: Tuple
+    ) -> Tuple[List[List[int]], List[int], List[str]]:
+        """Per-unit priority-rank tables plus every eligibility reason.
+
+        Per unit: member tasks by ascending priority value; bit i of
+        the unit's ready mask stands for the rank-i member, so the
+        lowest set bit is always the next task to dispatch.  Every
+        failed eligibility rule is collected (not just the first), so
+        one compile reports all fallback causes.
+        """
+        n = self.n
+        unit_of = self.unit_of
+        inst = self.inst
+        reasons: List[str] = []
+        for t in tasks:
+            if t.is_instantaneous:
+                continue
+            if t.ecu is None:
+                reasons.append(
+                    f"compute task {t.name!r} has no unit assignment"
+                )
+        rank_tid: List[List[int]] = []
+        bit_of = [0] * n
+        for u in range(self.n_units):
+            members = sorted(
+                (
+                    tid
+                    for tid in range(n)
+                    if unit_of[tid] == u and not inst[tid]
+                ),
+                key=lambda tid: (tasks[tid].priority or 0, tid),
+            )
+            rank_tid.append(members)
+            prios = [tasks[tid].priority for tid in members]
+            if len(set(prios)) != len(prios):
+                reasons.append(
+                    f"unit {self.unit_names[u]!r} has duplicate priorities "
+                    f"(ready order would depend on arrival, not rank)"
+                )
+            for rank, tid in enumerate(members):
+                bit_of[tid] = 1 << rank
+        return rank_tid, bit_of, reasons
+
+    def _channel_tables(self, graph) -> List[List[Tuple[int, int]]]:
+        """Per-task input edges as ``(producer gid, capacity)`` pairs."""
+        gid = self._gid
+        return [
             [
                 (gid[p], graph.channel(p, t.name).capacity)
                 for p in graph.predecessors(t.name)
             ]
-            for t in tasks
+            for t in self.tasks
         ]
-        # Rank of each distinct period, descending (the static-order
-        # key sorts rescheduled releases by -period): used to pack the
-        # whole sort key of a release into one int64 when it fits.
+
+    def _period_ranks(self) -> Tuple[List[int], bool]:
+        """Rank of each distinct period, descending, plus packability.
+
+        The static-order key sorts rescheduled releases by ``-period``;
+        the rank is used to pack the whole sort key of a release into
+        one int64 when it fits.
+        """
+        n = self.n
         distinct = sorted(
             {self.periods[tid] for tid in range(n) if not self.inst[tid]},
             reverse=True,
         )
-        per_rank = {per: r for r, per in enumerate(distinct)}
-        self.per_rank = [
-            per_rank[self.periods[tid]] if not self.inst[tid] else 0
+        rank_of = {per: r for r, per in enumerate(distinct)}
+        per_rank = [
+            rank_of[self.periods[tid]] if not self.inst[tid] else 0
             for tid in range(n)
         ]
-        self._packable = n <= 64 and len(distinct) <= 64
-        # Offset-independent release-stream tables per horizon (the
-        # delta-compilation core), built lazily by _stream_tables().
-        self._stream_cache: Dict[Time, tuple] = {}
-        elapsed = _time.perf_counter() - t0
-        self.compile_s = elapsed
-        PHASE_TIMES["compile_s"] += elapsed
+        return per_rank, n <= 64 and len(distinct) <= 64
 
     # ------------------------------------------------------------------
     # eligibility
@@ -348,6 +495,29 @@ class CompiledScenario:
     # ------------------------------------------------------------------
     # release stream
     # ------------------------------------------------------------------
+
+    def _grid(self, period: Time, duration: Time) -> tuple:
+        """Zero-offset release grid of one period over one horizon.
+
+        Returns the immutable ``(t, flag, negper)`` int64 columns of a
+        ``duration // period + 1``-entry grid: release instants at
+        multiples of ``period``, the ``k > 0`` rescheduled flag, and
+        the ``-period`` static-order key.  Cached per ``(period,
+        horizon)`` — grids depend on nothing else, so the cache is
+        aliased by every structurally derived sibling and a period
+        edit regenerates only the edited task's grid.
+        """
+        key = (period, duration)
+        found = self._grid_cache.get(key)
+        if found is None:
+            maxlen = duration // period + 1
+            t = _np.arange(maxlen, dtype=_np.int64) * period
+            flag = _np.ones(maxlen, dtype=_np.int64)
+            flag[0] = 0
+            negper = _np.full(maxlen, -period, dtype=_np.int64)
+            found = (t, flag, negper)
+            self._grid_cache[key] = found
+        return found
 
     def _stream_tables(self, duration: Time) -> tuple:
         """Offset-independent release-stream tables for one horizon.
@@ -387,15 +557,11 @@ class CompiledScenario:
         for tid in range(self.n):
             if self.inst[tid]:
                 continue
-            per = self.periods[tid]
-            maxlen = duration // per + 1
-            t = _np.arange(maxlen, dtype=_np.int64) * per
-            flag = _np.ones(maxlen, dtype=_np.int64)
-            flag[0] = 0
+            t, flag, negper = self._grid(self.periods[tid], duration)
             ts.append(t)
             flags.append(flag)
-            negpers.append(_np.full(maxlen, -per, dtype=_np.int64))
-            tids.append(_np.full(maxlen, tid, dtype=_np.int64))
+            negpers.append(negper)
+            tids.append(_np.full(len(t), tid, dtype=_np.int64))
         if not ts:
             found = ("empty",)
         else:
@@ -780,6 +946,41 @@ class CompiledScenario:
             completed[tid] = done
         return starts, fins, completed, casc
 
+    def _schedule_cached(
+        self,
+        offsets: Sequence[Time],
+        seed: int,
+        duration: Time,
+        policy: ExecTimePolicy,
+    ) -> Tuple[
+        List[List[Time]],
+        List[List[Time]],
+        List[int],
+        Optional[Dict[Tuple[int, int], int]],
+    ]:
+        """:meth:`_schedule` through the bounded schedule memo.
+
+        The schedule is a pure function of ``(offsets, seed, duration,
+        policy)``, so the recorded tables can be replayed for any
+        candidate that repeats those inputs — capacity sweeps
+        (capacity-derived siblings alias this memo: buffer sizes never
+        affect scheduling) and repeated probes of one candidate hit it
+        directly.  Deterministic policies (WCET/BCET) consume no RNG,
+        so their key normalizes the seed away and candidates differing
+        only in execution-time seeds share one computed schedule.
+        Unrecognized policy callables bypass the memo.
+        """
+        token = _policy_token(policy)
+        if token is None:
+            return self._schedule(offsets, seed, duration, policy)
+        name, consumes_rng = token
+        key = (tuple(offsets), seed if consumes_rng else 0, duration, name)
+        found = self._sched_cache.get(key)
+        if found is None:
+            found = self._schedule(offsets, seed, duration, policy)
+            self._sched_cache.put(key, found)
+        return found
+
     def _prov_resolver(
         self,
         offsets: Sequence[Time],
@@ -908,7 +1109,7 @@ class CompiledScenario:
                 return self._fallback_disparity(
                     offsets, seed, duration, warmup, resolved
                 )
-            starts, fins, completed, casc = self._schedule(
+            starts, fins, completed, casc = self._schedule_cached(
                 offsets, seed, duration, resolved
             )
             prov = self._prov_resolver(offsets, starts, fins, completed, casc)
@@ -958,7 +1159,7 @@ class CompiledScenario:
         resolved = _resolve_policy(policy)
         t0 = _time.perf_counter()
         try:
-            starts, fins, completed, casc = self._schedule(
+            starts, fins, completed, casc = self._schedule_cached(
                 offsets, seed, duration, resolved
             )
             prov = self._prov_resolver(offsets, starts, fins, completed, casc)
@@ -1007,6 +1208,12 @@ class CompiledScenario:
         mapping from task name to offset covering exactly the graph's
         tasks (missing or unknown names raise).
         """
+        return OffsetView(self, self._normalize_offsets(offsets))
+
+    def _normalize_offsets(
+        self, offsets: Union[Sequence[Time], Mapping[str, Time]]
+    ) -> Tuple[Time, ...]:
+        """An offset vector in graph-task order, from vector or mapping."""
         if isinstance(offsets, Mapping):
             if set(offsets) != set(self.names):
                 missing = sorted(set(self.names) - set(offsets))
@@ -1015,14 +1222,186 @@ class CompiledScenario:
                     f"offset mapping must cover exactly the graph's tasks"
                     f" (missing {missing}, unknown {unknown})"
                 )
-            vector = tuple(offsets[name] for name in self.names)
-        else:
-            vector = tuple(offsets)
+            return tuple(offsets[name] for name in self.names)
+        vector = tuple(offsets)
         if len(vector) != self.n:
             raise ModelError(
                 f"expected {self.n} offsets, got {len(vector)}"
             )
-        return OffsetView(self, vector)
+        return vector
+
+    def edit(self, **changes) -> "ScenarioView":
+        """One view composing offset and structural edits of this scenario.
+
+        The unified delta-compilation entry point.  Accepted keys:
+
+        * ``offsets`` — a vector in graph-task order or a name mapping
+          (exactly :meth:`with_offsets`),
+        * ``periods`` — mapping ``task name -> new period``,
+        * ``priorities`` — mapping ``task name -> new priority``,
+        * ``capacities`` — mapping ``(src, dst) -> new capacity``.
+
+        Unknown keys raise :class:`~repro.model.task.ModelError` (a
+        ``ValueError``) listing the choices, as do unknown task names
+        or edges and edits that violate task invariants (e.g. a period
+        below the task's WCET).  An offsets-only edit returns the
+        O(n) :class:`OffsetView`; any structural key derives a sibling
+        :class:`CompiledScenario` that shares every table the edit
+        does not touch (see :meth:`_derived`) and wraps it in a
+        :class:`StructuralView`.  When ``offsets`` is not given the
+        view evaluates at the edited graph's own task offsets.  Views
+        whose result the compiled loop cannot replay — duplicate
+        priorities after a priority edit, offsets left outside
+        ``[0, T]`` by a period edit — fall back to the per-replication
+        simulator on the edited system with identical results (see
+        :attr:`OffsetView.reason`).
+        """
+        unknown = sorted(set(changes) - set(_EDIT_KEYS))
+        if unknown:
+            raise ModelError(
+                f"unknown edit key(s) {unknown}; choose from {_EDIT_KEYS}"
+            )
+        periods = dict(changes.get("periods") or {})
+        priorities = dict(changes.get("priorities") or {})
+        capacities = dict(changes.get("capacities") or {})
+        if not (periods or priorities or capacities):
+            if "offsets" not in changes:
+                raise ModelError(
+                    f"edit() needs at least one of {_EDIT_KEYS}"
+                )
+            return self.with_offsets(changes["offsets"])
+        graph = self.graph.copy()
+        # Period before priority so a task edited in both keeps both;
+        # Task invariants (wcet <= period, priority >= 0, ...) are
+        # re-validated by the dataclass on every replacement.
+        for name, period in periods.items():
+            graph.replace_task(_replace(graph.task(name), period=period))
+        for name, priority in priorities.items():
+            graph.replace_task(graph.task(name).with_priority(priority))
+        for (src, dst), capacity in capacities.items():
+            graph.set_channel_capacity(src, dst, capacity)
+        # The parent's response-time table rides along unchanged: the
+        # simulation surface (compiled loop and fallback simulator
+        # alike) never consults it, and recomputing bounds is the
+        # analytical layer's job, not the sweep's.
+        system = System(
+            graph=graph, response_times=self.system.response_times
+        )
+        derived = self._derived(
+            system,
+            periods_changed=bool(periods),
+            priorities_changed=bool(priorities),
+            capacities_changed=bool(capacities),
+        )
+        if "offsets" in changes:
+            offsets = derived._normalize_offsets(changes["offsets"])
+        else:
+            offsets = tuple(t.offset for t in graph.tasks)
+        return StructuralView(derived, offsets, base=self)
+
+    def with_period(self, task: str, period: Time) -> "StructuralView":
+        """A view of this scenario with ``task``'s period set to ``period``."""
+        return self.edit(periods={task: period})
+
+    def with_priority(self, task: str, priority: int) -> "StructuralView":
+        """A view of this scenario with ``task``'s priority set."""
+        return self.edit(priorities={task: priority})
+
+    def with_capacity(
+        self, edge: Tuple[str, str], capacity: int
+    ) -> "StructuralView":
+        """A view of this scenario with channel ``edge`` resized."""
+        return self.edit(capacities={edge: capacity})
+
+    def _derived(
+        self,
+        system: System,
+        *,
+        periods_changed: bool,
+        priorities_changed: bool,
+        capacities_changed: bool,
+    ) -> "CompiledScenario":
+        """A sibling compiled scenario, recompiling only what the edit touched.
+
+        The structural-delta core.  Per edit kind, the invalidation is:
+
+        * **periods** — release-stream tables (``_stream_cache``) and
+          the period-rank packing are rebuilt; the per-``(period,
+          horizon)`` grid cache is aliased, so only grids of *new*
+          periods are ever generated;
+        * **priorities** — per-unit priority-rank tables (``rank_tid``
+          / ``bit_of``) and the eligibility reasons are rebuilt;
+          stream tables are period-only facts and stay shared;
+        * **capacities** — only the per-edge channel tables
+          (``in_edges``) are rebuilt; stream tables *and* the schedule
+          memo stay shared, because buffer sizes never affect
+          scheduling — a capacity sweep evaluated at fixed draws
+          computes each schedule once across all candidates.
+
+        Everything an edit cannot touch — task identity and order,
+        unit mapping, execution-time tables, the monitored closure,
+        the interned provenance domain (append-only, so sharing one
+        packer across siblings is safe) — is aliased unconditionally.
+        """
+        t0 = _time.perf_counter()
+        clone = CompiledScenario.__new__(CompiledScenario)
+        clone.semantics = self.semantics
+        clone._let = self._let
+        graph = system.graph
+        clone.system = system
+        clone.graph = graph
+        clone.task = self.task
+        tasks = tuple(graph.tasks)
+        clone.tasks = tasks
+        clone.n = self.n
+        clone.names = self.names
+        clone._gid = self._gid
+        clone.inst = self.inst
+        clone.periods = (
+            [t.period for t in tasks] if periods_changed else self.periods
+        )
+        clone.bcets = self.bcets
+        clone.wcets = self.wcets
+        clone.spans = self.spans
+        clone.unit_names = self.unit_names
+        clone.unit_of = self.unit_of
+        clone.n_units = self.n_units
+        clone._track = self._track
+        if priorities_changed:
+            clone.rank_tid, clone.bit_of, reasons = clone._rank_tables(tasks)
+            clone.ineligible_reasons = tuple(reasons)
+        else:
+            clone.rank_tid = self.rank_tid
+            clone.bit_of = self.bit_of
+            clone.ineligible_reasons = self.ineligible_reasons
+        clone.keep = self.keep
+        clone.m_gid = self.m_gid
+        clone.packer = self.packer
+        clone.is_source = self.is_source
+        clone.in_edges = (
+            clone._channel_tables(graph)
+            if capacities_changed
+            else self.in_edges
+        )
+        if periods_changed:
+            clone.per_rank, clone._packable = clone._period_ranks()
+            clone._stream_cache = {}
+        else:
+            clone.per_rank = self.per_rank
+            clone._packable = self._packable
+            clone._stream_cache = self._stream_cache
+        clone._grid_cache = self._grid_cache
+        # The schedule depends on periods, priorities, and offsets but
+        # never on buffer capacities: capacity-only siblings alias the
+        # parent's memo, any other edit starts a fresh one.
+        if periods_changed or priorities_changed:
+            clone._sched_cache = _ScheduleCache()
+        else:
+            clone._sched_cache = self._sched_cache
+        elapsed = _time.perf_counter() - t0
+        clone.compile_s = elapsed
+        PHASE_TIMES["compile_s"] += elapsed
+        return clone
 
     # ------------------------------------------------------------------
     # fallback
@@ -1056,6 +1435,53 @@ class CompiledScenario:
         return monitor.disparity(self.task)
 
 
+@runtime_checkable
+class ScenarioView(Protocol):
+    """The shared surface of every delta-compilation view.
+
+    :meth:`CompiledScenario.with_offsets` returns an
+    :class:`OffsetView`, :meth:`CompiledScenario.edit` (and the
+    ``with_period`` / ``with_priority`` / ``with_capacity``
+    accessors) a :class:`StructuralView`; sweeps program against this
+    protocol and never care which.  The contract every implementation
+    honors: evaluating a view is byte-identical to a fresh
+    :func:`compile_scenario` of the edited system — including the
+    per-replication :class:`~repro.sim.engine.Simulator` fallback when
+    ``delta_replay`` is ``False`` (``reason`` says why).
+    """
+
+    compiled: "CompiledScenario"
+    offsets: Tuple[Time, ...]
+    in_domain: bool
+
+    @property
+    def delta_replay(self) -> bool: ...
+
+    @property
+    def reason(self) -> Optional[str]: ...
+
+    def disparity(
+        self,
+        seed: int,
+        duration: Time,
+        warmup: Time = 0,
+        policy: PolicyLike = uniform_policy,
+    ) -> Time: ...
+
+    def windowed_maxima(
+        self,
+        duration: Time,
+        start: Time,
+        window: Time,
+        count: int,
+        *,
+        seed: int = 0,
+        policy: PolicyLike = wcet_policy,
+    ) -> List[Time]: ...
+
+    def edit(self, **changes) -> "ScenarioView": ...
+
+
 class OffsetView:
     """One candidate offset vector bound to a :class:`CompiledScenario`.
 
@@ -1080,6 +1506,28 @@ class OffsetView:
     def delta_replay(self) -> bool:
         """True when this view replays through the compiled delta loop."""
         return self.compiled.eligible and self.in_domain
+
+    @property
+    def reason(self) -> Optional[str]:
+        """Why this view falls back to the simulator, ``None`` on delta."""
+        if self.delta_replay:
+            return None
+        parts = list(self.compiled.ineligible_reasons)
+        if not self.in_domain:
+            parts.append("offsets outside [0, T]")
+        return "; ".join(parts)
+
+    def edit(self, **changes) -> "ScenarioView":
+        """A further-edited view, carrying this view's offsets.
+
+        Composes: ``scenario.edit(offsets=v).edit(periods={...})``
+        evaluates the structural edit at ``v`` (pass ``offsets=`` to
+        override).  Structural chains derive from this view's compiled
+        scenario, so each link shares every table its own edit does
+        not touch.
+        """
+        changes.setdefault("offsets", self.offsets)
+        return self.compiled.edit(**changes)
 
     def disparity(
         self,
@@ -1116,9 +1564,41 @@ class OffsetView:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"OffsetView({self.compiled.task!r}, "
+            f"{type(self).__name__}({self.compiled.task!r}, "
             f"{'delta' if self.delta_replay else 'fallback'})"
         )
+
+
+class StructuralView(OffsetView):
+    """A structurally edited scenario bound to its derived tables.
+
+    Produced by :meth:`CompiledScenario.edit` when the edit touches
+    periods, priorities, or capacities: ``compiled`` is the derived
+    sibling scenario (sharing every table the edit did not invalidate
+    — see :meth:`CompiledScenario._derived`), ``base`` the scenario
+    the edit started from.  Evaluation, domain checking, fallback,
+    and further :meth:`edit` chaining are inherited from
+    :class:`OffsetView` — a structural view *is* an offset view over
+    the derived tables, evaluated at the edited graph's offsets
+    unless the edit supplied its own.
+    """
+
+    __slots__ = ("base",)
+
+    def __init__(
+        self,
+        compiled: CompiledScenario,
+        offsets: Tuple[Time, ...],
+        *,
+        base: CompiledScenario,
+    ) -> None:
+        super().__init__(compiled, offsets)
+        self.base = base
+
+    @property
+    def scenario(self) -> CompiledScenario:
+        """The derived compiled scenario (alias for ``compiled``)."""
+        return self.compiled
 
 
 def compile_scenario(
@@ -1202,6 +1682,9 @@ __all__ = [
     "OffsetView",
     "PHASE_TIMES",
     "PolicyLike",
+    "SCHED_CACHE_SIZE",
+    "ScenarioView",
+    "StructuralView",
     "compile_scenario",
     "reset_phase_times",
     "run_batch",

@@ -1,8 +1,11 @@
-"""The :class:`repro.api.AnalysisSession` facade and API deprecations.
+"""The :class:`repro.api.AnalysisSession` facade and top-level API.
 
 Covers the session's cache-reuse contract (repeated queries return the
-*same object* without recomputation), method-name normalization, and
-the backward-compatible deprecation shims on the top-level package.
+*same object* without recomputation), method-name normalization, the
+bounded compiled-scenario LRU, the session-level ``edit_scenario``
+accessor, and the removal of the PR-1 deprecation shims from the
+top-level package (the functional forms live on in
+:mod:`repro.core.disparity`).
 """
 
 from __future__ import annotations
@@ -136,29 +139,110 @@ class TestSimulation:
         assert buffered.response_times() is session.response_times()
 
 
-class TestDeprecations:
-    def test_all_sink_disparities_warns_but_works(self, scenario):
-        with pytest.warns(DeprecationWarning, match="all_sinks"):
-            fn = repro.all_sink_disparities
-        results = fn(scenario.system)
-        assert set(results) == set(scenario.system.graph.sinks())
+class TestShimRemoval:
+    """The PR-1 deprecation shims are gone after two releases of warning."""
 
-    def test_check_disparity_requirement_warns_but_works(self, scenario):
-        with pytest.warns(DeprecationWarning, match="check_requirement"):
-            fn = repro.check_disparity_requirement
-        assert fn(scenario.system, scenario.sink, 10**15)
+    def test_all_sink_disparities_removed_from_package(self):
+        with pytest.raises(AttributeError):
+            repro.all_sink_disparities
 
-    def test_deprecated_names_stay_in_all(self):
-        assert "all_sink_disparities" in repro.__all__
-        assert "check_disparity_requirement" in repro.__all__
+    def test_check_disparity_requirement_removed_from_package(self):
+        with pytest.raises(AttributeError):
+            repro.check_disparity_requirement
+
+    def test_removed_names_left_all(self):
+        assert "all_sink_disparities" not in repro.__all__
+        assert "check_disparity_requirement" not in repro.__all__
 
     def test_unknown_attribute_still_raises(self):
         with pytest.raises(AttributeError):
             repro.definitely_not_a_name
 
-    def test_direct_module_import_does_not_warn(self, recwarn):
-        from repro.core.disparity import all_sink_disparities  # noqa: F401
+    def test_functional_forms_stay_importable(self, scenario, recwarn):
+        from repro.core.disparity import (  # noqa: F401
+            all_sink_disparities,
+            check_disparity_requirement,
+        )
 
+        assert check_disparity_requirement(
+            scenario.system, scenario.sink, 10**15
+        )
         assert not [
             w for w in recwarn.list if w.category is DeprecationWarning
         ]
+
+    def test_session_replacements_cover_the_removed_surface(self, session):
+        results = session.all_sinks()
+        assert set(results) == set(session.graph.sinks())
+        sink = next(iter(results))
+        assert session.check_requirement(sink, 10**15)
+
+
+class TestCompiledCacheBound:
+    """The per-(task, semantics) compiled-scenario memo is a bounded LRU."""
+
+    def test_repeat_queries_hit_without_eviction(self, session, scenario):
+        first = session.compiled_scenario(scenario.sink)
+        again = session.compiled_scenario(scenario.sink)
+        assert first is again
+        stats = session.compiled_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 0
+
+    def test_lru_evicts_past_the_bound(self, scenario):
+        session = AnalysisSession(scenario.system, compiled_cache_size=2)
+        tasks = [t.name for t in scenario.system.graph.tasks][:3]
+        for name in tasks:
+            session.compiled_scenario(name)
+        stats = session.compiled_cache_stats()
+        assert stats["size"] == 2
+        assert stats["maxsize"] == 2
+        assert stats["evictions"] == 1
+        # The oldest entry was dropped; re-querying recompiles it.
+        first = session.compiled_scenario(tasks[0])
+        assert session.compiled_cache_stats()["evictions"] == 2
+        assert first.task == tasks[0]
+
+    def test_recently_used_entry_survives(self, scenario):
+        session = AnalysisSession(scenario.system, compiled_cache_size=2)
+        tasks = [t.name for t in scenario.system.graph.tasks][:3]
+        a = session.compiled_scenario(tasks[0])
+        session.compiled_scenario(tasks[1])
+        session.compiled_scenario(tasks[0])  # refresh a
+        session.compiled_scenario(tasks[2])  # evicts tasks[1]
+        assert session.compiled_scenario(tasks[0]) is a
+
+    def test_invalid_bound_rejected(self, scenario):
+        with pytest.raises(ValueError):
+            AnalysisSession(scenario.system, compiled_cache_size=0)
+
+
+class TestEditScenario:
+    def test_offsets_only_edit_matches_observed_batch_draws(
+        self, session, scenario
+    ):
+        offs = tuple(t.period for t in session.graph.tasks)
+        view = session.edit_scenario(scenario.sink, offsets=offs)
+        direct = session.compiled_scenario(scenario.sink).with_offsets(offs)
+        duration = 2 * max(t.period for t in session.graph.tasks)
+        assert view.disparity(3, duration) == direct.disparity(3, duration)
+
+    def test_unknown_edit_key_raises_value_error_listing_choices(
+        self, session, scenario
+    ):
+        with pytest.raises(ValueError) as excinfo:
+            session.edit_scenario(scenario.sink, capacity={})
+        message = str(excinfo.value)
+        assert "capacities" in message and "periods" in message
+
+    def test_structural_edit_reuses_the_cached_core(self, session, scenario):
+        core = session.compiled_scenario(scenario.sink)
+        name = next(
+            t.name for t in session.graph.tasks if not t.is_instantaneous
+        )
+        view = session.edit_scenario(
+            scenario.sink, periods={name: session.graph.task(name).period * 2}
+        )
+        assert view.base is core
+        assert view.compiled._grid_cache is core._grid_cache

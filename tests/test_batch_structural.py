@@ -1,0 +1,328 @@
+"""Differential suite for structural delta compilation (``edit`` views).
+
+A :meth:`CompiledScenario.edit` view derives a sibling compiled
+scenario that recomputes only the tables its edit touches — release
+grids and stream tables for ``periods``, per-unit rank tables for
+``priorities``, channel tables for ``capacities`` — and shares the
+rest with its base.  Every view's results must be byte-identical to
+
+* a *fresh* ``compile_scenario`` of the edited system evaluated at the
+  same offsets (pins that selective invalidation never reuses a stale
+  table), and
+* the plain simulator run on the edited system (an independent
+  reference that shares none of the delta code).
+
+Both identities are exercised on hypothesis-generated systems, under
+both communication semantics, for single, composed and chained edits,
+and for views forced off the delta path (duplicate priorities, offsets
+pushed outside ``[0, T]`` by a period shrink), where the view must
+fall back to the per-replication simulator rather than replaying the
+compiled tables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen import generate_random_scenario
+from repro.model.system import System
+from repro.model.task import ModelError
+from repro.sim.batch import (
+    CompiledScenario,
+    OffsetView,
+    ScenarioView,
+    StructuralView,
+    compile_scenario,
+)
+from repro.sim.engine import simulate
+from repro.sim.exec_time import named_policy
+from repro.sim.metrics import DisparityMonitor
+
+
+def _scenario(seed: int, n_tasks: int):
+    scenario = generate_random_scenario(n_tasks, random.Random(seed))
+    return scenario.system, scenario.sink
+
+
+def _offset_vector(system, seed: int):
+    """One in-domain candidate vector, offsets in ``[1, T]``."""
+    rng = random.Random(seed)
+    return tuple(
+        rng.randint(1, task.period) for task in system.graph.tasks
+    )
+
+
+def _edited_system(
+    system, *, periods=None, priorities=None, capacities=None
+):
+    """The edit applied to the graph directly — the pre-view recipe."""
+    graph = system.graph.copy()
+    for name, period in (periods or {}).items():
+        graph.replace_task(replace(graph.task(name), period=period))
+    for name, priority in (priorities or {}).items():
+        graph.replace_task(graph.task(name).with_priority(priority))
+    for (src, dst), capacity in (capacities or {}).items():
+        graph.set_channel_capacity(src, dst, capacity)
+    return System(graph=graph, response_times=system.response_times)
+
+
+def _simulator_reference(
+    system, task, offsets, *, seed, duration, warmup, policy, semantics
+):
+    """Independent oracle: offsets applied to the graph, plain simulate."""
+    graph = system.graph.copy()
+    for tid, t in enumerate(graph.tasks):
+        graph.replace_task(t.with_offset(offsets[tid]))
+    variant = System(graph=graph, response_times=system.response_times)
+    monitor = DisparityMonitor([task], warmup=warmup)
+    simulate(
+        variant,
+        duration,
+        seed=seed,
+        policy=named_policy(policy),
+        observers=[monitor],
+        semantics=semantics,
+    )
+    return monitor.disparity(task)
+
+
+def _structural_edits(system):
+    """Representative single and composed edits of ``system``.
+
+    Period edits only scale periods *up*, so base-domain offsets stay
+    in the edited domain and views keep the delta-replay path.
+    """
+    compute = [t for t in system.graph.tasks if not t.is_instantaneous]
+    channel = system.graph.channels[0]
+    edge = (channel.src, channel.dst)
+    edits = [
+        {"periods": {compute[0].name: compute[0].period * 2}},
+        {"capacities": {edge: channel.capacity + 2}},
+        {
+            "periods": {compute[-1].name: compute[-1].period * 3},
+            "capacities": {edge: 2},
+        },
+    ]
+    by_unit = {}
+    for t in compute:
+        if t.ecu is not None:
+            by_unit.setdefault(t.ecu, []).append(t)
+    for unit_tasks in by_unit.values():
+        if len(unit_tasks) >= 2:
+            a, b = unit_tasks[0], unit_tasks[1]
+            edits.append(
+                {"priorities": {a.name: b.priority, b.name: a.priority}}
+            )
+            break
+    return edits
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_tasks=st.integers(min_value=5, max_value=12),
+    semantics=st.sampled_from(["implicit", "let"]),
+    policy=st.sampled_from(["uniform", "wcet"]),
+)
+def test_structural_views_match_fresh_compile_and_simulator(
+    seed, n_tasks, semantics, policy
+):
+    system, sink = _scenario(seed, n_tasks)
+    duration = 3 * max(task.period for task in system.graph.tasks)
+    warmup = duration // 4
+    shared = compile_scenario(system, sink, semantics=semantics)
+    vector = _offset_vector(system, seed ^ 0x5A)
+    for index, changes in enumerate(_structural_edits(system)):
+        view = shared.edit(offsets=vector, **changes)
+        assert isinstance(view, StructuralView)
+        assert view.base is shared
+        run_seed = seed + index
+        got = view.disparity(run_seed, duration, warmup, policy)
+        edited = _edited_system(system, **changes)
+        fresh = (
+            compile_scenario(edited, sink, semantics=semantics)
+            .with_offsets(vector)
+            .disparity(run_seed, duration, warmup, policy)
+        )
+        assert got == fresh
+        assert got == _simulator_reference(
+            edited,
+            sink,
+            vector,
+            seed=run_seed,
+            duration=duration,
+            warmup=warmup,
+            policy=policy,
+            semantics=semantics,
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    semantics=st.sampled_from(["implicit", "let"]),
+)
+def test_chained_edits_compose_and_earlier_views_stay_valid(seed, semantics):
+    """``view.edit`` stacks edits; later edits never corrupt earlier views."""
+    system, sink = _scenario(seed, 8)
+    duration = 2 * max(task.period for task in system.graph.tasks)
+    warmup = duration // 4
+    shared = compile_scenario(system, sink, semantics=semantics)
+    vector = _offset_vector(system, seed)
+    compute = [t for t in system.graph.tasks if not t.is_instantaneous]
+    channel = system.graph.channels[-1]
+    periods = {compute[0].name: compute[0].period * 2}
+    capacities = {(channel.src, channel.dst): 3}
+
+    first = shared.edit(periods=periods, offsets=vector)
+    before = first.disparity(seed, duration, warmup, "wcet")
+    second = first.edit(capacities=capacities)
+    assert second.offsets == first.offsets
+    combined = _edited_system(system, periods=periods, capacities=capacities)
+    assert second.disparity(seed, duration, warmup, "wcet") == (
+        compile_scenario(combined, sink, semantics=semantics)
+        .with_offsets(vector)
+        .disparity(seed, duration, warmup, "wcet")
+    )
+    # The chained edit derived a sibling; the first view still replays
+    # against its own tables and must reproduce its result exactly.
+    assert first.disparity(seed, duration, warmup, "wcet") == before
+
+
+def test_edit_offsets_only_is_the_offset_view():
+    """``edit(offsets=v)`` is ``with_offsets(v)`` — same type, same result."""
+    system, sink = _scenario(7, 6)
+    duration = 2 * max(task.period for task in system.graph.tasks)
+    shared = compile_scenario(system, sink)
+    vector = _offset_vector(system, 7)
+    via_edit = shared.edit(offsets=vector)
+    via_alias = shared.with_offsets(vector)
+    assert type(via_edit) is OffsetView
+    assert via_edit.offsets == via_alias.offsets
+    assert via_edit.disparity(3, duration) == via_alias.disparity(3, duration)
+    assert isinstance(via_edit, ScenarioView)
+    # Empty structural mappings degrade to the offset-only view.
+    assert type(shared.edit(capacities={}, offsets=vector)) is OffsetView
+
+
+def test_unknown_or_empty_edit_keys_raise_value_error():
+    system, sink = _scenario(7, 6)
+    shared = compile_scenario(system, sink)
+    with pytest.raises(ValueError, match="capacities"):
+        shared.edit(capacity={(1, 2): 3})
+    with pytest.raises(ValueError, match="periods"):
+        shared.edit(period={"x": 10})
+    with pytest.raises(ValueError):
+        shared.edit()
+    with pytest.raises(ModelError):
+        shared.edit(periods={"no-such-task": 10})
+
+
+def test_duplicate_priority_falls_back_identically():
+    """A priority edit that collides per-unit leaves the delta path."""
+    system, sink = _scenario(19, 9)
+    shared = compile_scenario(system, sink)
+    assert shared.eligible
+    by_unit = {}
+    for t in system.graph.tasks:
+        if not t.is_instantaneous and t.ecu is not None:
+            by_unit.setdefault(t.ecu, []).append(t)
+    pair = next(ts for ts in by_unit.values() if len(ts) >= 2)
+    a, b = pair[0], pair[1]
+    vector = _offset_vector(system, 19)
+    view = shared.edit(priorities={a.name: b.priority}, offsets=vector)
+    assert not view.delta_replay
+    assert "duplicate priorities" in view.reason
+    duration = 2 * max(task.period for task in system.graph.tasks)
+    edited = _edited_system(system, priorities={a.name: b.priority})
+    assert view.disparity(5, duration, duration // 4, "uniform") == (
+        _simulator_reference(
+            edited,
+            sink,
+            vector,
+            seed=5,
+            duration=duration,
+            warmup=duration // 4,
+            policy="uniform",
+            semantics="implicit",
+        )
+    )
+
+
+def test_period_shrink_can_push_offsets_out_of_domain():
+    """Offsets beyond the edited period force the simulator fallback."""
+    system, sink = _scenario(23, 7)
+    shared = compile_scenario(system, sink)
+    compute = [t for t in system.graph.tasks if not t.is_instantaneous]
+    target = compute[0]
+    tid = [t.name for t in system.graph.tasks].index(target.name)
+    new_period = max(1, target.period // 2)
+    vector = tuple(
+        new_period + 1 if index == tid else 1
+        for index in range(len(system.graph.tasks))
+    )
+    view = shared.edit(periods={target.name: new_period}, offsets=vector)
+    assert not view.in_domain
+    assert not view.delta_replay
+    assert "offsets outside" in view.reason
+    duration = 2 * max(task.period for task in system.graph.tasks)
+    edited = _edited_system(system, periods={target.name: new_period})
+    assert view.disparity(3, duration, duration // 4, "uniform") == (
+        _simulator_reference(
+            edited,
+            sink,
+            vector,
+            seed=3,
+            duration=duration,
+            warmup=duration // 4,
+            policy="uniform",
+            semantics="implicit",
+        )
+    )
+
+
+def test_capacity_view_shares_streams_grids_and_schedule_memo():
+    """Capacity edits invalidate only channel tables; the rest aliases."""
+    system, sink = _scenario(31, 8)
+    duration = 2 * max(task.period for task in system.graph.tasks)
+    warmup = duration // 4
+    base = CompiledScenario(system, sink)
+    channel = system.graph.channels[0]
+    vector = _offset_vector(system, 31)
+    base.with_offsets(vector).disparity(1, duration, warmup, "wcet")
+    before = base._sched_cache.stats()
+    view = base.edit(capacities={(channel.src, channel.dst): 4}, offsets=vector)
+    derived = view.compiled
+    assert derived._grid_cache is base._grid_cache
+    assert derived._stream_cache is base._stream_cache
+    assert derived._sched_cache is base._sched_cache
+    assert derived.in_edges is not base.in_edges
+    # WCET is deterministic: the view's evaluation — even at another
+    # seed — replays the memoized schedule instead of re-simulating.
+    view.disparity(2, duration, warmup, "wcet")
+    after = base._sched_cache.stats()
+    assert after["hits"] == before["hits"] + 1
+    assert after["misses"] == before["misses"]
+
+
+def test_period_view_gets_fresh_stream_and_schedule_caches():
+    """Period edits invalidate streams and schedules but share grids."""
+    system, sink = _scenario(37, 8)
+    base = CompiledScenario(system, sink)
+    compute = [t for t in system.graph.tasks if not t.is_instantaneous]
+    target = compute[0]
+    view = base.edit(periods={target.name: target.period * 2})
+    derived = view.compiled
+    assert derived._grid_cache is base._grid_cache
+    assert derived._stream_cache is not base._stream_cache
+    assert derived._sched_cache is not base._sched_cache
+    # Unedited tasks reuse the base's cached (period, duration) grids.
+    duration = 2 * max(task.period for task in system.graph.tasks)
+    view.disparity(1, duration, duration // 4, "wcet")
+    other = compute[1]
+    assert (other.period, duration) in base._grid_cache
