@@ -1,0 +1,96 @@
+"""Columnar-engine benchmarks and their committed-baseline gate.
+
+The columnar tier replaces the per-replication Python event loop with
+one C-kernel lockstep advance plus bulk provenance derivation across
+all replications, so its paired benchmark
+(:func:`repro.profile.bench_columnar_kernel`) pits it directly against
+the compiled per-replication replay on identical draws.  Two guards:
+
+* **Structural** — machine independent: the columnar arm must beat the
+  per-replication replay arm on the same run (the bench itself asserts
+  the two arms return identical per-replication disparities, so the
+  win cannot come from doing less work), and auto-selection must
+  actually have picked the columnar engine — otherwise the benchmark
+  would be comparing the compiled loop against itself.
+* **Regression gate** — the quick columnar measurement compared
+  against the ``columnar`` entry of the committed
+  ``BENCH_kernel.json``.  The gated metric is the replay/columnar
+  *ratio*, which survives machine changes; shared-runner timing is
+  noisy, so a regression only *warns* by default; set
+  ``BENCH_STRICT=1`` to fail hard.
+
+Both tests skip when the columnar engine cannot run at all (no numpy
+or no C toolchain) — the pairing is meaningless without the fast arm.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+import repro.sim.batch as batch_mod
+from repro.profile import (
+    SCHEMA_VERSION,
+    bench_columnar_kernel,
+    compare_to_baseline,
+    load_baseline,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+def _columnar_available() -> bool:
+    if batch_mod._np is None:
+        return False
+    from repro.sim import ckernel
+
+    kernel, _why = ckernel.load_kernel()
+    return kernel is not None
+
+
+pytestmark = pytest.mark.skipif(
+    not _columnar_available(),
+    reason="columnar engine unavailable (numpy or C toolchain missing)",
+)
+
+
+@pytest.mark.benchmark(group="columnar")
+def test_columnar_beats_compiled_replay(benchmark):
+    """Lockstep advance must outrun the per-replication loop (same run)."""
+    result = benchmark.pedantic(
+        bench_columnar_kernel,
+        kwargs={"sims": 12, "duration_s": 2.0, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"columnar: {result['sims']} sims "
+        f"{result['replay_s']:.3f}s replayed -> "
+        f"{result['columnar_s']:.3f}s columnar ({result['speedup']:.2f}x; "
+        f"phases {result['phases']})"
+    )
+    assert result["engine"] == "columnar"
+    assert result["columnar_s"] < result["replay_s"]
+
+
+@pytest.mark.benchmark(group="columnar")
+def test_committed_columnar_gate(benchmark):
+    """Quick columnar run vs BENCH_kernel.json; warns unless BENCH_STRICT."""
+    baseline = load_baseline(BASELINE_PATH)
+    assert baseline is not None, f"missing {BASELINE_PATH}"
+    assert "columnar" in baseline, f"no columnar entry in {BASELINE_PATH}"
+    columnar = benchmark.pedantic(
+        bench_columnar_kernel,
+        kwargs={"sims": 12, "duration_s": 2.0, "repeats": 2},
+        rounds=1,
+        iterations=1,
+    )
+    current = {"schema": SCHEMA_VERSION, "quick": True, "columnar": columnar}
+    regressions = compare_to_baseline(current, baseline)
+    for message in regressions:
+        print(f"::warning::benchmark regression: {message}")
+    if os.environ.get("BENCH_STRICT", "") not in ("", "0"):
+        assert not regressions, "; ".join(regressions)

@@ -320,6 +320,7 @@ class AnalysisSession:
         seed: int = 0,
         policy: PolicyLike = "uniform",
         semantics: Optional[str] = None,
+        engine: str = "auto",
     ) -> Time:
         """Max observed disparity of ``task`` over randomized runs.
 
@@ -333,6 +334,9 @@ class AnalysisSession:
         (:mod:`repro.sim.batch`): the scenario is compiled once per
         session and reused, with results byte-identical to ``sims``
         sequential :meth:`simulate` calls under the same generator.
+        ``engine`` pins a tier (``"auto"``/``"columnar"``/
+        ``"compiled"``/``"simulator"``) exactly as in
+        :func:`~repro.sim.batch.run_batch`.
         """
         return self.observed_batch(
             task,
@@ -343,6 +347,7 @@ class AnalysisSession:
             seed=seed,
             policy=policy,
             semantics=semantics,
+            engine=engine,
         ).max_disparity
 
     def compiled_scenario(
@@ -420,6 +425,7 @@ class AnalysisSession:
         seed: int = 0,
         policy: PolicyLike = "uniform",
         semantics: Optional[str] = None,
+        engine: str = "auto",
     ) -> BatchResult:
         """Batched replications of ``task`` with per-run disparities.
 
@@ -430,7 +436,9 @@ class AnalysisSession:
         data flow here, never implicit), and the offset-independent
         compiled core is cached per ``(task, semantics)`` on this
         session (see :meth:`compiled_scenario`) — each replication is
-        an offset-delta replay of that shared core.
+        an offset-delta replay of that shared core.  ``engine`` selects
+        the replay tier (``"auto"`` picks the fastest eligible one; see
+        :func:`~repro.sim.batch.run_batch`).
         """
         sem = self._semantics if semantics is None else semantics
         compiled = self.compiled_scenario(task, semantics=sem)
@@ -445,6 +453,7 @@ class AnalysisSession:
             policy=policy,
             compiled=compiled,
             semantics=sem,
+            engine=engine,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

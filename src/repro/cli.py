@@ -42,11 +42,16 @@ def _profiled(func, args: argparse.Namespace) -> tuple:
     reset_phase_times()
     code, text = profile_to_text(func, args)
     if any(PHASE_TIMES.values()):
-        text += (
-            f"batch engine phases: "
-            f"compile {PHASE_TIMES['compile_s']:.3f}s, "
-            f"replicate {PHASE_TIMES['replicate_s']:.3f}s\n"
-        )
+        parts = [
+            f"compile {PHASE_TIMES['compile_s']:.3f}s",
+            f"replicate {PHASE_TIMES['replicate_s']:.3f}s",
+        ]
+        # The columnar engine splits replication into draw/advance/
+        # derive; show those phases only when it actually ran.
+        for key in ("draw_s", "advance_s", "derive_s"):
+            if PHASE_TIMES[key]:
+                parts.append(f"{key[:-2]} {PHASE_TIMES[key]:.3f}s")
+        text += "batch engine phases: " + ", ".join(parts) + "\n"
     return code, text
 
 
@@ -499,7 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench",
         help="measure simulator-kernel, batch-engine (implicit and LET), "
-        "delta-replay, structural-view and analysis throughput",
+        "columnar, delta-replay, structural-view and analysis throughput",
     )
     bench.add_argument(
         "--quick",
@@ -508,7 +513,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--kernel",
-        choices=("sim", "batch", "let", "delta", "structural", "analysis", "all"),
+        choices=(
+            "sim", "batch", "let", "columnar", "delta", "structural",
+            "analysis", "all",
+        ),
         default="all",
         help="measure only one benchmark section (default: all; "
         "--check skips sections absent from the run)",

@@ -12,10 +12,17 @@ optimization work:
 * :func:`bench_batch_kernel` measures the batched replication engine
   (:mod:`repro.sim.batch`) against the same replications run as
   independent simulations — a paired, in-process comparison whose
-  speedup ratio the regression gate tracks.
+  speedup ratio the regression gate tracks.  A third arm pins the
+  per-replication compiled replay (``engine="compiled"``) so the
+  columnar engine's gain over it is reported separately
+  (``columnar_speedup``).
 * :func:`bench_let_kernel` is the same paired comparison under LET
   semantics, with the sequential side pinned to the general loop (the
-  pre-fast-path LET baseline).
+  pre-fast-path LET baseline) and the same third replay arm.
+* :func:`bench_columnar_kernel` is the dedicated columnar-vs-replay
+  pair: the same replications through the columnar lockstep engine
+  and through the per-replication compiled loop, asserted identical;
+  its ratio is the regression-gate metric for the columnar tier.
 * :func:`bench_delta_kernel` measures delta compilation: many offset
   candidates on one system, evaluated as cheap
   :meth:`~repro.sim.batch.CompiledScenario.with_offsets` views of one
@@ -126,6 +133,7 @@ def bench_sim_kernel(
         "jobs": jobs,
         "wall_s": round(wall, 4),
         "jobs_per_s": round(jobs / wall, 1) if wall else 0.0,
+        "sims_per_s": round(sims / wall, 2) if wall else 0.0,
     }
 
 
@@ -154,6 +162,12 @@ def bench_batch_kernel(
     keeps the speedup honest on machines with drifting load; the ratio
     is also what the regression gate checks, since it survives machine
     changes where absolute throughput does not.
+
+    A third arm replays the same replications through the
+    per-replication compiled loop (``engine="compiled"``), isolating
+    the columnar lockstep engine's gain over it as
+    ``columnar_speedup`` — the ratio the columnar tier must keep ≥ 1
+    to pay for itself (and which the ``columnar`` kernel gates).
     """
     from repro.api import AnalysisSession
     from repro.gen import generate_random_scenario
@@ -170,6 +184,7 @@ def bench_batch_kernel(
     session = AnalysisSession(system)
 
     sequential_s: Optional[float] = None
+    replay_s: Optional[float] = None
     batched_s: Optional[float] = None
     engine = ""
     for _ in range(max(1, repeats)):
@@ -192,6 +207,19 @@ def bench_batch_kernel(
 
         rng.setstate(state)
         start = time.perf_counter()
+        replayed = run_batch(
+            system, sink, sims=sims, duration=duration, warmup=warmup,
+            rng=rng, engine="compiled",
+        )
+        elapsed = time.perf_counter() - start
+        replay_s = elapsed if replay_s is None else min(replay_s, elapsed)
+        if list(replayed.disparities) != sequential:
+            raise AssertionError(
+                "compiled replay diverged from sequential runs"
+            )
+
+        rng.setstate(state)
+        start = time.perf_counter()
         result = run_batch(
             system, sink, sims=sims, duration=duration, warmup=warmup,
             rng=rng,
@@ -209,8 +237,12 @@ def bench_batch_kernel(
         "duration_s": duration_s,
         "engine": engine,
         "sequential_s": round(sequential_s, 4),
+        "replay_s": round(replay_s, 4),
         "batched_s": round(batched_s, 4),
         "speedup": round(sequential_s / batched_s, 2) if batched_s else 0.0,
+        "columnar_speedup": round(
+            replay_s / batched_s, 2
+        ) if batched_s else 0.0,
         "sims_per_s": round(sims / batched_s, 2) if batched_s else 0.0,
     }
 
@@ -229,17 +261,20 @@ def bench_let_kernel(
     replays ``sims`` replications as independent
     ``simulate(semantics="let", loop="general")`` calls — the only LET
     path that existed before the fast-path/batch work reached LET — and
-    the batched side routes the same replications through a LET
-    session's :meth:`~repro.api.AnalysisSession.observed_batch` (i.e.
-    ``run_batch`` with ``semantics="let"`` on a scenario compiled
-    once).  Both
+    the batched side routes the same replications through
+    ``run_batch`` with ``semantics="let"`` (compile once per batch,
+    replicate many).  Both
     start from identical generator states, the per-replication
     disparities are asserted equal, and the (min-of-``repeats``) walls
     plus their ratio are reported; the ratio feeds the regression gate.
+    As in :func:`bench_batch_kernel`, a third arm pins the
+    per-replication compiled replay (``engine="compiled"``) and
+    ``columnar_speedup`` records the columnar engine's gain over it
+    under LET semantics.
     """
-    from repro.api import AnalysisSession
     from repro.gen import generate_random_scenario
     from repro.model.system import System
+    from repro.sim.batch import run_batch
     from repro.sim.engine import Simulator, randomize_offsets
     from repro.sim.metrics import DisparityMonitor
     from repro.units import seconds
@@ -250,9 +285,9 @@ def bench_let_kernel(
     duration = seconds(duration_s)
     warmup = duration // 4
     state = rng.getstate()
-    session = AnalysisSession(system, semantics="let")
 
     sequential_s: Optional[float] = None
+    replay_s: Optional[float] = None
     batched_s: Optional[float] = None
     engine = ""
     for _ in range(max(1, repeats)):
@@ -282,8 +317,22 @@ def bench_let_kernel(
 
         rng.setstate(state)
         start = time.perf_counter()
-        result = session.observed_batch(
-            sink, sims=sims, duration=duration, warmup=warmup, rng=rng,
+        replayed = run_batch(
+            system, sink, sims=sims, duration=duration, warmup=warmup,
+            rng=rng, semantics="let", engine="compiled",
+        )
+        elapsed = time.perf_counter() - start
+        replay_s = elapsed if replay_s is None else min(replay_s, elapsed)
+        if list(replayed.disparities) != sequential:
+            raise AssertionError(
+                "LET compiled replay diverged from general-loop runs"
+            )
+
+        rng.setstate(state)
+        start = time.perf_counter()
+        result = run_batch(
+            system, sink, sims=sims, duration=duration, warmup=warmup,
+            rng=rng, semantics="let",
         )
         elapsed = time.perf_counter() - start
         batched_s = elapsed if batched_s is None else min(batched_s, elapsed)
@@ -298,9 +347,98 @@ def bench_let_kernel(
         "duration_s": duration_s,
         "engine": engine,
         "sequential_s": round(sequential_s, 4),
+        "replay_s": round(replay_s, 4),
         "batched_s": round(batched_s, 4),
         "speedup": round(sequential_s / batched_s, 2) if batched_s else 0.0,
+        "columnar_speedup": round(
+            replay_s / batched_s, 2
+        ) if batched_s else 0.0,
         "sims_per_s": round(sims / batched_s, 2) if batched_s else 0.0,
+    }
+
+
+def bench_columnar_kernel(
+    *,
+    n_tasks: int = 10,
+    sims: int = 40,
+    duration_s: float = 6.0,
+    seed: int = 2023,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Columnar lockstep engine vs per-replication compiled replay, paired.
+
+    The dedicated pairing of the two batched tiers: the same ``sims``
+    replications run once through the per-replication compiled loop
+    (``engine="compiled"``, one Python event loop per replication) and
+    once through the columnar engine (``engine="auto"``, which must
+    select it here — the result's engine label is reported), from
+    identical generator states, with the per-replication disparities
+    asserted equal.  Each arm calls :func:`repro.sim.batch.run_batch`
+    afresh, so both pay one compile per batch and the ratio isolates
+    the replay cost — Python event loop per sim vs one C advance plus
+    vectorized derivation across all sims.  The (min-of-``repeats``)
+    walls, their ratio (the regression-gate metric for the columnar
+    tier) and the columnar phase split (draw/advance/derive seconds,
+    from :data:`repro.sim.batch.PHASE_TIMES`) are reported.  ``sims``
+    doubles :func:`bench_batch_kernel`'s default to exercise a wider
+    batch — the shape the columnar engine exists for — with the
+    per-batch compile cost amortized equally in both arms.
+    """
+    import repro.sim.batch as batch_mod
+    from repro.gen import generate_random_scenario
+    from repro.sim.batch import run_batch
+    from repro.units import seconds
+
+    rng = random.Random(seed)
+    scenario = generate_random_scenario(n_tasks, rng)
+    system, sink = scenario.system, scenario.sink
+    duration = seconds(duration_s)
+    warmup = duration // 4
+    state = rng.getstate()
+
+    replay_s: Optional[float] = None
+    columnar_s: Optional[float] = None
+    engine = ""
+    phases = {"draw_s": 0.0, "advance_s": 0.0, "derive_s": 0.0}
+    for _ in range(max(1, repeats)):
+        rng.setstate(state)
+        start = time.perf_counter()
+        replayed = run_batch(
+            system, sink, sims=sims, duration=duration, warmup=warmup,
+            rng=rng, engine="compiled",
+        )
+        elapsed = time.perf_counter() - start
+        replay_s = elapsed if replay_s is None else min(replay_s, elapsed)
+
+        rng.setstate(state)
+        before = {key: batch_mod.PHASE_TIMES[key] for key in phases}
+        start = time.perf_counter()
+        result = run_batch(
+            system, sink, sims=sims, duration=duration, warmup=warmup,
+            rng=rng,
+        )
+        elapsed = time.perf_counter() - start
+        if columnar_s is None or elapsed < columnar_s:
+            columnar_s = elapsed
+            phases = {
+                key: round(batch_mod.PHASE_TIMES[key] - before[key], 4)
+                for key in phases
+            }
+        engine = result.engine
+        if result.disparities != replayed.disparities:
+            raise AssertionError(
+                "columnar replications diverged from compiled replay"
+            )
+    return {
+        "n_tasks": n_tasks,
+        "sims": sims,
+        "duration_s": duration_s,
+        "engine": engine,
+        "replay_s": round(replay_s, 4),
+        "columnar_s": round(columnar_s, 4),
+        "speedup": round(replay_s / columnar_s, 2) if columnar_s else 0.0,
+        "sims_per_s": round(sims / columnar_s, 2) if columnar_s else 0.0,
+        "phases": phases,
     }
 
 
@@ -610,7 +748,9 @@ def bench_analysis_scaling(
 # ----------------------------------------------------------------------
 
 #: Benchmark sections of :func:`run_benchmarks`, in document order.
-KERNELS = ("sim", "batch", "let", "delta", "structural", "analysis")
+KERNELS = (
+    "sim", "batch", "let", "columnar", "delta", "structural", "analysis"
+)
 
 
 def run_benchmarks(
@@ -651,6 +791,12 @@ def run_benchmarks(
             if quick
             else bench_let_kernel()
         )
+    if "columnar" in kernels:
+        document["columnar"] = (
+            bench_columnar_kernel(sims=12, duration_s=2.0, repeats=2)
+            if quick
+            else bench_columnar_kernel()
+        )
     if "delta" in kernels:
         document["delta"] = (
             bench_delta_kernel(candidates=40, repeats=2)
@@ -677,9 +823,13 @@ def format_benchmarks(results: Dict[str, Any]) -> str:
     lines = []
     kernel = results.get("kernel")
     if kernel is not None:
+        sims_rate = kernel.get("sims_per_s")
+        rate = (
+            f", {sims_rate:,.2f} sims/s" if sims_rate is not None else ""
+        )
         lines.append(
             f"sim kernel   {kernel['jobs']:>9} jobs in {kernel['wall_s']:.2f}s"
-            f"  -> {kernel['jobs_per_s']:,.0f} jobs/s"
+            f"  -> {kernel['jobs_per_s']:,.0f} jobs/s{rate}"
             f"  ({kernel['n_tasks']} tasks, {kernel['sims']} sims, "
             f"{kernel['duration_s']}s horizon)"
         )
@@ -699,6 +849,16 @@ def format_benchmarks(results: Dict[str, Any]) -> str:
             f" {let['batched_s']:.2f}s batched"
             f"  ({let['speedup']:.2f}x, {let['sims_per_s']:,.1f} sims/s)"
         )
+    columnar = results.get("columnar")
+    if columnar is not None:
+        lines.append(
+            f"columnar     {columnar['sims']:>9} sims"
+            f"  {columnar['replay_s']:.2f}s replayed ->"
+            f" {columnar['columnar_s']:.2f}s columnar"
+            f"  ({columnar['speedup']:.2f}x, "
+            f"{columnar['sims_per_s']:,.1f} sims/s, "
+            f"engine {columnar['engine']})"
+        )
     delta = results.get("delta")
     if delta is not None:
         lines.append(
@@ -715,7 +875,7 @@ def format_benchmarks(results: Dict[str, Any]) -> str:
             f"  {structural['fresh_s']:.2f}s recompiled ->"
             f" {structural['view_s']:.2f}s via views"
             f"  ({structural['speedup']:.2f}x, "
-            f"{structural['candidates_per_s']:,.1f} edits/s)"
+            f"{structural['candidates_per_s']:,.1f} cands/s)"
         )
     for row in results.get("analysis", ()):
         lines.append(
@@ -792,6 +952,17 @@ def compare_to_baseline(
         if cur_speedup < base_speedup * (1.0 - tolerance):
             regressions.append(
                 f"LET batch speedup {cur_speedup:.2f}x is "
+                f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
+                f"committed {base_speedup:.2f}x"
+            )
+    cur_columnar = current.get("columnar")
+    base_columnar = baseline.get("columnar")
+    if cur_columnar is not None and base_columnar is not None:
+        cur_speedup = cur_columnar["speedup"]
+        base_speedup = base_columnar["speedup"]
+        if cur_speedup < base_speedup * (1.0 - tolerance):
+            regressions.append(
+                f"columnar replay speedup {cur_speedup:.2f}x is "
                 f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
                 f"committed {base_speedup:.2f}x"
             )

@@ -75,6 +75,7 @@ pairs exactly like ``AnalysisSession.observed_disparity`` and return a
 from __future__ import annotations
 
 import heapq
+import os
 import random
 import time as _time
 from bisect import bisect_right
@@ -94,10 +95,13 @@ from typing import (
     runtime_checkable,
 )
 
-try:  # pragma: no cover - exercised via both branches in CI images
-    import numpy as _np
-except ImportError:  # pragma: no cover
+if os.environ.get("REPRO_NO_NUMPY"):  # pragma: no cover - CI leg
     _np = None
+else:
+    try:  # pragma: no cover - exercised via both branches in CI images
+        import numpy as _np
+    except ImportError:  # pragma: no cover
+        _np = None
 
 from repro.model.system import System
 from repro.model.task import ModelError
@@ -117,14 +121,21 @@ from repro.units import Time
 PolicyLike = Union[str, ExecTimePolicy]
 
 #: Wall-clock accumulators for ``--profile`` reporting: scenario
-#: compilation (batch phase) vs. the per-replication loops.
-PHASE_TIMES = {"compile_s": 0.0, "replicate_s": 0.0}
+#: compilation (batch phase), the per-replication loops, and the
+#: columnar tier's draw / advance / derive phases.
+PHASE_TIMES = {
+    "compile_s": 0.0,
+    "replicate_s": 0.0,
+    "draw_s": 0.0,
+    "advance_s": 0.0,
+    "derive_s": 0.0,
+}
 
 
 def reset_phase_times() -> None:
-    """Zero the module-level compile/replicate accumulators."""
-    PHASE_TIMES["compile_s"] = 0.0
-    PHASE_TIMES["replicate_s"] = 0.0
+    """Zero the module-level phase accumulators."""
+    for key in PHASE_TIMES:
+        PHASE_TIMES[key] = 0.0
 
 
 def _resolve_policy(policy: PolicyLike) -> ExecTimePolicy:
@@ -135,6 +146,12 @@ def _resolve_policy(policy: PolicyLike) -> ExecTimePolicy:
 #: :class:`_ScheduleCache`); small because one entry holds the full
 #: recorded schedule of a replication.
 SCHED_CACHE_SIZE = 32
+
+#: Bound on the columnar advance memo: one entry holds the recorded
+#: ``(sims, slots)`` columns of a whole batch, so two suffice for the
+#: sweep patterns that alias it (before/after capacity edits, repeated
+#: probes of one draw set).
+ADV_CACHE_SIZE = 2
 
 #: The edit kinds :meth:`CompiledScenario.edit` accepts, in the order
 #: they are applied (period before priority, so a task named in both
@@ -219,16 +236,17 @@ class BatchResult:
         task: The monitored task.
         disparities: Per-replication observed disparity, in replication
             order (replication ``i`` used the ``i``-th derived seed).
-        engine: ``"compiled"`` when the compiled loop ran, otherwise
-            ``"simulator"`` (per-replication fallback).
+        engine: ``"columnar"`` when the batched columnar tier ran,
+            ``"compiled"`` for the per-replication compiled loop,
+            otherwise ``"simulator"`` (per-replication fallback).
         compile_s: Wall seconds spent compiling the scenario (0 when a
             pre-compiled scenario was reused).
         run_s: Wall seconds spent in the replication loop.
         semantics: The communication semantics the replications ran
             under (``"implicit"`` or ``"let"``).
-        reason: Why the run fell back to the per-replication simulator
-            (every failed eligibility rule, ``"; "``-joined), ``None``
-            when the compiled loop ran.
+        reason: Why the run fell back from the fastest tier (every
+            failed eligibility rule, ``"; "``-joined, or the engine
+            the caller forced), ``None`` when the columnar tier ran.
     """
 
     task: str
@@ -387,6 +405,9 @@ class CompiledScenario:
         # Memoized recorded schedules (shared by capacity-derived
         # siblings, where the schedule is edit-invariant).
         self._sched_cache = _ScheduleCache()
+        # Columnar twin of the schedule memo: whole-batch advance
+        # columns, aliased under exactly the same edit rules.
+        self._adv_cache = _ScheduleCache(maxsize=ADV_CACHE_SIZE)
         elapsed = _time.perf_counter() - t0
         self.compile_s = elapsed
         PHASE_TIMES["compile_s"] += elapsed
@@ -1396,8 +1417,10 @@ class CompiledScenario:
         # parent's memo, any other edit starts a fresh one.
         if periods_changed or priorities_changed:
             clone._sched_cache = _ScheduleCache()
+            clone._adv_cache = _ScheduleCache(maxsize=ADV_CACHE_SIZE)
         else:
             clone._sched_cache = self._sched_cache
+            clone._adv_cache = self._adv_cache
         elapsed = _time.perf_counter() - t0
         clone.compile_s = elapsed
         PHASE_TIMES["compile_s"] += elapsed
@@ -1620,6 +1643,7 @@ def run_batch(
     policy: PolicyLike = uniform_policy,
     compiled: Optional[CompiledScenario] = None,
     semantics: str = "implicit",
+    engine: str = "auto",
 ) -> BatchResult:
     """Run ``sims`` randomized replications against one compiled scenario.
 
@@ -1631,9 +1655,29 @@ def run_batch(
     sequential ``simulate()`` loop under the same generator state and
     ``semantics`` (``"implicit"`` or ``"let"``).  A pre-``compiled``
     scenario must have been compiled under the same semantics.
+
+    ``engine`` selects the replay tier.  ``"auto"`` (default) takes
+    the fastest eligible one: the **columnar** batch engine (all
+    replications advanced in one C-kernel call, provenance derived in
+    bulk — requires numpy, a batchable named policy, and the runtime
+    C kernel), else the **compiled** per-replication loop, else the
+    per-replication **simulator**.  ``"columnar"`` forces the columnar
+    tier and raises a :class:`~repro.model.task.ModelError` listing
+    every unmet rule; ``"compiled"`` skips the columnar tier (the
+    pre-columnar behavior: compiled loop when eligible, simulator
+    fallback); ``"simulator"`` forces the plain simulator.  All tiers
+    return identical disparities.  The batched tiers pre-draw every
+    replication's seed/offsets, so after a mid-batch LET-violation
+    error ``rng`` has advanced past all ``sims`` draws (the
+    sequential loop stops at the violating replication).
     """
     if sims < 0:
         raise ModelError(f"sims must be >= 0, got {sims}")
+    if engine not in ("auto", "columnar", "compiled", "simulator"):
+        raise ModelError(
+            f"unknown engine {engine!r}; choose from "
+            f"('auto', 'columnar', 'compiled', 'simulator')"
+        )
     resolved = _resolve_policy(policy)
     if rng is None:
         rng = random.Random(seed)
@@ -1653,26 +1697,87 @@ def run_batch(
     t0 = _time.perf_counter()
     periods = compiled.periods
     n = compiled.n
+
+    columnar_reasons: Optional[List[str]] = None
+    if engine in ("auto", "columnar"):
+        columnar_reasons = list(compiled.ineligible_reasons)
+        if _np is None:
+            columnar_reasons.append("numpy unavailable")
+        else:
+            from repro.sim import columnar as _columnar
+
+            columnar_reasons.extend(
+                _columnar.ineligibility_reasons(compiled, resolved)
+            )
+        if engine == "columnar" and columnar_reasons:
+            raise ModelError(
+                "columnar engine unavailable: "
+                + "; ".join(columnar_reasons)
+            )
+    if columnar_reasons is not None and not columnar_reasons:
+        from repro.sim import columnar as _columnar
+
+        draws = [
+            (
+                rng.randrange(2**31),
+                tuple(rng.randint(1, periods[tid]) for tid in range(n)),
+            )
+            for _ in range(sims)
+        ]
+        disparities = _columnar.run_columnar(
+            compiled, draws, duration, warmup, resolved
+        )
+        return BatchResult(
+            task=task,
+            disparities=tuple(disparities),
+            engine="columnar",
+            compile_s=compile_s,
+            run_s=_time.perf_counter() - t0,
+            semantics=semantics,
+            reason=None,
+        )
+
+    force_sim = engine == "simulator"
+    if force_sim:
+        ran = "simulator"
+        reason = compiled.ineligible_reason or "engine='simulator' requested"
+    elif compiled.eligible:
+        ran = "compiled"
+        reason = (
+            "; ".join(columnar_reasons)
+            if columnar_reasons
+            else ("engine='compiled' requested" if engine == "compiled" else None)
+        )
+    else:
+        ran = "simulator"
+        reason = compiled.ineligible_reason
     disparities = []
     for _ in range(sims):
         run_seed = rng.randrange(2**31)
         offsets = tuple(rng.randint(1, periods[tid]) for tid in range(n))
-        # Each replication is one offset-delta view of the shared
-        # compiled tables (offsets drawn in [1, T] are always in
-        # domain, so this is always the delta replay path).
-        disparities.append(
-            compiled.with_offsets(offsets).disparity(
-                run_seed, duration, warmup, resolved
+        if force_sim:
+            disparities.append(
+                compiled._fallback_disparity(
+                    offsets, run_seed, duration, warmup, resolved
+                )
             )
-        )
+        else:
+            # Each replication is one offset-delta view of the shared
+            # compiled tables (offsets drawn in [1, T] are always in
+            # domain, so this is always the delta replay path).
+            disparities.append(
+                compiled.with_offsets(offsets).disparity(
+                    run_seed, duration, warmup, resolved
+                )
+            )
     return BatchResult(
         task=task,
         disparities=tuple(disparities),
-        engine="compiled" if compiled.eligible else "simulator",
+        engine=ran,
         compile_s=compile_s,
         run_s=_time.perf_counter() - t0,
         semantics=semantics,
-        reason=compiled.ineligible_reason,
+        reason=reason,
     )
 
 

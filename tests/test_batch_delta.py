@@ -212,6 +212,11 @@ def test_delta_replay_without_numpy(monkeypatch):
     assert without_numpy == with_numpy
 
 
+@pytest.mark.skipif(
+    batch_mod._np is None,
+    reason="stream tables are the numpy delta path (pure-python "
+    "fallback regenerates per candidate)",
+)
 def test_stream_tables_cached_per_horizon():
     """One candidate warms the per-horizon cache; later ones reuse it."""
     system, sink = _scenario(31, 7)

@@ -312,6 +312,8 @@ def test_capacity_view_shares_streams_grids_and_schedule_memo():
 
 def test_period_view_gets_fresh_stream_and_schedule_caches():
     """Period edits invalidate streams and schedules but share grids."""
+    import repro.sim.batch as batch_mod
+
     system, sink = _scenario(37, 8)
     base = CompiledScenario(system, sink)
     compute = [t for t in system.graph.tasks if not t.is_instantaneous]
@@ -321,8 +323,11 @@ def test_period_view_gets_fresh_stream_and_schedule_caches():
     assert derived._grid_cache is base._grid_cache
     assert derived._stream_cache is not base._stream_cache
     assert derived._sched_cache is not base._sched_cache
-    # Unedited tasks reuse the base's cached (period, duration) grids.
+    # Unedited tasks reuse the base's cached (period, duration) grids
+    # (grids only materialize on the numpy delta path; the pure-python
+    # fallback regenerates releases per candidate).
     duration = 2 * max(task.period for task in system.graph.tasks)
     view.disparity(1, duration, duration // 4, "wcet")
     other = compute[1]
-    assert (other.period, duration) in base._grid_cache
+    if batch_mod._np is not None:
+        assert (other.period, duration) in base._grid_cache
