@@ -456,6 +456,84 @@ class AnalysisSession:
             engine=engine,
         )
 
+    def observed_stats(
+        self,
+        task: str,
+        *,
+        sims: int,
+        duration: Time,
+        warmup: Time = 0,
+        rng: Optional[random.Random] = None,
+        seed: int = 0,
+        policy: PolicyLike = "uniform",
+        semantics: Optional[str] = None,
+        engine: str = "auto",
+        chunk: int = 256,
+        quantiles: Sequence[float] = (0.5, 0.9, 0.99),
+    ) -> Dict[str, object]:
+        """Streaming summary of ``sims`` replications, memory O(chunk).
+
+        Like :meth:`observed_batch` but never materializes the full
+        per-replication disparity list: replications run in chunks of
+        ``chunk`` through the batched engine and each chunk is folded
+        into O(1) streaming accumulators
+        (:class:`~repro.parallel.aggregate.StreamingStats` +
+        :class:`~repro.parallel.aggregate.P2Quantile` sketches).  The
+        chunks consume the **same** generator stream one big batch
+        would, so ``count``/``max``/``min`` are exactly the values
+        :meth:`observed_batch` reports for the same arguments; ``mean``
+        / ``std`` are Welford-updated and ``quantiles`` are P²
+        estimates (a few percent on unimodal data).  This is the
+        session-level entry for million-replication studies that only
+        need the summary.
+        """
+        from repro.parallel.aggregate import P2Quantile, StreamingStats
+
+        if sims < 0:
+            raise ValueError(f"sims must be >= 0, got {sims}")
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        generator = rng if rng is not None else random.Random(seed)
+        stats = StreamingStats()
+        sketches = {q: P2Quantile(q) for q in quantiles}
+        engines = []
+        remaining = sims
+        while remaining > 0:
+            batch = self.observed_batch(
+                task,
+                sims=min(chunk, remaining),
+                duration=duration,
+                warmup=warmup,
+                rng=generator,
+                policy=policy,
+                semantics=semantics,
+                engine=engine,
+            )
+            remaining -= batch.sims
+            if not engines or engines[-1] != batch.engine:
+                engines.append(batch.engine)
+            for value in batch.disparities:
+                stats.add(value)
+                for sketch in sketches.values():
+                    sketch.add(value)
+        summary: Dict[str, object] = {
+            "task": task,
+            "count": stats.count,
+            "engine": "+".join(engines) if engines else None,
+        }
+        if stats.count:
+            summary.update(
+                max=int(stats.max),
+                min=int(stats.min),
+                mean=stats.mean,
+                std=stats.std,
+                quantiles={
+                    f"p{int(q * 100)}": sketch.value
+                    for q, sketch in sketches.items()
+                },
+            )
+        return summary
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"AnalysisSession({len(self._system.graph)} tasks, "

@@ -5,6 +5,10 @@ Usage examples::
     python -m repro fig6 --part ab --preset smoke
     python -m repro fig6 --part cd --preset default --csv out/fig6cd.csv
     python -m repro fig6 --part ab --jobs 4 --progress --checkpoint out/ab.ckpt
+    python -m repro campaign run --part ab --preset smoke --shard 0/2 \
+        --out out/ab.shard0.jsonl
+    python -m repro campaign merge --part ab --preset smoke \
+        out/ab.shard*.jsonl --csv out/ab.csv
     python -m repro analyze --tasks 15 --seed 7 --replications 20
     python -m repro bench --check BENCH_kernel.json
     python -m repro bench --kernel batch
@@ -76,6 +80,65 @@ def _print_observed(system, task: str, args: argparse.Namespace) -> None:
     )
 
 
+def _config_overrides(args: argparse.Namespace) -> dict:
+    """Preset overrides shared by the ``fig6`` and ``campaign`` commands."""
+    overrides = {}
+    if getattr(args, "duration", None) is not None:
+        overrides["sim_duration"] = seconds(args.duration)
+    if getattr(args, "graphs", None) is not None:
+        overrides["graphs_per_point"] = args.graphs
+    if getattr(args, "sims", None) is not None:
+        overrides["sims_per_graph"] = args.sims
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    if getattr(args, "semantics", None) is not None:
+        overrides["semantics"] = args.semantics
+    return overrides
+
+
+def _campaign_config(args: argparse.Namespace):
+    """Resolve the ``(part, config)`` of a ``campaign`` subcommand."""
+    from repro.experiments import preset_ab, preset_cd
+
+    preset = preset_ab(args.preset) if args.part == "ab" else preset_cd(args.preset)
+    return preset.scaled(**_config_overrides(args))
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.parallel.shard import ShardSpec, run_shard
+
+    config = _campaign_config(args)
+    shard = ShardSpec.parse(args.shard)
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}"))
+    run_shard(
+        args.part,
+        config,
+        shard,
+        args.out,
+        jobs=args.jobs,
+        progress=progress,
+    )
+    return 0
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    from repro.parallel.campaign import get_part
+    from repro.parallel.shard import merge_shards
+
+    config = _campaign_config(args)
+    part = get_part(args.part)
+    rows = merge_shards(part, config, args.shards)
+    csv_text = part.to_csv(rows)
+    if args.csv:
+        path = Path(args.csv)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(csv_text)
+        print(f"[campaign] merged {len(args.shards)} shard file(s) -> {path}")
+    else:
+        print(csv_text, end="")
+    return 0
+
+
 def _cmd_fig6(args: argparse.Namespace) -> int:
     if getattr(args, "profile", False):
         # Per-stage wall times already land in <csv>.timing.json; the
@@ -93,15 +156,7 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 
     part = args.part
     csv_path = Path(args.csv) if args.csv else None
-    overrides = {}
-    if args.duration is not None:
-        overrides["sim_duration"] = seconds(args.duration)
-    if args.graphs is not None:
-        overrides["graphs_per_point"] = args.graphs
-    if args.sims is not None:
-        overrides["sims_per_graph"] = args.sims
-    if args.seed is not None:
-        overrides["seed"] = args.seed
+    overrides = _config_overrides(args)
 
     run_args = dict(
         verbose=not args.quiet,
@@ -390,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig6.add_argument("--seed", type=int, help="master seed")
     fig6.add_argument(
+        "--semantics",
+        choices=("implicit", "let"),
+        help="communication semantics of analysis and simulation "
+        "(default: implicit, the paper's model)",
+    )
+    fig6.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -405,7 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig6.add_argument(
         "--checkpoint",
         metavar="PATH",
-        help="persist completed X points to this JSON file and resume "
+        help="append completed X points to this JSONL log and resume "
         "from it on the next run with the same configuration",
     )
     fig6.add_argument("--quiet", action="store_true", help="suppress progress")
@@ -501,6 +562,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diagnose.set_defaults(func=_cmd_diagnose)
 
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="sharded campaign tools: run one shard of a sweep on this "
+        "machine, merge shard outputs into the serial-identical CSV",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_common(sub) -> None:
+        sub.add_argument(
+            "--part", choices=("ab", "cd"), required=True,
+            help="which Fig. 6 sweep the campaign runs",
+        )
+        sub.add_argument(
+            "--preset",
+            choices=("paper", "default", "smoke"),
+            default="default",
+            help="replication scale (must match across shards and merge)",
+        )
+        sub.add_argument("--duration", type=float, help="simulated seconds per run")
+        sub.add_argument("--graphs", type=int, help="graphs per X point")
+        sub.add_argument("--sims", type=int, help="simulations per graph")
+        sub.add_argument("--seed", type=int, help="master seed")
+        sub.add_argument(
+            "--semantics",
+            choices=("implicit", "let"),
+            help="communication semantics (default: implicit)",
+        )
+
+    crun = campaign_sub.add_parser(
+        "run", help="run one shard; output doubles as the shard's resume log"
+    )
+    _campaign_common(crun)
+    crun.add_argument(
+        "--shard",
+        required=True,
+        metavar="INDEX/COUNT",
+        help="slice of the scenario space this machine runs (e.g. 0/4); "
+        "ownership is round-robin over the campaign's task ordinals",
+    )
+    crun.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="JSONL result file (re-running resumes from it)",
+    )
+    crun.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for this shard (0 = all CPUs)",
+    )
+    crun.add_argument("--quiet", action="store_true", help="suppress progress")
+    crun.set_defaults(func=_cmd_campaign_run)
+
+    cmerge = campaign_sub.add_parser(
+        "merge",
+        help="combine shard outputs into rows byte-identical to a serial run",
+    )
+    _campaign_common(cmerge)
+    cmerge.add_argument(
+        "shards", nargs="+", metavar="SHARD_JSONL",
+        help="shard result files, in any order",
+    )
+    cmerge.add_argument(
+        "--csv", metavar="PATH",
+        help="write the merged CSV here (default: print to stdout)",
+    )
+    cmerge.set_defaults(func=_cmd_campaign_merge)
+
     bench = subparsers.add_parser(
         "bench",
         help="measure simulator-kernel, batch-engine (implicit and LET), "
@@ -515,7 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel",
         choices=(
             "sim", "batch", "let", "columnar", "delta", "structural",
-            "analysis", "all",
+            "analysis", "campaign", "all",
         ),
         default="all",
         help="measure only one benchmark section (default: all; "

@@ -31,6 +31,10 @@ class Fig6ABConfig:
     seed: int = 2023
     policy: str = "uniform"
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    #: Communication semantics of analysis *and* simulation:
+    #: ``"implicit"`` (the paper's model, the default) or ``"let"``
+    #: (bounds via :func:`repro.let.backward_bounds_let`, LET replay).
+    semantics: str = "implicit"
 
     def scaled(self, **overrides) -> "Fig6ABConfig":
         """A copy with selected fields overridden."""
@@ -49,6 +53,8 @@ class Fig6CDConfig:
     seed: int = 2023
     policy: str = "uniform"
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    #: Communication semantics; see :class:`Fig6ABConfig.semantics`.
+    semantics: str = "implicit"
 
     def scaled(self, **overrides) -> "Fig6CDConfig":
         return replace(self, **overrides)

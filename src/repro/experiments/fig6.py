@@ -42,6 +42,7 @@ from repro.gen.scenario import (
     generate_random_scenario,
 )
 from repro.model.system import System
+from repro.parallel.campaign import CampaignPart, register_part
 from repro.units import Time, to_ms
 
 
@@ -183,6 +184,23 @@ def graph_tasks(
     return tasks
 
 
+def _session_for(system: System, semantics: str) -> AnalysisSession:
+    """A session matching the sweep's semantics.
+
+    ``"implicit"`` builds the plain session the paper's evaluation uses;
+    ``"let"`` pins the LET pair — :func:`repro.let.backward_bounds_let`
+    for every analytical bound plus LET data-flow replay for every
+    simulation — so one config field switches the whole sweep.
+    """
+    if semantics == "let":
+        from repro.let import backward_bounds_let
+
+        return AnalysisSession(
+            system, bounds_strategy=backward_bounds_let, semantics="let"
+        )
+    return AnalysisSession(system)
+
+
 def _max_observed_disparity(
     session: AnalysisSession,
     task: str,
@@ -224,7 +242,7 @@ def run_graph_ab(
     t0 = time.perf_counter()
     scenario = generate_random_scenario(task.x, rng, config.scenario)
     t1 = time.perf_counter()
-    session = AnalysisSession(scenario.system)
+    session = _session_for(scenario.system, config.semantics)
     p_diff = to_ms(session.disparity(scenario.sink, method="independent"))
     s_diff = to_ms(session.disparity(scenario.sink, method="forkjoin"))
     t2 = time.perf_counter()
@@ -262,7 +280,7 @@ def run_graph_cd(
     t0 = time.perf_counter()
     scenario = generate_merged_pair_scenario(task.x, rng, config.scenario)
     t1 = time.perf_counter()
-    session = AnalysisSession(scenario.system)
+    session = _session_for(scenario.system, config.semantics)
     lam, nu = session.chains(scenario.sink)
     base = disparity_bound_forkjoin(lam, nu, session.cache)
     design = design_buffer_pair(lam, nu, session.cache)
@@ -280,7 +298,9 @@ def run_graph_cd(
             rng=rng,
         )
     )
-    buffered = session.with_buffer_plan(design.plan)
+    buffered = _session_for(
+        session.system.with_buffer_plan(design.plan), config.semantics
+    )
     warmup_b = _buffer_fill_warmup(
         buffered.system, config.warmup, config.sim_duration
     )
@@ -368,6 +388,74 @@ def _format_progress_cd(row: PointCD) -> str:
     )
 
 
+def _decode_result_ab(data: dict) -> GraphResultAB:
+    """Rebuild a :class:`GraphResultAB` from its ``asdict`` form.
+
+    Inverse of the JSON round-trip shard files use; floats survive the
+    trip bit-for-bit, so merged aggregation reproduces serial bytes.
+    """
+    data = dict(data)
+    data["timing"] = StageTiming(**data["timing"])
+    return GraphResultAB(**data)
+
+
+def _decode_result_cd(data: dict) -> GraphResultCD:
+    """Rebuild a :class:`GraphResultCD` from its ``asdict`` form."""
+    data = dict(data)
+    data["timing"] = StageTiming(**data["timing"])
+    return GraphResultCD(**data)
+
+
+def _metric_sim_ms(result) -> float:
+    """The campaign-wide streamed observable: observed disparity (ms)."""
+    return result.sim_ms
+
+
+def _csv_ab(rows: Sequence[PointAB]) -> str:
+    from repro.experiments.reporting import csv_ab
+
+    return csv_ab(rows)
+
+
+def _csv_cd(rows: Sequence[PointCD]) -> str:
+    from repro.experiments.reporting import csv_cd
+
+    return csv_cd(rows)
+
+
+#: The Fig. 6 sweeps as registered campaign parts — what lets the
+#: generic engine (:mod:`repro.parallel.campaign`) and the shard tools
+#: (:mod:`repro.parallel.shard`) run them by name.
+AB_PART = register_part(
+    CampaignPart(
+        name="ab",
+        tasks=graph_tasks,
+        run_graph=run_graph_ab,
+        aggregate=aggregate_ab,
+        row_type=PointAB,
+        result_type=GraphResultAB,
+        decode_result=_decode_result_ab,
+        format_progress=_format_progress_ab,
+        to_csv=_csv_ab,
+        metric=_metric_sim_ms,
+    )
+)
+CD_PART = register_part(
+    CampaignPart(
+        name="cd",
+        tasks=graph_tasks,
+        run_graph=run_graph_cd,
+        aggregate=aggregate_cd,
+        row_type=PointCD,
+        result_type=GraphResultCD,
+        decode_result=_decode_result_cd,
+        format_progress=_format_progress_cd,
+        to_csv=_csv_cd,
+        metric=_metric_sim_ms,
+    )
+)
+
+
 def run_fig6_ab(
     config: Fig6ABConfig,
     *,
@@ -401,16 +489,18 @@ def run_fig6_ab_timed(
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
     checkpoint=None,
+    heartbeat=None,
 ) -> Tuple[List[PointAB], "object"]:
     """:func:`run_fig6_ab` plus the campaign's timing report."""
     from repro.parallel.campaign import run_campaign
 
     return run_campaign(
-        "ab",
+        AB_PART,
         config,
         jobs=jobs,
         progress=progress,
         checkpoint=checkpoint,
+        heartbeat=heartbeat,
     )
 
 
@@ -420,16 +510,18 @@ def run_fig6_cd_timed(
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
     checkpoint=None,
+    heartbeat=None,
 ) -> Tuple[List[PointCD], "object"]:
     """:func:`run_fig6_cd` plus the campaign's timing report."""
     from repro.parallel.campaign import run_campaign
 
     return run_campaign(
-        "cd",
+        CD_PART,
         config,
         jobs=jobs,
         progress=progress,
         checkpoint=checkpoint,
+        heartbeat=heartbeat,
     )
 
 

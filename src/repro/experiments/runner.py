@@ -61,6 +61,41 @@ def timing_path(out_csv: Path) -> Path:
     return out_csv.with_suffix(".timing.json")
 
 
+class _LiveLine:
+    """A single self-overwriting progress/utilization line.
+
+    Fed from the campaign's live :class:`~repro.parallel.engine.MapStats`
+    after every completed chunk; only attached when the output stream is
+    a terminal, so piped/CI logs never fill with carriage returns.
+    """
+
+    def __init__(self, tag: str, stream) -> None:
+        self._tag = tag
+        self._stream = stream
+        self._dirty = False
+
+    def __call__(self, stats) -> None:
+        self._stream.write(
+            f"\r[{self._tag}] {stats.completed}/{stats.n_items} graphs, "
+            f"{stats.utilization:.0%} busy, "
+            f"chunks {stats.chunk_min}-{stats.chunk_max}"
+        )
+        self._stream.flush()
+        self._dirty = True
+
+    def finish(self) -> None:
+        if self._dirty:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._dirty = False
+
+
+def _live_line(tag: str, stream, enabled: bool) -> Optional[_LiveLine]:
+    if enabled and getattr(stream, "isatty", lambda: False)():
+        return _LiveLine(tag, stream)
+    return None
+
+
 def _write_outputs(
     tag: str, rows, csv_text: str, timing, out_csv: Optional[Path], stream
 ) -> None:
@@ -108,9 +143,16 @@ def run_ab(
     """
     stream = stream if stream is not None else sys.stdout
     progress = (lambda msg: print(f"  {msg}", file=stream)) if verbose else None
+    live = _live_line("fig6ab", stream, show_timing)
     rows, timing = run_fig6_ab_timed(
-        config, progress=progress, jobs=jobs, checkpoint=checkpoint
+        config,
+        progress=progress,
+        jobs=jobs,
+        checkpoint=checkpoint,
+        heartbeat=live,
     )
+    if live is not None:
+        live.finish()
     print(render_table_ab(rows), file=stream)
     print(f"[fig6ab] {len(rows)} points in {timing.wall_s:.1f}s", file=stream)
     if show_timing:
@@ -137,9 +179,16 @@ def run_cd(
     """Run Fig. 6 (c)/(d), print the table, optionally save CSV."""
     stream = stream if stream is not None else sys.stdout
     progress = (lambda msg: print(f"  {msg}", file=stream)) if verbose else None
+    live = _live_line("fig6cd", stream, show_timing)
     rows, timing = run_fig6_cd_timed(
-        config, progress=progress, jobs=jobs, checkpoint=checkpoint
+        config,
+        progress=progress,
+        jobs=jobs,
+        checkpoint=checkpoint,
+        heartbeat=live,
     )
+    if live is not None:
+        live.finish()
     print(render_table_cd(rows), file=stream)
     print(f"[fig6cd] {len(rows)} points in {timing.wall_s:.1f}s", file=stream)
     if show_timing:

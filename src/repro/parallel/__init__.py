@@ -1,32 +1,71 @@
-"""Parallel experiment engine for the Fig. 6 harness and sweeps.
+"""Sharded, streaming parallel experiment engine.
 
 Fans per-graph experiment work across a process pool with
 deterministic per-task seeding: ``jobs=1`` and ``jobs=N`` produce
-byte-identical CSVs (see :mod:`repro.parallel.engine` for the ordering
-guarantee and :func:`repro.experiments.fig6.graph_tasks` for the seed
-derivation).  :mod:`repro.parallel.campaign` adds per-point
-checkpoint/resume and a timing report (stage breakdown + worker
-utilization); :mod:`repro.parallel.checkpoint` holds the on-disk
-format.
+byte-identical CSVs (see :mod:`repro.parallel.engine` for adaptive
+chunked dispatch and the ordering guarantee, and
+:func:`repro.experiments.fig6.graph_tasks` for the seed derivation).
+
+:mod:`repro.parallel.campaign` streams completed graphs into bounded
+accumulators (:mod:`repro.parallel.aggregate`) with per-point
+checkpoint/resume over an append-only JSONL log
+(:mod:`repro.parallel.checkpoint`); :mod:`repro.parallel.shard`
+partitions a campaign's scenario space across machines and merges
+shard outputs back to bytes identical to a serial run.
 """
 
-from repro.parallel.campaign import CampaignTiming, PointTiming, run_campaign
-from repro.parallel.checkpoint import CampaignCheckpoint, config_fingerprint
+from repro.parallel.aggregate import (
+    CampaignAccumulator,
+    CompletedPoint,
+    P2Quantile,
+    StreamingStats,
+)
+from repro.parallel.campaign import (
+    CampaignPart,
+    CampaignTiming,
+    PointTiming,
+    get_part,
+    register_part,
+    run_campaign,
+)
+from repro.parallel.checkpoint import (
+    CampaignCheckpoint,
+    JsonlLog,
+    config_fingerprint,
+)
 from repro.parallel.engine import (
     MapStats,
     PoolRunner,
     default_chunk_size,
     resolve_jobs,
 )
+from repro.parallel.shard import (
+    ShardRunReport,
+    ShardSpec,
+    merge_shards,
+    run_shard,
+)
 
 __all__ = [
+    "CampaignAccumulator",
     "CampaignCheckpoint",
+    "CampaignPart",
     "CampaignTiming",
+    "CompletedPoint",
+    "JsonlLog",
     "MapStats",
+    "P2Quantile",
     "PointTiming",
     "PoolRunner",
+    "ShardRunReport",
+    "ShardSpec",
+    "StreamingStats",
     "config_fingerprint",
     "default_chunk_size",
+    "get_part",
+    "merge_shards",
+    "register_part",
     "resolve_jobs",
     "run_campaign",
+    "run_shard",
 ]

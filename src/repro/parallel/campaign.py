@@ -1,32 +1,107 @@
-"""Fig. 6 campaign orchestration: fan out, aggregate, checkpoint, time.
+"""Campaign orchestration: stream, aggregate, checkpoint, time.
 
-A *campaign* is one full Fig. 6 sweep — part ``"ab"`` or ``"cd"`` —
-executed point-by-point along the X axis.  Within a point, the
-per-graph tasks (already carrying their pre-derived seeds) run through
-a :class:`~repro.parallel.engine.PoolRunner`; one pool serves the whole
-campaign.  Because graphs are pure functions of ``(config, seed)`` and
-results are collected in input order, the produced rows — and hence the
-CSV — are identical for any ``jobs`` value.
+A *campaign* is one sweep along an X axis — classically the Fig. 6
+parts ``"ab"`` / ``"cd"``, but any workload can register a
+:class:`CampaignPart` (the benchmark suite registers a synthetic one).
+The part bundles everything the engine needs to stay generic: how to
+derive the task list, run one graph, fold a point's results into a row,
+encode/decode per-graph results for shard files, and render rows as
+progress lines and CSV.
 
-After each point the row is appended to an optional
-:class:`~repro.parallel.checkpoint.CampaignCheckpoint`, so a killed
-sweep resumes from the last completed X value.  The returned
-:class:`CampaignTiming` carries the wall time, the
-generate/analyze/simulate stage split, and the worker utilization of
-every point — the numbers the CLI prints under ``--progress`` and the
-runner stores next to the CSV.
+Execution is **streaming**: every per-graph task of every pending point
+goes into one :meth:`~repro.parallel.engine.PoolRunner.map_consume`
+call, results are folded into a
+:class:`~repro.parallel.aggregate.CampaignAccumulator` the moment they
+arrive, and completed rows are released in X order — appended to the
+JSONL checkpoint and printed — while later points are still computing.
+No per-point barrier, no per-point result lists: resident memory is
+O(points in flight), and a single adaptive chunk stream keeps workers
+saturated across heterogeneous point costs.
+
+Because graphs are pure functions of ``(config, seed)`` with seeds
+derived upfront, and the per-point fold sorts by replica index, the
+produced rows — and hence the CSV — are identical for any ``jobs``
+value and identical to the sharded run + merge of
+:mod:`repro.parallel.shard`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import asdict, dataclass, field
 from functools import partial
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.parallel.aggregate import CampaignAccumulator, CompletedPoint
 from repro.parallel.checkpoint import CampaignCheckpoint, config_fingerprint
 from repro.parallel.engine import MapStats, PoolRunner, resolve_jobs
 
-_PARTS = ("ab", "cd")
+
+@dataclass(frozen=True)
+class CampaignPart:
+    """Everything the campaign engine needs to run one kind of sweep.
+
+    Attributes:
+        name: Registry key (``"ab"``, ``"cd"``, ...); also the
+            checkpoint/shard fingerprint component.
+        tasks: ``tasks(config) -> list`` of schedulable units, each
+            with ``.x``, ``.graph_index`` and ``.seed`` attributes, in
+            the canonical (X-major) order — list position is the global
+            ordinal the shard partition is defined over.
+        run_graph: Pure worker function ``(config, task) -> result``.
+        aggregate: Exact fold ``(x, results) -> row`` (must sort by
+            replica index internally so completion order never leaks).
+        row_type: Row dataclass (checkpoint rows round-trip through it).
+        result_type: Per-graph result dataclass.
+        decode_result: Inverse of ``dataclasses.asdict`` for
+            ``result_type`` (shard files round-trip results as JSON).
+        format_progress: One human line per completed row.
+        to_csv: Render rows to the part's CSV text.
+        metric: Scalar per-result observable feeding the campaign-wide
+            streaming sketches (mean/min/max/percentiles).
+        metric_name: Label of that observable in reports.
+    """
+
+    name: str
+    tasks: Callable[[object], Sequence[object]]
+    run_graph: Callable[[object, object], object]
+    aggregate: Callable[[int, Sequence[object]], object]
+    row_type: type
+    result_type: type
+    decode_result: Callable[[dict], object]
+    format_progress: Callable[[object], str]
+    to_csv: Callable[[Sequence[object]], str]
+    metric: Callable[[object], float]
+    metric_name: str = "sim_ms"
+
+
+_REGISTRY: Dict[str, CampaignPart] = {}
+
+
+def register_part(part: CampaignPart) -> CampaignPart:
+    """Register ``part`` under its name (idempotent; returns it)."""
+    _REGISTRY[part.name] = part
+    return part
+
+
+def get_part(part: Union[str, CampaignPart]) -> CampaignPart:
+    """Resolve a part name (or pass a part through).
+
+    The Fig. 6 parts register themselves when
+    :mod:`repro.experiments.fig6` is imported; unknown names list the
+    registered choices.
+    """
+    if isinstance(part, CampaignPart):
+        return part
+    if part not in _REGISTRY:
+        from repro.experiments import fig6  # noqa: F401  (registers ab/cd)
+    found = _REGISTRY.get(part)
+    if found is None:
+        raise ValueError(
+            f"unknown campaign part {part!r}; "
+            f"registered: {tuple(sorted(_REGISTRY))}"
+        )
+    return found
 
 
 @dataclass
@@ -65,6 +140,12 @@ class CampaignTiming:
     jobs: int
     wall_s: float = 0.0
     points: List[PointTiming] = field(default_factory=list)
+    #: Final :class:`~repro.parallel.engine.MapStats` of the streaming
+    #: map (``None`` when every point was resumed from checkpoint).
+    map_stats: Optional[dict] = None
+    #: Campaign-wide sketch summary + peak-residency counters from the
+    #: streaming accumulator (observability only, never CSV data).
+    stream: Optional[dict] = None
 
     @property
     def resumed_points(self) -> int:
@@ -76,9 +157,24 @@ class CampaignTiming:
 
     @property
     def utilization(self) -> float:
-        """Whole-campaign worker busy fraction (resumed points excluded)."""
+        """Whole-campaign worker busy fraction (resumed points excluded).
+
+        Prefers the streaming map's own wall/busy accounting (point
+        walls overlap under cross-point streaming, so summing them
+        would overstate the denominator); a fully resumed campaign —
+        zero busy seconds, no map — reports 0.0 rather than dividing
+        by zero.
+        """
+        if self.jobs <= 0:
+            return 0.0
+        if self.map_stats is not None:
+            wall = float(self.map_stats.get("wall_s", 0.0))
+            busy = float(self.map_stats.get("busy_s", 0.0))
+            if wall <= 0.0:
+                return 0.0
+            return min(1.0, busy / (wall * self.jobs))
         measured = sum(p.wall_s for p in self.points if not p.resumed)
-        if measured <= 0.0 or self.jobs <= 0:
+        if measured <= 0.0:
             return 0.0
         return min(1.0, self.busy_s / (measured * self.jobs))
 
@@ -90,7 +186,7 @@ class CampaignTiming:
         }
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "part": self.part,
             "jobs": self.jobs,
             "wall_s": round(self.wall_s, 6),
@@ -100,6 +196,11 @@ class CampaignTiming:
             "stage_totals": self.stage_totals(),
             "points": [point.to_dict() for point in self.points],
         }
+        if self.map_stats is not None:
+            data["map"] = self.map_stats
+        if self.stream is not None:
+            data["stream"] = self.stream
+        return data
 
     def summary(self) -> str:
         """One human line for ``--progress`` output."""
@@ -118,115 +219,148 @@ class CampaignTiming:
         )
 
 
-def _bindings(part: str):
-    from repro.experiments import fig6
-
-    if part == "ab":
-        return (
-            fig6.run_graph_ab,
-            fig6.aggregate_ab,
-            fig6.PointAB,
-            fig6._format_progress_ab,
-        )
-    if part == "cd":
-        return (
-            fig6.run_graph_cd,
-            fig6.aggregate_cd,
-            fig6.PointCD,
-            fig6._format_progress_cd,
-        )
-    raise ValueError(f"unknown Fig. 6 part {part!r}; use one of {_PARTS}")
-
-
 def run_campaign(
-    part: str,
+    part: Union[str, CampaignPart],
     config,
     *,
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     checkpoint: Optional[str] = None,
+    heartbeat: Optional[Callable[[MapStats], None]] = None,
 ) -> Tuple[list, CampaignTiming]:
-    """Run one Fig. 6 sweep; returns ``(rows, timing)``.
+    """Run one campaign sweep; returns ``(rows, timing)``.
 
     Args:
-        part: ``"ab"`` or ``"cd"``.
+        part: A registered part name (``"ab"`` / ``"cd"``) or a
+            :class:`CampaignPart`.
         config: The sweep preset (:class:`Fig6ABConfig` /
-            :class:`Fig6CDConfig`).
+            :class:`Fig6CDConfig` / a part-specific config).
         jobs: Worker processes (``0``/negative means every CPU; ``1``
             runs inline with no pool).
-        progress: Optional line sink (one line per completed point,
-            plus a final timing summary).
-        checkpoint: Optional JSON path; completed points are persisted
+        progress: Optional line sink (one line per completed point, in
+            X order, plus a final timing summary).
+        checkpoint: Optional JSONL path; completed points are appended
             there and skipped on the next run with the same ``(part,
             config)``.  The file is kept after completion — delete it
             to force a fresh sweep.
+        heartbeat: Optional hook observing the live
+            :class:`~repro.parallel.engine.MapStats` after every
+            completed chunk — what feeds the CLI's ``--progress``
+            utilization line.
     """
-    import time
+    resolved = get_part(part)
+    jobs_n = resolve_jobs(jobs)
+    timing = CampaignTiming(part=resolved.name, jobs=jobs_n)
 
-    from repro.experiments import fig6
-
-    run_graph, aggregate, row_type, fmt = _bindings(part)
-    timing = CampaignTiming(part=part, jobs=resolve_jobs(jobs))
     store: Optional[CampaignCheckpoint] = None
     if checkpoint is not None:
-        store = CampaignCheckpoint(checkpoint, config_fingerprint(part, config))
+        store = CampaignCheckpoint(
+            checkpoint, config_fingerprint(resolved.name, config)
+        )
         resumable = store.load()
         if resumable and progress is not None:
             progress(f"checkpoint: {resumable} completed point(s) found")
 
-    tasks = fig6.graph_tasks(config)
-    rows: list = []
-    started = time.perf_counter()
-    with PoolRunner(jobs) as pool:
-        for x in config.x_values:
-            saved = store.completed(x) if store is not None else None
+    x_values = list(config.x_values)
+    tasks = resolved.tasks(config)
+    expected: Dict[int, int] = {x: 0 for x in x_values}
+    for task in tasks:
+        expected[task.x] += 1
+
+    acc = CampaignAccumulator(
+        [(x, expected[x]) for x in x_values],
+        resolved.aggregate,
+        metric=resolved.metric,
+    )
+    rows_by_x: Dict[int, object] = {}
+    records: Dict[int, PointTiming] = {}
+
+    def handle(done_points: List[CompletedPoint]) -> None:
+        for done in done_points:
+            rows_by_x[done.x] = done.row
+            records[done.x] = _point_timing(done, expected[done.x], jobs_n)
+            if store is not None and not done.resumed:
+                store.record(done.x, asdict(done.row))
+            if progress is not None:
+                line = resolved.format_progress(done.row)
+                progress(line + (" [resumed]" if done.resumed else ""))
+
+    resumed_x = set()
+    if store is not None:
+        for x in x_values:
+            saved = store.completed(x)
             if saved is not None:
-                row = row_type(**saved)
-                rows.append(row)
-                timing.points.append(
-                    PointTiming(
-                        x=x,
-                        graphs=config.graphs_per_point,
-                        wall_s=0.0,
-                        busy_s=0.0,
-                        utilization=0.0,
-                        generate_s=0.0,
-                        analyze_s=0.0,
-                        simulate_s=0.0,
-                        resumed=True,
+                resumed_x.add(x)
+                handle(acc.resume(x, resolved.row_type(**saved)))
+
+    work = [task for task in tasks if task.x not in resumed_x]
+    started = time.perf_counter()
+    map_stats: Optional[MapStats] = None
+    if work:
+        with PoolRunner(jobs) as pool:
+
+            def on_item(index: int, result: object, elapsed: float) -> None:
+                handle(
+                    acc.add(
+                        work[index].x,
+                        result,
+                        elapsed_s=elapsed,
+                        now=time.perf_counter(),
                     )
                 )
-                if progress is not None:
-                    progress(f"{fmt(row)} [resumed]")
-                continue
-            point_tasks = [task for task in tasks if task.x == x]
-            results, stats = pool.map_ordered(
-                partial(run_graph, config), point_tasks
+
+            map_stats = pool.map_consume(
+                partial(resolved.run_graph, config),
+                work,
+                on_item=on_item,
+                heartbeat=heartbeat,
             )
-            row = aggregate(x, results)
-            rows.append(row)
-            timing.points.append(_point_timing(x, results, stats))
-            if store is not None:
-                store.record(x, asdict(row))
-            if progress is not None:
-                progress(fmt(row))
     timing.wall_s = time.perf_counter() - started
+    timing.points = [records[x] for x in x_values]
+    timing.map_stats = map_stats.to_dict() if map_stats is not None else None
+    timing.stream = acc.summary()
+    if store is not None:
+        store.close()
     if progress is not None:
         progress(timing.summary())
-    return rows, timing
+    return [rows_by_x[x] for x in x_values], timing
 
 
-def _point_timing(x: int, results, stats: MapStats) -> PointTiming:
+def _point_timing(
+    done: CompletedPoint, expected: int, jobs: int
+) -> PointTiming:
+    if done.resumed:
+        return PointTiming(
+            x=done.x,
+            graphs=expected,
+            wall_s=0.0,
+            busy_s=0.0,
+            utilization=0.0,
+            generate_s=0.0,
+            analyze_s=0.0,
+            simulate_s=0.0,
+            resumed=True,
+        )
+    utilization = 0.0
+    if done.wall_s > 0.0 and jobs > 0:
+        utilization = min(1.0, done.busy_s / (done.wall_s * jobs))
     return PointTiming(
-        x=x,
-        graphs=len(results),
-        wall_s=stats.wall_s,
-        busy_s=stats.busy_s,
-        utilization=stats.utilization,
-        generate_s=sum(r.timing.generate_s for r in results),
-        analyze_s=sum(r.timing.analyze_s for r in results),
-        simulate_s=sum(r.timing.simulate_s for r in results),
+        x=done.x,
+        graphs=len(done.results),
+        wall_s=done.wall_s,
+        busy_s=done.busy_s,
+        utilization=utilization,
+        generate_s=sum(r.timing.generate_s for r in done.results),
+        analyze_s=sum(r.timing.analyze_s for r in done.results),
+        simulate_s=sum(r.timing.simulate_s for r in done.results),
     )
 
 
-__all__ = ["CampaignTiming", "PointTiming", "run_campaign"]
+__all__ = [
+    "CampaignPart",
+    "CampaignTiming",
+    "PointTiming",
+    "get_part",
+    "register_part",
+    "run_campaign",
+]

@@ -1,13 +1,24 @@
-"""Per-point checkpointing of Fig. 6 campaigns.
+"""Append-only JSONL persistence for campaign runs.
 
-A campaign writes one JSON file, updated after every completed X-axis
-point, so an interrupted sweep resumes from the last completed point
-instead of restarting.  The file is keyed by a fingerprint of
-``(part, config)``: resuming against a different configuration discards
-the stale checkpoint rather than silently mixing incompatible rows.
+A campaign's progress is one JSONL file: a header line naming the
+format and the fingerprint of ``(part, config)``, then one record per
+completed unit.  Appends are **O(1)** — a single newline-terminated
+``os.write`` per record, never a rewrite of what came before — so
+checkpoint cost no longer grows with campaign size, and a kill at any
+byte leaves every previously written record intact.
 
-The JSON is written atomically (temp file + rename) — a kill mid-write
-leaves the previous consistent checkpoint in place.
+Crash tolerance is structural: :class:`JsonlLog.load` scans line by
+line and remembers the offset after the last *complete, parseable*
+line; a torn final line (the one the kill interrupted) is skipped on
+read and truncated away before the next append, so the log never
+accumulates garbage.  A fingerprint mismatch or an unrecognized header
+(including the pre-JSONL whole-file JSON format) simply yields an empty
+log that the first append rewrites fresh.
+
+:class:`CampaignCheckpoint` keeps its point-level API (``load`` /
+``completed`` / ``record`` / ``clear``) on top of :class:`JsonlLog`;
+the shard runner (:mod:`repro.parallel.shard`) reuses the same log
+class so a shard's output file doubles as its own resume log.
 """
 
 from __future__ import annotations
@@ -15,81 +26,218 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Format tag of campaign checkpoint headers.
+CHECKPOINT_FORMAT = "repro-campaign-jsonl/1"
 
 
 def config_fingerprint(part: str, config) -> str:
     """Stable digest of one campaign's identity.
 
     Frozen-dataclass ``repr`` covers every field deterministically, so
-    any change to the preset (X grid, seeds, durations, scenario knobs)
-    changes the fingerprint.
+    any change to the preset (X grid, seeds, durations, scenario knobs,
+    semantics) changes the fingerprint.
     """
     return hashlib.sha256(f"{part}:{config!r}".encode()).hexdigest()
 
 
+class JsonlLog:
+    """An append-only, torn-tail-tolerant JSONL file with a header.
+
+    The first line is a header object that must contain ``format ==
+    expected_format`` and match every ``expected_header`` key; anything
+    else (missing file, legacy format, stale fingerprint, unreadable
+    JSON) loads as empty.  Records are the subsequent lines.
+
+    Appends are single ``write`` calls of a newline-terminated line on
+    an ``O_APPEND`` descriptor.  Before the first append after a load,
+    the file is truncated to the last valid byte (dropping a torn tail)
+    — or rewritten with a fresh header when the existing content was
+    not resumable.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        expected_format: str,
+        header: Dict[str, object],
+    ) -> None:
+        self.path = path
+        self.expected_format = expected_format
+        self.header = {"format": expected_format, **header}
+        self._valid_bytes = 0
+        self._resumable = False
+        self._fd: Optional[int] = None
+        #: The actual header object of the last successful load (it may
+        #: carry keys beyond the expected ones, e.g. a shard index).
+        self.loaded_header: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def load(self) -> List[dict]:
+        """Read every intact record; tolerates a torn final line.
+
+        Also positions the log for appending: subsequent
+        :meth:`append` calls extend the surviving records (or start a
+        fresh file when the header did not match).
+        """
+        self.close()
+        records: List[dict] = []
+        self._valid_bytes = 0
+        self._resumable = False
+        self.loaded_header = None
+        try:
+            with open(self.path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return records
+        offset = 0
+        first = True
+        for line, end in _complete_lines(raw):
+            try:
+                data = json.loads(line)
+            except ValueError:
+                break
+            if not isinstance(data, dict):
+                break
+            if first:
+                if not self._header_matches(data):
+                    return []
+                self.loaded_header = data
+                first = False
+            else:
+                records.append(data)
+            offset = end
+        self._valid_bytes = offset
+        self._resumable = not first and offset > 0
+        return records
+
+    def _header_matches(self, data: dict) -> bool:
+        return all(data.get(key) == value for key, value in self.header.items())
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Persist one record: a single atomic newline-terminated write."""
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._fd is None:
+            self._open_for_append()
+        os.write(self._fd, line.encode("utf-8"))
+
+    def _open_for_append(self) -> None:
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if self._resumable:
+            # Drop the torn tail (if any), keep every intact record.
+            fd = os.open(self.path, os.O_WRONLY)
+            try:
+                os.ftruncate(fd, self._valid_bytes)
+            finally:
+                os.close(fd)
+            self._fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+        else:
+            # Fresh log: write the header via tmp + rename so a kill
+            # mid-header never leaves a half-written first line.
+            tmp = f"{self.path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(self.header, sort_keys=True) + "\n")
+            os.replace(tmp, self.path)
+            self._resumable = True
+            self._fd = os.open(self.path, os.O_WRONLY | os.O_APPEND)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def clear(self) -> None:
+        """Delete the log file."""
+        self.close()
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "JsonlLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _complete_lines(raw: bytes) -> Iterator[Tuple[bytes, int]]:
+    """Yield ``(line, end_offset)`` for every newline-terminated line."""
+    start = 0
+    while True:
+        end = raw.find(b"\n", start)
+        if end < 0:
+            return
+        yield raw[start:end], end + 1
+        start = end + 1
+
+
 class CampaignCheckpoint:
-    """Load/save the per-point progress of one campaign run."""
+    """Per-point resume log of one campaign run (append-only JSONL).
+
+    Each completed X-axis point is one ``{"x": ..., "row": {...}}``
+    record.  ``load()`` is a single forward scan; resident state is one
+    small dict of completed rows — nothing is ever rewritten, so
+    recording point ``N`` costs the same as recording point one.
+    """
 
     def __init__(self, path: str, fingerprint: str) -> None:
         self.path = path
         self.fingerprint = fingerprint
+        self._log = JsonlLog(
+            path,
+            expected_format=CHECKPOINT_FORMAT,
+            header={"fingerprint": fingerprint},
+        )
         self._rows: Dict[str, dict] = {}
-        self._order: List[str] = []
 
     def load(self) -> int:
         """Read the checkpoint; returns the number of resumable points.
 
-        A missing file, unreadable JSON, or a fingerprint mismatch all
-        yield an empty (fresh) checkpoint.
+        A missing file, a legacy/unknown format, or a fingerprint
+        mismatch all yield an empty (fresh) checkpoint; a torn final
+        line loses only that line.
         """
         self._rows = {}
-        self._order = []
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (OSError, ValueError):
-            return 0
-        if data.get("fingerprint") != self.fingerprint:
-            return 0
-        rows = data.get("rows")
-        order = data.get("order")
-        if not isinstance(rows, dict) or not isinstance(order, list):
-            return 0
-        self._rows = rows
-        self._order = [str(x) for x in order]
-        return len(self._order)
+        for record in self._log.load():
+            row = record.get("row")
+            if "x" in record and isinstance(row, dict):
+                self._rows[str(record["x"])] = row
+        return len(self._rows)
 
     def completed(self, x: int) -> Optional[dict]:
         """The saved row dict of point ``x``, or ``None`` if not done."""
         return self._rows.get(str(x))
 
     def record(self, x: int, row: dict) -> None:
-        """Persist point ``x`` as completed (atomic rewrite)."""
+        """Persist point ``x`` as completed (atomic O(1) append)."""
         key = str(x)
         self._rows[key] = row
-        if key not in self._order:
-            self._order.append(key)
-        payload = {
-            "fingerprint": self.fingerprint,
-            "order": self._order,
-            "rows": self._rows,
-        }
-        parent = os.path.dirname(self.path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        tmp = f"{self.path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, self.path)
+        self._log.append({"x": x, "row": row})
+
+    def close(self) -> None:
+        self._log.close()
 
     def clear(self) -> None:
         """Delete the checkpoint file (after a campaign completes)."""
-        try:
-            os.remove(self.path)
-        except OSError:
-            pass
+        self._rows = {}
+        self._log.clear()
 
 
-__all__ = ["CampaignCheckpoint", "config_fingerprint"]
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CampaignCheckpoint",
+    "JsonlLog",
+    "config_fingerprint",
+]

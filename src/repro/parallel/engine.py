@@ -1,18 +1,38 @@
-"""Deterministic process-pool map with chunking and utilization stats.
+"""Deterministic process-pool map with adaptive chunking and stats.
 
 The primitive under the parallel experiment engine: apply a picklable
-function to a list of items across worker processes and return the
-results **in input order**, no matter which worker finished first.
-Because every Fig. 6 graph task carries its own pre-derived seed (see
-:func:`repro.experiments.fig6.graph_tasks`), order-preserving collection
-is all it takes for ``jobs=1`` and ``jobs=N`` to produce bit-identical
-output.
+function to a sequence of items across worker processes and deliver the
+results keyed by **input index**, no matter which worker finished
+first.  Because every Fig. 6 graph task carries its own pre-derived
+seed (see :func:`repro.experiments.fig6.graph_tasks`), index-keyed
+collection is all it takes for ``jobs=1`` and ``jobs=N`` to produce
+bit-identical output.
 
-Items are dispatched in chunks (several items per pickle round-trip) to
-amortize IPC overhead on short tasks, and every item's wall time is
-measured inside the worker so the caller can report worker utilization
-(busy time / (wall time × workers)) — the honest number for judging
-whether a sweep is IPC-bound or compute-bound.
+Two consumption modes share one dispatch core:
+
+* :meth:`PoolRunner.map_ordered` returns the full result list in input
+  order — the right shape for small fan-outs (restart searches, sweep
+  candidates).
+* :meth:`PoolRunner.map_consume` delivers each result to a callback as
+  it completes and retains **nothing** — the campaign engine folds
+  results into bounded accumulators this way, so resident memory stays
+  O(items in flight) even on million-scenario campaigns.
+
+Items are dispatched in chunks (several items per pickle round-trip)
+to amortize IPC overhead on short tasks.  Unless a fixed
+``chunk_size`` is requested, chunk sizes *adapt*: the runner starts
+small, measures per-item wall time inside the workers, and resizes
+subsequent chunks toward ``chunk_target_s`` seconds of work each —
+long items get chunk size 1 (maximum stealing), sub-millisecond items
+get batched hundreds at a time.  At most two chunks per worker are in
+flight, so a cost cliff mid-campaign never strands a stale chunk size.
+
+Every item's wall time is measured inside the worker so the caller can
+report worker utilization (busy time / (wall time × workers)) — the
+honest number for judging whether a sweep is IPC-bound or
+compute-bound.  A ``heartbeat`` hook observes the running
+:class:`MapStats` after every chunk, which is what feeds the live
+``--progress`` line of campaign runs.
 """
 
 from __future__ import annotations
@@ -26,6 +46,12 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 Item = TypeVar("Item")
 Result = TypeVar("Result")
 
+#: Seconds of work the adaptive dispatcher aims to pack per chunk.
+DEFAULT_CHUNK_TARGET_S = 0.2
+
+#: Upper bound on an adaptive chunk (keeps pickles and latency sane).
+MAX_ADAPTIVE_CHUNK = 256
+
 
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Resolve a ``--jobs`` value: ``None``/``0`` means every CPU."""
@@ -35,11 +61,12 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 def default_chunk_size(n_items: int, jobs: int) -> int:
-    """A chunk size keeping roughly four chunks in flight per worker.
+    """A fixed chunk size keeping roughly four chunks per worker.
 
-    Small enough for load balancing (a slow graph does not strand a
-    whole chunk's worth of siblings behind it), large enough that the
-    per-chunk pickle round-trip stays amortized.
+    This is the non-adaptive fallback (and the documented meaning of an
+    explicit ``chunk_size=None`` before adaptive dispatch existed):
+    small enough for load balancing, large enough that the per-chunk
+    pickle round-trip stays amortized.
     """
     if jobs <= 1:
         return max(1, n_items)
@@ -60,16 +87,23 @@ def _run_chunk(
 
 @dataclass
 class MapStats:
-    """Observability record of one :meth:`PoolRunner.map_ordered` call."""
+    """Observability record of one :class:`PoolRunner` map call."""
 
     jobs: int
     n_items: int = 0
     n_chunks: int = 0
+    #: Items delivered so far (== ``n_items`` once the map returns).
+    completed: int = 0
     wall_s: float = 0.0
     #: Summed in-worker wall time of every item (CPU-side busy time).
     busy_s: float = 0.0
-    #: Per-item in-worker seconds, in input order.
+    #: Per-item in-worker seconds, in input order (``map_ordered``
+    #: only; ``map_consume`` leaves it empty and hands the per-item
+    #: time to the callback instead).
     item_s: List[float] = field(default_factory=list)
+    #: Smallest / largest chunk the adaptive dispatcher actually sent.
+    chunk_min: int = 0
+    chunk_max: int = 0
 
     @property
     def utilization(self) -> float:
@@ -86,23 +120,39 @@ class MapStats:
             "wall_s": round(self.wall_s, 6),
             "busy_s": round(self.busy_s, 6),
             "utilization": round(self.utilization, 4),
+            "chunk_min": self.chunk_min,
+            "chunk_max": self.chunk_max,
         }
 
 
 class PoolRunner:
-    """A reusable worker pool with an order-preserving chunked map.
+    """A reusable worker pool with deterministic chunked maps.
 
     With ``jobs=1`` no processes are spawned and the map runs inline —
     the degenerate case shares every code path except the executor, so
     serial/parallel parity is structural, not coincidental.  Use as a
-    context manager; one runner can serve many ``map_ordered`` calls
-    (the Fig. 6 campaign reuses it across X-axis points so workers are
-    forked once per sweep, not once per point).
+    context manager; one runner can serve many map calls (the Fig. 6
+    campaign reuses it across the whole sweep so workers are forked
+    once, not once per point).
+
+    Args:
+        jobs: Worker processes (``0``/negative resolve to every CPU).
+        chunk_size: Pin a fixed chunk size (disables adaptation).
+        chunk_target_s: Seconds of work the adaptive dispatcher packs
+            per chunk; chunk sizes are re-derived from observed
+            per-item wall times as the map runs.
     """
 
-    def __init__(self, jobs: int = 1, *, chunk_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        chunk_size: Optional[int] = None,
+        chunk_target_s: float = DEFAULT_CHUNK_TARGET_S,
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
         self._chunk_size = chunk_size
+        self._chunk_target_s = chunk_target_s
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def __enter__(self) -> "PoolRunner":
@@ -115,12 +165,17 @@ class PoolRunner:
             self._executor.shutdown(wait=True)
             self._executor = None
 
+    # ------------------------------------------------------------------
+    # public maps
+    # ------------------------------------------------------------------
+
     def map_ordered(
         self,
         fn: Callable[[Item], Result],
         items: Sequence[Item],
         *,
         on_item: Optional[Callable[[int, Result], None]] = None,
+        heartbeat: Optional[Callable[[MapStats], None]] = None,
     ) -> Tuple[List[Result], MapStats]:
         """Apply ``fn`` to every item; results come back in input order.
 
@@ -131,50 +186,142 @@ class PoolRunner:
             on_item: Optional progress hook called as ``(index, result)``
                 in **completion** order (use only for reporting — the
                 returned list is always in input order).
+            heartbeat: Optional hook observing the running
+                :class:`MapStats` after every completed chunk.
         """
-        stats = MapStats(jobs=self.jobs, n_items=len(items))
-        started = time.perf_counter()
-        indexed = list(enumerate(items))
-        chunk_size = self._chunk_size or default_chunk_size(
-            len(items), self.jobs
-        )
-        chunks = [
-            indexed[i : i + chunk_size]
-            for i in range(0, len(indexed), chunk_size)
-        ]
-        stats.n_chunks = len(chunks)
         results: List[Optional[Result]] = [None] * len(items)
         timings: List[float] = [0.0] * len(items)
 
-        if self._executor is None:
-            for chunk in chunks:
-                for index, result, elapsed in _run_chunk(fn, chunk):
-                    results[index] = result
-                    timings[index] = elapsed
-                    stats.busy_s += elapsed
-                    if on_item is not None:
-                        on_item(index, result)
-        else:
-            pending = {
-                self._executor.submit(_run_chunk, fn, chunk)
-                for chunk in chunks
-            }
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    for index, result, elapsed in future.result():
-                        results[index] = result
-                        timings[index] = elapsed
-                        stats.busy_s += elapsed
-                        if on_item is not None:
-                            on_item(index, result)
+        def deliver(index: int, result: Result, elapsed: float) -> None:
+            results[index] = result
+            timings[index] = elapsed
+            if on_item is not None:
+                on_item(index, result)
 
-        stats.wall_s = time.perf_counter() - started
+        stats = self._dispatch(fn, items, deliver, heartbeat)
         stats.item_s = timings
         return results, stats  # type: ignore[return-value]
 
+    def map_consume(
+        self,
+        fn: Callable[[Item], Result],
+        items: Sequence[Item],
+        *,
+        on_item: Callable[[int, Result, float], None],
+        heartbeat: Optional[Callable[[MapStats], None]] = None,
+    ) -> MapStats:
+        """Apply ``fn`` to every item, retaining **no** results.
+
+        Each completion is handed to ``on_item(index, result,
+        elapsed_s)`` — in completion order — and then dropped, so the
+        runner's resident memory is bounded by the chunks in flight
+        regardless of how many items the map covers.  The campaign
+        engine folds results into per-point accumulators this way.
+        """
+        return self._dispatch(fn, items, on_item, heartbeat)
+
+    # ------------------------------------------------------------------
+    # dispatch core
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        fn: Callable[[Item], Result],
+        items: Sequence[Item],
+        deliver: Callable[[int, Result, float], None],
+        heartbeat: Optional[Callable[[MapStats], None]],
+    ) -> MapStats:
+        stats = MapStats(jobs=self.jobs, n_items=len(items))
+        started = time.perf_counter()
+
+        def account_chunk(
+            chunk_results: List[Tuple[int, Result, float]]
+        ) -> None:
+            stats.n_chunks += 1
+            for index, result, elapsed in chunk_results:
+                stats.busy_s += elapsed
+                stats.completed += 1
+                deliver(index, result, elapsed)
+            stats.wall_s = time.perf_counter() - started
+            if heartbeat is not None:
+                heartbeat(stats)
+
+        if self._executor is None:
+            # Inline: one item at a time is both the simplest and the
+            # most responsive chunking (no IPC to amortize).
+            size = self._chunk_size or 1
+            stats.chunk_min = stats.chunk_max = min(size, len(items)) or 0
+            indexed = list(enumerate(items))
+            for start in range(0, len(indexed), size):
+                account_chunk(_run_chunk(fn, indexed[start : start + size]))
+        else:
+            self._dispatch_pool(fn, items, stats, account_chunk)
+
+        stats.wall_s = time.perf_counter() - started
+        return stats
+
+    def _dispatch_pool(
+        self,
+        fn: Callable[[Item], Result],
+        items: Sequence[Item],
+        stats: MapStats,
+        account_chunk: Callable[[List[Tuple[int, Result, float]]], None],
+    ) -> None:
+        """Chunked pool dispatch with observed-timing chunk resizing."""
+        assert self._executor is not None
+        indexed = list(enumerate(items))
+        n = len(indexed)
+        cursor = 0
+        ewma_item_s: Optional[float] = None
+
+        def next_size(remaining: int) -> int:
+            if self._chunk_size is not None:
+                return self._chunk_size
+            if ewma_item_s is None:
+                # Cold start: small chunks so timings arrive quickly.
+                return max(1, min(4, remaining // (self.jobs * 4) or 1))
+            size = int(self._chunk_target_s / max(ewma_item_s, 1e-9))
+            # Never let the tail collapse onto too few workers.
+            fair = max(1, remaining // (self.jobs * 2))
+            return max(1, min(size or 1, fair, MAX_ADAPTIVE_CHUNK))
+
+        def submit_one():
+            nonlocal cursor
+            size = next_size(n - cursor)
+            chunk = indexed[cursor : cursor + size]
+            cursor += len(chunk)
+            stats.chunk_min = (
+                len(chunk)
+                if stats.chunk_min == 0
+                else min(stats.chunk_min, len(chunk))
+            )
+            stats.chunk_max = max(stats.chunk_max, len(chunk))
+            return self._executor.submit(_run_chunk, fn, chunk)
+
+        pending = set()
+        while cursor < n and len(pending) < self.jobs * 2:
+            pending.add(submit_one())
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk_results = future.result()
+                if chunk_results and self._chunk_size is None:
+                    mean = sum(r[2] for r in chunk_results) / len(
+                        chunk_results
+                    )
+                    ewma_item_s = (
+                        mean
+                        if ewma_item_s is None
+                        else 0.7 * ewma_item_s + 0.3 * mean
+                    )
+                account_chunk(chunk_results)
+            while cursor < n and len(pending) < self.jobs * 2:
+                pending.add(submit_one())
+
 
 __all__ = [
+    "DEFAULT_CHUNK_TARGET_S",
+    "MAX_ADAPTIVE_CHUNK",
     "MapStats",
     "PoolRunner",
     "default_chunk_size",

@@ -1,0 +1,250 @@
+"""Scenario-space sharding: split a campaign, merge to identical bytes.
+
+A campaign's scenario space is its task list — every ``(x, replica,
+seed)`` triple, seeds pre-derived from the config in a fixed order (see
+:func:`repro.experiments.fig6.graph_tasks`).  A :class:`ShardSpec`
+partitions that list by **global ordinal**: shard ``i`` of ``n`` owns
+every task whose list position satisfies ``ordinal % n == i``.  The
+partition is a pure function of ``(config, shard spec)`` — no
+coordination, no shared state — so shards can run on separate machines
+and at different times.
+
+:func:`run_shard` executes one shard and writes its per-graph results
+to a JSONL file (header + one record per graph).  The file doubles as
+the shard's own resume log: re-running against a partial file skips the
+graphs already recorded, tolerating a torn final line exactly like the
+campaign checkpoint.
+
+:func:`merge_shards` reads any permutation of the shard files,
+verifies they cover the whole task list, regroups results per X value
+and applies the part's **exact** aggregation fold — the same callable,
+over the same floats (JSON round-trips Python floats losslessly), in
+the same replica order a serial run uses.  The merged rows, and the CSV
+rendered from them, are therefore byte-identical to ``--jobs 1``; the
+golden and hypothesis suites enforce this for arbitrary shard counts
+and orders.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.parallel.campaign import CampaignPart, get_part
+from repro.parallel.checkpoint import JsonlLog, config_fingerprint
+from repro.parallel.engine import MapStats, PoolRunner
+
+#: Format tag of shard result file headers.
+SHARD_FORMAT = "repro-shard-jsonl/1"
+
+_SPEC_RE = re.compile(r"^(\d+)/(\d+)$")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One slice of a campaign's scenario space: ``shard_index/shard_count``.
+
+    Ownership is round-robin over global task ordinals, so every shard
+    receives a near-equal share of *every* X-axis point — the work of a
+    shard is balanced even when per-point costs vary wildly along the
+    sweep.
+    """
+
+    shard_index: int
+    shard_count: int
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {self.shard_count}")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"shard_index must be in [0, {self.shard_count}), "
+                f"got {self.shard_index}"
+            )
+
+    def owns(self, ordinal: int) -> bool:
+        """Whether this shard runs the task at global position ``ordinal``."""
+        return ordinal % self.shard_count == self.shard_index
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI spelling ``"INDEX/COUNT"`` (e.g. ``"0/4"``)."""
+        match = _SPEC_RE.match(text.strip())
+        if match is None:
+            raise ValueError(
+                f"invalid shard spec {text!r}; expected INDEX/COUNT, e.g. 0/4"
+            )
+        return cls(shard_index=int(match.group(1)), shard_count=int(match.group(2)))
+
+    def __str__(self) -> str:
+        return f"{self.shard_index}/{self.shard_count}"
+
+
+@dataclass
+class ShardRunReport:
+    """What one :func:`run_shard` call did."""
+
+    shard: ShardSpec
+    path: str
+    n_owned: int
+    n_resumed: int
+    n_run: int
+    map_stats: Optional[dict] = None
+
+    def summary(self) -> str:
+        wall = (self.map_stats or {}).get("wall_s", 0.0)
+        note = f", {self.n_resumed} resumed" if self.n_resumed else ""
+        return (
+            f"shard {self.shard}: {self.n_run}/{self.n_owned} graph(s) "
+            f"run in {wall:.2f}s{note} -> {self.path}"
+        )
+
+
+def _shard_log(
+    path: str, part: CampaignPart, config, shard: Optional[ShardSpec]
+) -> JsonlLog:
+    header: Dict[str, object] = {
+        "part": part.name,
+        "fingerprint": config_fingerprint(part.name, config),
+    }
+    if shard is not None:
+        header["shard_index"] = shard.shard_index
+        header["shard_count"] = shard.shard_count
+    return JsonlLog(path, expected_format=SHARD_FORMAT, header=header)
+
+
+def run_shard(
+    part: Union[str, CampaignPart],
+    config,
+    shard: ShardSpec,
+    out_path: str,
+    *,
+    jobs: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    heartbeat: Optional[Callable[[MapStats], None]] = None,
+) -> ShardRunReport:
+    """Run one shard of a campaign, appending per-graph results to JSONL.
+
+    The output file is also the resume log: when it already holds a
+    compatible header (same part, config fingerprint and shard spec),
+    recorded graphs are skipped and fresh results are appended — so a
+    killed shard run continues where it stopped.  Results are appended
+    in completion order; order never matters downstream because
+    :func:`merge_shards` regroups by ordinal.
+    """
+    resolved = get_part(part)
+    tasks = resolved.tasks(config)
+    owned: List[Tuple[int, object]] = [
+        (ordinal, task)
+        for ordinal, task in enumerate(tasks)
+        if shard.owns(ordinal)
+    ]
+    log = _shard_log(out_path, resolved, config, shard)
+    done = {record["ordinal"] for record in log.load() if "ordinal" in record}
+    work = [(ordinal, task) for ordinal, task in owned if ordinal not in done]
+    if progress is not None and done:
+        progress(f"shard {shard}: {len(done)} recorded graph(s) found")
+
+    map_stats: Optional[MapStats] = None
+    if work:
+        with PoolRunner(jobs) as pool:
+
+            def on_item(index: int, result: object, elapsed: float) -> None:
+                ordinal, task = work[index]
+                log.append(
+                    {
+                        "ordinal": ordinal,
+                        "x": task.x,
+                        "graph_index": task.graph_index,
+                        "result": asdict(result),
+                    }
+                )
+
+            map_stats = pool.map_consume(
+                partial(resolved.run_graph, config),
+                [task for _, task in work],
+                on_item=on_item,
+                heartbeat=heartbeat,
+            )
+    log.close()
+    report = ShardRunReport(
+        shard=shard,
+        path=out_path,
+        n_owned=len(owned),
+        n_resumed=len(done),
+        n_run=len(work),
+        map_stats=map_stats.to_dict() if map_stats is not None else None,
+    )
+    if progress is not None:
+        progress(report.summary())
+    return report
+
+
+def merge_shards(
+    part: Union[str, CampaignPart],
+    config,
+    shard_paths: Sequence[str],
+) -> list:
+    """Merge shard result files into the campaign's rows — exact bytes.
+
+    Accepts the shard files in **any order** and from **any shard
+    count** (all files must agree on it); validates that together they
+    cover every task of the campaign, then applies the part's
+    aggregation fold per X value over replica-ordered results — the
+    identical float operations a serial run performs, so
+    ``part.to_csv(rows)`` is byte-identical to a ``--jobs 1`` run.
+
+    Raises:
+        ValueError: A file is not a shard file of this ``(part,
+            config)``, shard counts disagree, or tasks are missing
+            (the message names the absent shard indices).
+    """
+    resolved = get_part(part)
+    tasks = resolved.tasks(config)
+    records: Dict[int, dict] = {}
+    shard_count: Optional[int] = None
+    for path in shard_paths:
+        log = _shard_log(path, resolved, config, shard=None)
+        rows = log.load()
+        header = log.loaded_header
+        if header is None:
+            raise ValueError(
+                f"{path}: not a shard result file of part "
+                f"{resolved.name!r} with this config (wrong or torn header)"
+            )
+        count = header.get("shard_count")
+        if shard_count is None:
+            shard_count = count if isinstance(count, int) else None
+        elif count != shard_count:
+            raise ValueError(
+                f"{path}: shard_count {count} disagrees with {shard_count} "
+                f"from earlier files"
+            )
+        for record in rows:
+            ordinal = record.get("ordinal")
+            if isinstance(ordinal, int) and 0 <= ordinal < len(tasks):
+                records[ordinal] = record
+    missing = [o for o in range(len(tasks)) if o not in records]
+    if missing:
+        absent = sorted(
+            {o % shard_count for o in missing} if shard_count else {-1}
+        )
+        raise ValueError(
+            f"merge incomplete: {len(missing)} of {len(tasks)} graph(s) "
+            f"missing (shard index(es) {absent} absent or partial)"
+        )
+    by_x: Dict[int, List[object]] = {x: [] for x in config.x_values}
+    for ordinal, task in enumerate(tasks):
+        by_x[task.x].append(resolved.decode_result(records[ordinal]["result"]))
+    return [resolved.aggregate(x, by_x[x]) for x in config.x_values]
+
+
+__all__ = [
+    "SHARD_FORMAT",
+    "ShardRunReport",
+    "ShardSpec",
+    "merge_shards",
+    "run_shard",
+]

@@ -28,6 +28,14 @@ optimization work:
   :meth:`~repro.sim.batch.CompiledScenario.with_offsets` views of one
   compiled scenario versus a fresh compile per candidate (the
   offset-sweep cost model before delta compilation).
+* :func:`bench_campaign_kernel` measures the streaming campaign engine
+  (:func:`repro.parallel.campaign.run_campaign` — single adaptive map,
+  bounded accumulators, append-only JSONL checkpoint) against a
+  faithful reproduction of the legacy per-point loop (per-point task
+  filter, per-point barriers, whole-document checkpoint rewrite) on a
+  points-heavy synthetic campaign, rows asserted identical; the entry
+  also records the streaming arm's measured peak result residency next
+  to the legacy arm's whole-campaign row dict.
 * :func:`bench_analysis_scaling` measures the *per-chain* cost of the
   backward-bounds analysis on diamond-ladder graphs whose chain count
   doubles per rung; the DAG-shared prefix DP
@@ -51,6 +59,7 @@ import json
 import pstats
 import random
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -651,6 +660,279 @@ def bench_structural_kernel(
 
 
 # ----------------------------------------------------------------------
+# streaming campaign engine vs the legacy per-point loop
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _BenchStage:
+    """Per-graph stage split of the synthetic campaign part."""
+
+    generate_s: float
+    analyze_s: float
+    simulate_s: float
+
+
+@dataclass(frozen=True)
+class _BenchResult:
+    """One graph of the synthetic campaign: id, observed, bound."""
+
+    x: int
+    graph_index: int
+    seed: int
+    sim_ms: float
+    s_diff_ms: float
+    timing: _BenchStage
+
+
+@dataclass(frozen=True)
+class _BenchRow:
+    """One point (X value) of the synthetic campaign."""
+
+    x: int
+    sim_ms: float
+    s_diff_ms: float
+
+
+@dataclass(frozen=True)
+class _BenchCampaignConfig:
+    """Points-heavy campaign shape: X is a point id, not a size knob.
+
+    The Fig. 6 parts sweep structural sizes along X, so a
+    10^4-scenario campaign there would mean enormous graphs.  The
+    benchmark part instead holds the scenario size fixed
+    (``n_tasks``) and makes X a plain point index — the many-points /
+    cheap-points shape where per-point engine overhead (task filtering,
+    checkpoint rewriting, pool barriers) is measurable against real
+    generate/analyze/simulate work.
+    """
+
+    x_values: Tuple[int, ...]
+    graphs_per_point: int = 1
+    sims_per_graph: int = 4
+    duration_s: float = 0.2
+    n_tasks: int = 5
+    seed: int = 2023
+
+
+def _bench_campaign_tasks(config: _BenchCampaignConfig):
+    from repro.experiments.fig6 import GraphTask
+    from repro.gen.scenario import derive_seed
+
+    root = random.Random(config.seed)
+    tasks = []
+    for x in config.x_values:
+        for graph_index in range(config.graphs_per_point):
+            tasks.append(
+                GraphTask(x=x, graph_index=graph_index, seed=derive_seed(root))
+            )
+    return tasks
+
+
+def _bench_campaign_run_graph(config: _BenchCampaignConfig, task):
+    """Generate + analyze + simulate one fixed-size graph (pure)."""
+    from repro.api import AnalysisSession
+    from repro.gen import generate_random_scenario
+    from repro.units import seconds, to_ms
+
+    rng = random.Random(task.seed)
+    t0 = time.perf_counter()
+    scenario = generate_random_scenario(config.n_tasks, rng)
+    t1 = time.perf_counter()
+    session = AnalysisSession(scenario.system)
+    s_diff = to_ms(session.disparity(scenario.sink))
+    t2 = time.perf_counter()
+    duration = seconds(config.duration_s)
+    sim = to_ms(
+        session.observed_disparity(
+            scenario.sink,
+            sims=config.sims_per_graph,
+            duration=duration,
+            warmup=duration // 4,
+            rng=rng,
+        )
+    )
+    t3 = time.perf_counter()
+    return _BenchResult(
+        x=task.x,
+        graph_index=task.graph_index,
+        seed=task.seed,
+        sim_ms=sim,
+        s_diff_ms=s_diff,
+        timing=_BenchStage(t1 - t0, t2 - t1, t3 - t2),
+    )
+
+
+def _bench_campaign_aggregate(x: int, results) -> _BenchRow:
+    ordered = sorted(results, key=lambda r: r.graph_index)
+    return _BenchRow(
+        x=x,
+        sim_ms=sum(r.sim_ms for r in ordered) / len(ordered),
+        s_diff_ms=sum(r.s_diff_ms for r in ordered) / len(ordered),
+    )
+
+
+def _bench_campaign_decode(data: dict) -> _BenchResult:
+    data = dict(data)
+    data["timing"] = _BenchStage(**data["timing"])
+    return _BenchResult(**data)
+
+
+def _bench_campaign_format(row: _BenchRow) -> str:
+    return f"x={row.x}: Sim={row.sim_ms:.1f}ms S-diff={row.s_diff_ms:.1f}ms"
+
+
+def _bench_campaign_csv(rows) -> str:
+    lines = ["x,sim_ms,s_diff_ms"]
+    lines += [f"{r.x},{r.sim_ms:.6f},{r.s_diff_ms:.6f}" for r in rows]
+    return "\n".join(lines) + "\n"
+
+
+def _bench_campaign_metric(result) -> float:
+    return result.sim_ms
+
+
+def bench_campaign_part():
+    """The synthetic points-heavy campaign as a :class:`CampaignPart`."""
+    from repro.parallel.campaign import CampaignPart
+
+    return CampaignPart(
+        name="bench",
+        tasks=_bench_campaign_tasks,
+        run_graph=_bench_campaign_run_graph,
+        aggregate=_bench_campaign_aggregate,
+        row_type=_BenchRow,
+        result_type=_BenchResult,
+        decode_result=_bench_campaign_decode,
+        format_progress=_bench_campaign_format,
+        to_csv=_bench_campaign_csv,
+        metric=_bench_campaign_metric,
+    )
+
+
+def _legacy_campaign(config: _BenchCampaignConfig, checkpoint_path: Path):
+    """The pre-streaming campaign loop, faithfully reproduced.
+
+    One pool ``map_ordered`` barrier per point over tasks selected by a
+    linear filter of the full task list (O(points² × graphs) across the
+    campaign), one result list per point, and — after every point — an
+    atomic rewrite of the *entire* checkpoint document in the old
+    whole-file JSON format (O(points²) bytes across the campaign).
+    This is the arm the streaming engine is measured against.
+    """
+    import os
+
+    from repro.parallel.checkpoint import config_fingerprint
+    from repro.parallel.engine import PoolRunner
+
+    tasks = _bench_campaign_tasks(config)
+    rows = []
+    saved_rows: Dict[str, dict] = {}
+    order: List[str] = []
+    fingerprint = config_fingerprint("bench", config)
+    from dataclasses import asdict
+    from functools import partial
+
+    with PoolRunner(1) as pool:
+        for x in config.x_values:
+            point_tasks = [task for task in tasks if task.x == x]
+            results, _stats = pool.map_ordered(
+                partial(_bench_campaign_run_graph, config), point_tasks
+            )
+            row = _bench_campaign_aggregate(x, results)
+            rows.append(row)
+            key = str(x)
+            saved_rows[key] = asdict(row)
+            order.append(key)
+            payload = {
+                "fingerprint": fingerprint,
+                "order": order,
+                "rows": saved_rows,
+            }
+            tmp = f"{checkpoint_path}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, str(checkpoint_path))
+    return rows
+
+
+def bench_campaign_kernel(
+    *,
+    points: int = 1250,
+    graphs_per_point: int = 1,
+    sims_per_graph: int = 8,
+    duration_s: float = 0.2,
+    n_tasks: int = 5,
+    seed: int = 2023,
+) -> Dict[str, Any]:
+    """Streaming campaign engine vs the legacy per-point loop, paired.
+
+    Runs the same points-heavy campaign (``points × graphs_per_point ×
+    sims_per_graph`` simulated scenarios, checkpointing enabled in both
+    arms) twice on one worker: once through the legacy loop
+    (:func:`_legacy_campaign` — per-point task filter, per-point result
+    lists, whole-document checkpoint rewrite after every point) and
+    once through the streaming engine
+    (:func:`repro.parallel.campaign.run_campaign` — single adaptive
+    map, bounded accumulators, O(1) JSONL appends).  Rows are asserted
+    identical, the walls and their ratio are reported, and the
+    streaming arm's **measured** peak residency
+    (``peak_in_flight_results`` from the accumulator, vs the legacy
+    arm's whole-campaign row dict) is recorded — the bounded-memory
+    evidence next to the throughput claim.
+    """
+    import tempfile
+
+    from repro.parallel.campaign import run_campaign
+
+    config = _BenchCampaignConfig(
+        x_values=tuple(range(points)),
+        graphs_per_point=graphs_per_point,
+        sims_per_graph=sims_per_graph,
+        duration_s=duration_s,
+        n_tasks=n_tasks,
+        seed=seed,
+    )
+    part = bench_campaign_part()
+    with tempfile.TemporaryDirectory() as tmpdir:
+        start = time.perf_counter()
+        legacy_rows = _legacy_campaign(config, Path(tmpdir) / "legacy.ckpt")
+        legacy_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        stream_rows, timing = run_campaign(
+            part,
+            config,
+            jobs=1,
+            checkpoint=str(Path(tmpdir) / "stream.ckpt"),
+        )
+        streaming_s = time.perf_counter() - start
+    if stream_rows != legacy_rows:
+        raise AssertionError(
+            "streaming campaign rows diverged from the legacy loop"
+        )
+    stream = timing.stream or {}
+    scenarios = points * graphs_per_point * sims_per_graph
+    return {
+        "points": points,
+        "graphs_per_point": graphs_per_point,
+        "sims_per_graph": sims_per_graph,
+        "n_tasks": n_tasks,
+        "duration_s": duration_s,
+        "scenarios": scenarios,
+        "legacy_s": round(legacy_s, 4),
+        "streaming_s": round(streaming_s, 4),
+        "speedup": round(legacy_s / streaming_s, 2) if streaming_s else 0.0,
+        "scenarios_per_s": round(
+            scenarios / streaming_s, 1
+        ) if streaming_s else 0.0,
+        "peak_in_flight_results": stream.get("peak_in_flight_results", 0),
+        "peak_points_open": stream.get("peak_points_open", 0),
+        "legacy_resident_rows": points,
+    }
+
+
+# ----------------------------------------------------------------------
 # analysis scaling (prefix-shared backward bounds)
 # ----------------------------------------------------------------------
 
@@ -749,7 +1031,8 @@ def bench_analysis_scaling(
 
 #: Benchmark sections of :func:`run_benchmarks`, in document order.
 KERNELS = (
-    "sim", "batch", "let", "columnar", "delta", "structural", "analysis"
+    "sim", "batch", "let", "columnar", "delta", "structural", "campaign",
+    "analysis",
 )
 
 
@@ -808,6 +1091,12 @@ def run_benchmarks(
             bench_structural_kernel(candidates=24, repeats=2)
             if quick
             else bench_structural_kernel()
+        )
+    if "campaign" in kernels:
+        document["campaign"] = (
+            bench_campaign_kernel(points=120, sims_per_graph=2)
+            if quick
+            else bench_campaign_kernel()
         )
     if "analysis" in kernels:
         document["analysis"] = (
@@ -876,6 +1165,17 @@ def format_benchmarks(results: Dict[str, Any]) -> str:
             f" {structural['view_s']:.2f}s via views"
             f"  ({structural['speedup']:.2f}x, "
             f"{structural['candidates_per_s']:,.1f} cands/s)"
+        )
+    campaign = results.get("campaign")
+    if campaign is not None:
+        lines.append(
+            f"campaign     {campaign['scenarios']:>9} scens"
+            f"  {campaign['legacy_s']:.2f}s legacy loop ->"
+            f" {campaign['streaming_s']:.2f}s streaming"
+            f"  ({campaign['speedup']:.2f}x, "
+            f"{campaign['scenarios_per_s']:,.1f} scens/s, "
+            f"peak {campaign['peak_in_flight_results']} results in flight "
+            f"vs {campaign['legacy_resident_rows']} resident rows)"
         )
     for row in results.get("analysis", ()):
         lines.append(
@@ -985,6 +1285,25 @@ def compare_to_baseline(
         if cur_speedup < base_speedup * (1.0 - tolerance):
             regressions.append(
                 f"structural-view speedup {cur_speedup:.2f}x is "
+                f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
+                f"committed {base_speedup:.2f}x"
+            )
+    cur_campaign = current.get("campaign")
+    base_campaign = baseline.get("campaign")
+    if (
+        cur_campaign is not None
+        and base_campaign is not None
+        # The legacy loop's overhead is quadratic in the point count, so
+        # the ratio is only comparable at the same campaign shape (the
+        # quick shape is much smaller than the committed full shape).
+        and cur_campaign["points"] == base_campaign["points"]
+        and cur_campaign["sims_per_graph"] == base_campaign["sims_per_graph"]
+    ):
+        cur_speedup = cur_campaign["speedup"]
+        base_speedup = base_campaign["speedup"]
+        if cur_speedup < base_speedup * (1.0 - tolerance):
+            regressions.append(
+                f"streaming campaign speedup {cur_speedup:.2f}x is "
                 f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
                 f"committed {base_speedup:.2f}x"
             )

@@ -139,6 +139,44 @@ class TestSimulation:
         assert buffered.response_times() is session.response_times()
 
 
+class TestObservedStats:
+    def test_exact_fields_match_observed_batch(self, session, scenario):
+        # Chunked streaming consumes the same generator stream as one
+        # big batch, so count/max/min are exactly the batch's values
+        # even when sims is not a multiple of the chunk size.
+        batch = session.observed_batch(
+            scenario.sink, sims=7, duration=seconds(2), rng=random.Random(9)
+        )
+        summary = session.observed_stats(
+            scenario.sink, sims=7, duration=seconds(2),
+            rng=random.Random(9), chunk=3,
+        )
+        assert summary["count"] == batch.sims == 7
+        assert summary["max"] == batch.max_disparity
+        assert summary["min"] == min(batch.disparities)
+        assert summary["mean"] == pytest.approx(
+            sum(batch.disparities) / batch.sims
+        )
+        assert set(summary["quantiles"]) == {"p50", "p90", "p99"}
+
+    def test_zero_sims_yields_empty_summary(self, session, scenario):
+        summary = session.observed_stats(
+            scenario.sink, sims=0, duration=seconds(2)
+        )
+        assert summary["count"] == 0
+        assert "max" not in summary
+
+    def test_validation(self, session, scenario):
+        with pytest.raises(ValueError):
+            session.observed_stats(
+                scenario.sink, sims=-1, duration=seconds(2)
+            )
+        with pytest.raises(ValueError):
+            session.observed_stats(
+                scenario.sink, sims=1, duration=seconds(2), chunk=0
+            )
+
+
 class TestShimRemoval:
     """The PR-1 deprecation shims are gone after two releases of warning."""
 

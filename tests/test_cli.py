@@ -28,6 +28,35 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig6", "--preset", "huge"])
 
+    def test_fig6_semantics_option(self):
+        args = build_parser().parse_args(["fig6", "--semantics", "let"])
+        assert args.semantics == "let"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--semantics", "banana"])
+
+    def test_campaign_run_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "--part", "ab", "--preset", "smoke",
+             "--shard", "1/3", "--out", "s1.jsonl", "--jobs", "2"]
+        )
+        assert args.campaign_command == "run"
+        assert args.shard == "1/3"
+        assert args.out == "s1.jsonl"
+        assert args.jobs == 2
+
+    def test_campaign_run_requires_shard_and_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run", "--part", "ab"])
+
+    def test_campaign_merge_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "merge", "--part", "ab", "a.jsonl", "b.jsonl",
+             "--csv", "out.csv"]
+        )
+        assert args.campaign_command == "merge"
+        assert args.shards == ["a.jsonl", "b.jsonl"]
+        assert args.csv == "out.csv"
+
 
 class TestCommands:
     def test_waters(self, capsys):
@@ -101,3 +130,55 @@ class TestCommands:
         assert csv_path.exists()
         out = capsys.readouterr().out
         assert "P-diff(ms)" in out
+
+    def test_campaign_run_and_merge_match_direct_run(self, capsys, tmp_path):
+        # Two shards run via the CLI, merged via the CLI (files passed
+        # out of order), must reproduce the direct serial CSV bytes.
+        from repro.experiments import preset_ab
+        from repro.experiments.fig6 import run_fig6_ab
+        from repro.experiments.reporting import csv_ab
+        from repro.units import seconds
+
+        scale = ["--preset", "smoke", "--duration", "2", "--graphs", "1",
+                 "--sims", "1"]
+        paths = []
+        for index in range(2):
+            path = tmp_path / f"shard-{index}.jsonl"
+            assert main(
+                ["campaign", "run", "--part", "ab", *scale,
+                 "--shard", f"{index}/2", "--out", str(path), "--quiet"]
+            ) == 0
+            assert path.exists()
+            paths.append(str(path))
+        merged_csv = tmp_path / "merged.csv"
+        capsys.readouterr()
+        assert main(
+            ["campaign", "merge", "--part", "ab", *scale,
+             *reversed(paths), "--csv", str(merged_csv)]
+        ) == 0
+        assert "merged 2 shard file(s)" in capsys.readouterr().out
+        config = preset_ab("smoke").scaled(
+            sim_duration=seconds(2), graphs_per_point=1, sims_per_graph=1
+        )
+        # Byte-level read: the csv module's \r\n endings must survive.
+        assert merged_csv.read_bytes().decode() == csv_ab(run_fig6_ab(config))
+
+    def test_campaign_merge_prints_csv_without_path(self, capsys, tmp_path):
+        path = tmp_path / "only.jsonl"
+        scale = ["--preset", "smoke", "--duration", "2", "--graphs", "1",
+                 "--sims", "1"]
+        assert main(
+            ["campaign", "run", "--part", "ab", *scale,
+             "--shard", "0/1", "--out", str(path), "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["campaign", "merge", "--part", "ab", *scale, str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("n_tasks,")
+
+    def test_campaign_run_rejects_bad_shard_spec(self):
+        with pytest.raises(ValueError):
+            main(["campaign", "run", "--part", "ab", "--preset", "smoke",
+                  "--shard", "3/2", "--out", "x.jsonl", "--quiet"])

@@ -87,3 +87,32 @@ def test_fig6_ab_golden_parallel_matches():
 
 def test_fig6_cd_golden_parallel_matches():
     _check("fig6_cd.csv", csv_cd(run_fig6_cd(GOLDEN_CD, jobs=2)))
+
+
+def test_fig6_ab_golden_sharded_merge_matches(tmp_path):
+    """Three shards, run separately and merged out of order, produce
+    the committed golden bytes — the multi-machine path hits the same
+    determinism contract as ``--jobs N``."""
+    from repro.experiments.fig6 import AB_PART
+    from repro.parallel import ShardSpec, merge_shards, run_shard
+
+    paths = []
+    for index in range(3):
+        path = str(tmp_path / f"shard-{index}.jsonl")
+        run_shard(AB_PART, GOLDEN_AB, ShardSpec(index, 3), path)
+        paths.append(path)
+    merged = merge_shards(AB_PART, GOLDEN_AB, list(reversed(paths)))
+    _check("fig6_ab.csv", csv_ab(merged))
+
+
+def test_fig6_cd_golden_sharded_merge_matches(tmp_path):
+    from repro.experiments.fig6 import CD_PART
+    from repro.parallel import ShardSpec, merge_shards, run_shard
+
+    paths = []
+    for index in range(2):
+        path = str(tmp_path / f"shard-{index}.jsonl")
+        run_shard(CD_PART, GOLDEN_CD, ShardSpec(index, 2), path)
+        paths.append(path)
+    merged = merge_shards(CD_PART, GOLDEN_CD, list(reversed(paths)))
+    _check("fig6_cd.csv", csv_cd(merged))

@@ -33,6 +33,10 @@ from repro.parallel import (
 )
 from repro.units import seconds
 
+def _double(value: int) -> int:
+    return 2 * value
+
+
 TINY_AB = SMOKE_AB.scaled(
     x_values=(5, 8), graphs_per_point=2, sims_per_graph=2,
     sim_duration=seconds(2), warmup=seconds(1),
@@ -86,6 +90,35 @@ class TestPoolEngine:
             )
         assert sorted(seen) == list(range(len(tasks)))
         assert all(r is not None for r in results)
+
+    def test_map_consume_streams_without_retaining(self):
+        config = TINY_AB
+        tasks = graph_tasks(config)
+        seen = {}
+        beats = []
+        with PoolRunner(2) as pool:
+            stats = pool.map_consume(
+                partial(run_graph_ab, config),
+                tasks,
+                on_item=lambda i, r, elapsed: seen.setdefault(i, r),
+                heartbeat=beats.append,
+            )
+        assert sorted(seen) == list(range(len(tasks)))
+        assert all(seen[i].seed == t.seed for i, t in enumerate(tasks))
+        assert stats.completed == len(tasks)
+        assert beats and beats[-1].completed == len(tasks)
+
+    def test_adaptive_chunks_stay_within_bounds(self):
+        # Fast items with no explicit chunk_size: the adaptive sizer
+        # may batch many per chunk but must cover every item exactly
+        # once and report chunk extents.
+        items = list(range(200))
+        with PoolRunner(2) as pool:
+            results, stats = pool.map_ordered(_double, items)
+        assert results == [2 * i for i in items]
+        assert stats.n_items == 200
+        assert 1 <= stats.chunk_min <= stats.chunk_max
+        assert stats.n_chunks >= 1
 
     def test_resolve_jobs(self):
         assert resolve_jobs(1) == 1
@@ -149,14 +182,49 @@ class TestCheckpoint:
     def test_partial_checkpoint_resumes_prefix(self, tmp_path):
         path = str(tmp_path / "ab.ckpt.json")
         rows, _ = run_fig6_ab_timed(TINY_AB, checkpoint=path)
-        # Drop the last completed point, as if the run had been killed.
-        data = json.loads(open(path).read())
-        last = data["order"].pop()
-        del data["rows"][last]
-        open(path, "w").write(json.dumps(data))
+        # Drop the last record line, as if the run had been killed
+        # between two appends.
+        lines = open(path).read().splitlines(keepends=True)
+        open(path, "w").writelines(lines[:-1])
         again, timing = run_fig6_ab_timed(TINY_AB, checkpoint=path)
         assert again == rows
         assert timing.resumed_points == len(TINY_AB.x_values) - 1
+
+    def test_torn_final_line_skipped_and_truncated(self, tmp_path):
+        # A kill mid-append leaves a torn (newline-less) final line:
+        # resume must keep every intact record, lose only the torn one,
+        # and truncate it away so the log stays valid JSONL.
+        path = str(tmp_path / "ab.ckpt.json")
+        rows, _ = run_fig6_ab_timed(TINY_AB, checkpoint=path)
+        lines = open(path).read().splitlines(keepends=True)
+        torn = lines[:-1] + [lines[-1][: len(lines[-1]) // 2].rstrip("\n")]
+        open(path, "w").writelines(torn)
+        again, timing = run_fig6_ab_timed(TINY_AB, checkpoint=path)
+        assert again == rows
+        assert timing.resumed_points == len(TINY_AB.x_values) - 1
+        for line in open(path).read().splitlines():
+            json.loads(line)  # every surviving line parses
+
+    def test_legacy_whole_json_checkpoint_invalidated(self, tmp_path):
+        # The pre-JSONL format stored one whole JSON document; its
+        # first line is not a matching header, so it loads as empty
+        # and the run starts fresh instead of crashing.
+        path = str(tmp_path / "ab.ckpt.json")
+        legacy = {"fingerprint": "old", "order": ["5"], "rows": {"5": {}}}
+        open(path, "w").write(json.dumps(legacy, indent=2) + "\n")
+        rows, timing = run_fig6_ab_timed(TINY_AB, checkpoint=path)
+        assert timing.resumed_points == 0
+        assert len(rows) == len(TINY_AB.x_values)
+
+    def test_fully_resumed_campaign_reports_zero_utilization(self, tmp_path):
+        # Every point resumed -> no graph ran -> utilization must be
+        # 0.0, not a ZeroDivisionError from busy/(wall * jobs).
+        path = str(tmp_path / "ab.ckpt.json")
+        run_fig6_ab_timed(TINY_AB, checkpoint=path)
+        _, timing = run_fig6_ab_timed(TINY_AB, checkpoint=path)
+        assert timing.resumed_points == len(TINY_AB.x_values)
+        assert timing.utilization == 0.0
+        json.dumps(timing.to_dict())
 
     def test_config_change_invalidates_checkpoint(self, tmp_path):
         path = str(tmp_path / "ab.ckpt.json")
@@ -184,6 +252,7 @@ class TestCheckpoint:
         path = str(tmp_path / "store.json")
         store = CampaignCheckpoint(path, "fp")
         store.record(5, {"n_tasks": 5, "sim_ms": 1.0})
+        store.close()
         fresh = CampaignCheckpoint(path, "fp")
         assert fresh.load() == 1
         assert fresh.completed(5) == {"n_tasks": 5, "sim_ms": 1.0}
