@@ -1,0 +1,76 @@
+"""Faulted-batch benchmark and its committed-baseline gate.
+
+Fault plans used to force the general event loop, so faulted runs
+never benefited from the batched tiers.  With dropouts compiled to
+boolean release masks over the pre-drawn release tables, a faulted
+periodic scenario replays through the fastest eligible batched tier.
+Two guards:
+
+* **Structural** — machine independent, properties of one run: the
+  masked batched arm must beat the sequential general-loop arm
+  (``bench_fault_kernel`` itself asserts the two arms produce
+  identical per-replication disparities, so the win cannot come from
+  suppressing different jobs).
+* **Regression gate** — the quick fault measurement compared against
+  the ``fault`` entry of the committed ``BENCH_kernel.json``.  The
+  gated metric is the sequential/batched *ratio*, which survives
+  machine changes; timing on shared CI runners is still noisy, so a
+  regression only *warns* by default (``::warning::`` annotation); set
+  ``BENCH_STRICT=1`` to turn it into a failure.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.profile import (
+    SCHEMA_VERSION,
+    bench_fault_kernel,
+    compare_to_baseline,
+    load_baseline,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+
+@pytest.mark.benchmark(group="fault")
+def test_masked_batch_beats_general_loop(benchmark):
+    """Masked batched replay must outrun per-sim general-loop runs."""
+    result = benchmark.pedantic(
+        bench_fault_kernel,
+        kwargs={"sims": 12, "duration_s": 2.0, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"fault: {result['sims']} sims "
+        f"{result['sequential_s']:.3f}s general loop -> "
+        f"{result['batched_s']:.3f}s masked batched "
+        f"({result['speedup']:.2f}x)"
+    )
+    assert result["engine"] in ("columnar", "compiled")
+    assert result["batched_s"] < result["sequential_s"]
+
+
+@pytest.mark.benchmark(group="fault")
+def test_committed_fault_gate(benchmark):
+    """Quick fault run vs BENCH_kernel.json; warning unless BENCH_STRICT."""
+    baseline = load_baseline(BASELINE_PATH)
+    assert baseline is not None, f"missing {BASELINE_PATH}"
+    assert "fault" in baseline, f"no fault entry in {BASELINE_PATH}"
+    fault = benchmark.pedantic(
+        bench_fault_kernel,
+        kwargs={"sims": 8, "duration_s": 2.0, "repeats": 2},
+        rounds=1,
+        iterations=1,
+    )
+    current = {"schema": SCHEMA_VERSION, "quick": True, "fault": fault}
+    regressions = compare_to_baseline(current, baseline)
+    for message in regressions:
+        print(f"::warning::benchmark regression: {message}")
+    if os.environ.get("BENCH_STRICT", "") not in ("", "0"):
+        assert not regressions, "; ".join(regressions)

@@ -1,0 +1,170 @@
+"""Which analytical results survive a workload's release models.
+
+The paper's theorems assume strictly periodic releases: job ``k`` of a
+task releases exactly at ``offset + k * period``.  The simulator also
+supports bounded release jitter and sporadic releases
+(:class:`repro.model.task.ReleaseModel`), and each analytical layer
+reacts to those regimes in one of exactly two ways — **never** by
+silently reporting a bound derived from an assumption the workload
+violates:
+
+* **adjusted** — the result survives with a stated, widened form.
+  Response-time analysis (:mod:`repro.sched.response_time`) accounts
+  for release jitter and sporadic minimum inter-arrivals directly
+  (the classical Tindell/Audsley extensions), and the LET backward
+  bounds (:mod:`repro.let.analysis`) widen each hop by the producer's
+  maximum inter-release gap — ``T + J`` under jitter, ``max_gap``
+  under sporadic — while their lower bounds hold unchanged.
+* **simulation-only** — the result is refused with a structured
+  :class:`RegimeError`.  The pairwise disparity theorems (Theorems
+  1-3) and the implicit-communication backward bounds (Lemmas 4-6)
+  exploit the fact that release-time differences are exact multiples
+  of the periods involved; no safe widened form is implemented, so
+  those regimes must be studied through the simulation tiers
+  (``simulate`` / ``run_batch``), which support all release models
+  byte-identically.
+
+:func:`regime_of` classifies a system (or task set) once;
+:class:`AnalysisRegime.require_analytical` is the gate every
+periodic-only entry point calls before computing anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.model.task import ModelError, Task
+from repro.units import Time
+
+__all__ = [
+    "AnalysisRegime",
+    "RegimeError",
+    "regime_of",
+    "max_release_gap",
+    "min_release_gap",
+]
+
+
+@dataclass(frozen=True)
+class AnalysisRegime:
+    """Structured classification of a workload's release behavior.
+
+    ``kind`` is ``"periodic"`` (every task strictly periodic — all
+    analyses apply), ``"jitter"`` (some tasks jittered, none sporadic),
+    ``"sporadic"`` (some sporadic, none jittered) or ``"mixed"``.
+    ``nonperiodic`` lists ``(task name, model description)`` for every
+    task that deviates, in graph order, so error messages and reports
+    can name the offenders.
+    """
+
+    kind: str
+    nonperiodic: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def analytical(self) -> bool:
+        """True when the paper's periodic-release theorems apply as-is."""
+        return self.kind == "periodic"
+
+    def require_analytical(self, analysis: str) -> None:
+        """Raise a structured :class:`RegimeError` unless periodic.
+
+        ``analysis`` names the refused result (e.g. ``"worst-case
+        disparity bound (Theorems 1-3)"``) and is carried on the
+        exception for programmatic handling.
+        """
+        if not self.analytical:
+            raise RegimeError(self, analysis)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        if self.analytical:
+            return "periodic release regime (all analytical bounds apply)"
+        offenders = ", ".join(
+            f"{name} ({model})" for name, model in self.nonperiodic
+        )
+        return (
+            f"{self.kind} release regime — non-periodic tasks: {offenders}"
+        )
+
+
+class RegimeError(ModelError):
+    """A periodic-only analysis was asked about a non-periodic workload.
+
+    Carries the offending :class:`AnalysisRegime` (``.regime``) and the
+    name of the refused analysis (``.analysis``) so callers — the CLI,
+    reports, sweeps — can degrade gracefully instead of parsing text.
+    """
+
+    def __init__(self, regime: AnalysisRegime, analysis: str) -> None:
+        self.regime = regime
+        self.analysis = analysis
+        super().__init__(
+            f"{analysis} assumes strictly periodic releases, but this "
+            f"system is in the {regime.kind!r} release regime "
+            f"({regime.describe()}); this combination is "
+            f"simulation-only — measure it with simulate()/run_batch(), "
+            f"or restore periodic release models for analytical bounds"
+        )
+
+
+def _tasks_of(source) -> Tuple[Task, ...]:
+    graph = getattr(source, "graph", None)
+    if graph is not None:
+        source = graph
+    tasks = getattr(source, "tasks", source)
+    return tuple(tasks)
+
+
+def regime_of(source) -> AnalysisRegime:
+    """Classify a :class:`System`, graph, or iterable of tasks.
+
+    Zero-jitter "jitter" models count as periodic (they draw nothing
+    and release exactly on the grid), matching
+    :attr:`ReleaseModel.is_periodic`.
+    """
+    nonperiodic = []
+    kinds = set()
+    for task in _tasks_of(source):
+        model = task.release_model
+        if model.is_periodic:
+            continue
+        kinds.add(model.kind)
+        nonperiodic.append((task.name, model.describe()))
+    if not nonperiodic:
+        return AnalysisRegime(kind="periodic")
+    kind = kinds.pop() if len(kinds) == 1 else "mixed"
+    return AnalysisRegime(kind=kind, nonperiodic=tuple(nonperiodic))
+
+
+def max_release_gap(task: Task) -> Time:
+    """Largest possible distance between consecutive releases.
+
+    ``T`` for periodic tasks, ``T + J`` under bounded jitter (job ``k``
+    at ``kT + o``, job ``k+1`` as late as ``(k+1)T + o + J``), and
+    ``max_gap`` for sporadic tasks.  The adjusted LET bounds charge
+    this per hop in place of the periodic ``T``.
+    """
+    model = task.release_model
+    if model.kind == "sporadic":
+        return model.max_gap
+    if model.kind == "jitter":
+        return task.period + model.jitter
+    return task.period
+
+
+def min_release_gap(task: Task) -> Time:
+    """Smallest possible distance between consecutive releases.
+
+    ``T`` for periodic tasks, ``T - J`` under bounded jitter (job ``k``
+    as late as ``kT + o + J``, job ``k+1`` as early as
+    ``(k+1)T + o``), and ``min_gap`` for sporadic tasks.  Response-time
+    analysis uses this as the effective interference period and as the
+    constrained-deadline budget ``R <= min gap``.
+    """
+    model = task.release_model
+    if model.kind == "sporadic":
+        return model.min_gap
+    if model.kind == "jitter":
+        return task.period - model.jitter
+    return task.period

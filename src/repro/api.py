@@ -34,6 +34,7 @@ import random
 from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Tuple, Union
 
+from repro.analysis_regime import AnalysisRegime, regime_of
 from repro.chains.backward import (
     BackwardBounds,
     BackwardBoundsCache,
@@ -112,6 +113,7 @@ class AnalysisSession:
             )
         self._system = system
         self._semantics = semantics
+        self._regime = regime_of(system)
         self._cache = BackwardBoundsTable(system, strategy=bounds_strategy)
         self._chains: Dict[str, Tuple[Chain, ...]] = {}
         self._results: Dict[Tuple[str, str, bool], TaskDisparityResult] = {}
@@ -159,6 +161,25 @@ class AnalysisSession:
     def semantics(self) -> str:
         """The communication semantics this session simulates by default."""
         return self._semantics
+
+    @property
+    def regime(self) -> AnalysisRegime:
+        """Release-model classification of this session's system.
+
+        ``regime.analytical`` is ``True`` for strictly periodic
+        workloads — the only regime in which :meth:`worst_case`,
+        :meth:`backward` (under the default implicit-communication
+        bounds) and :meth:`design_buffers` apply.  Jittered or sporadic
+        workloads are simulation-only for those queries: they raise a
+        structured :class:`~repro.analysis_regime.RegimeError`, while
+        :meth:`simulate`, :meth:`observed_disparity` and
+        :meth:`observed_batch` support every release model
+        byte-identically across engine tiers.  LET backward bounds
+        (``bounds_strategy=backward_bounds_let``) survive non-periodic
+        releases with widened upper bounds (see
+        :mod:`repro.let.analysis`).
+        """
+        return self._regime
 
     @property
     def cache(self) -> BackwardBoundsCache:

@@ -46,6 +46,9 @@ def buffered_backward_bounds(
     (the base model); the returned bounds describe what the analysis
     would yield if it were ``capacity``.
     """
+    from repro.analysis_regime import regime_of
+
+    regime_of(system).require_analytical("buffered backward bounds (Lemma 6)")
     if capacity < 1:
         raise ModelError(f"capacity must be >= 1, got {capacity}")
     if len(chain) < 2:

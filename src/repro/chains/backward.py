@@ -44,6 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Tuple
 
+from repro.analysis_regime import regime_of
 from repro.model.chain import Chain
 from repro.model.system import System
 from repro.model.task import ModelError
@@ -103,7 +104,13 @@ def buffer_shift(chain: Chain, system: System) -> Time:
 
 
 def wcbt_upper(chain: Chain, system: System) -> Time:
-    """Lemma 4 (+ Lemma 6 shift): upper bound ``W(pi)`` on the WCBT."""
+    """Lemma 4 (+ Lemma 6 shift): upper bound ``W(pi)`` on the WCBT.
+
+    Periodic releases only: the per-hop budget ``theta_i`` counts
+    whole producer periods between reads, which release jitter and
+    sporadic gaps invalidate (see :mod:`repro.analysis_regime`).
+    """
+    regime_of(system).require_analytical("WCBT upper bound (Lemma 4)")
     chain.validate(system.graph)
     if len(chain) == 1:
         return 0
@@ -117,8 +124,10 @@ def bcbt_lower(chain: Chain, system: System) -> Time:
     """Lemma 5 (+ Lemma 6 shift): lower bound ``B(pi)`` on the BCBT.
 
     With buffered channels the bound holds in the long term only
-    (buffers full); see the module docstring.
+    (buffers full); see the module docstring.  Periodic releases only,
+    as for :func:`wcbt_upper`.
     """
+    regime_of(system).require_analytical("BCBT lower bound (Lemma 5)")
     chain.validate(system.graph)
     if len(chain) == 1:
         return 0
@@ -230,6 +239,10 @@ class BackwardBoundsTable(BackwardBoundsCache):
     def __init__(self, system: System, strategy=None) -> None:
         super().__init__(system, strategy=strategy)
         self._shared_dp = strategy is None
+        # Classified once; checked lazily in bounds() so a session over
+        # a non-periodic system can still simulate — only the first
+        # analytical query raises.
+        self._regime = regime_of(system)
         # tasks-tuple -> (W accumulator, sum-of-B accumulator), both
         # including every capacity shift along the prefix.
         self._prefix: Dict[Tuple[str, ...], Tuple[Time, Time]] = {}
@@ -295,6 +308,9 @@ class BackwardBoundsTable(BackwardBoundsCache):
         """Bounds of ``chain`` via the prefix DP (memoized)."""
         if not self._shared_dp:
             return super().bounds(chain)
+        # The DP inlines Lemmas 4/5 without calling wcbt_upper /
+        # bcbt_lower, so it must repeat their periodic-release gate.
+        self._regime.require_analytical("backward bounds (Lemmas 4-5)")
         key = chain.tasks
         found = self._cache.get(key)
         if found is None:

@@ -59,6 +59,32 @@ def _profiled(func, args: argparse.Namespace) -> tuple:
     return code, text
 
 
+def _regime_note(system, task: str, args: argparse.Namespace) -> bool:
+    """Print the release-regime banner for non-periodic workloads.
+
+    Returns ``True`` when the workload is simulation-only for the
+    analytical bounds (the caller should skip them); in that case the
+    observed-disparity section still runs if ``--replications`` was
+    given, since every simulation tier supports all release models.
+    """
+    from repro.analysis_regime import regime_of
+
+    regime = regime_of(system)
+    if regime.analytical:
+        return False
+    print(f"release regime: {regime.describe()}")
+    print(
+        "analytical bounds (Theorems 1-3, Lemmas 4-6) assume strictly "
+        "periodic releases and are skipped; jittered/sporadic workloads "
+        "are simulation-only — use --replications N to measure the "
+        "observed disparity instead."
+    )
+    if getattr(args, "replications", None):
+        print()
+        _print_observed(system, task, args)
+    return True
+
+
 def _print_observed(system, task: str, args: argparse.Namespace) -> None:
     """Batched-replication summary for ``--replications N`` commands."""
     from repro.api import AnalysisSession
@@ -233,6 +259,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(system.describe())
     print()
 
+    if _regime_note(system, sink, args):
+        return 0
+
     cache = BackwardBoundsTable(system)
     chains = enumerate_source_chains(system.graph, sink)
     print(f"chains into {sink!r}: {len(chains)}")
@@ -283,6 +312,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         scenario = generate_random_scenario(args.tasks, random.Random(args.seed))
         system = scenario.system
+    if _regime_note(system, system.graph.sinks()[0], args):
+        return 0
     requirements = {}
     if args.requirement:
         for spec in args.requirement:
@@ -315,6 +346,8 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         scenario = generate_random_scenario(args.tasks, random.Random(args.seed))
         system = scenario.system
         task = args.task if args.task else scenario.sink
+    if _regime_note(system, task, args):
+        return 0
     print(render_explanation(explain_disparity(system, task)))
     if args.replications:
         print()
@@ -634,7 +667,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser(
         "bench",
         help="measure simulator-kernel, batch-engine (implicit and LET), "
-        "columnar, delta-replay, structural-view and analysis throughput",
+        "columnar, faulted-batch, delta-replay, structural-view and "
+        "analysis throughput",
     )
     bench.add_argument(
         "--quick",
@@ -644,8 +678,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--kernel",
         choices=(
-            "sim", "batch", "let", "columnar", "delta", "structural",
-            "analysis", "campaign", "all",
+            "sim", "batch", "let", "columnar", "fault", "delta",
+            "structural", "analysis", "campaign", "all",
         ),
         default="all",
         help="measure only one benchmark section (default: all; "

@@ -139,7 +139,19 @@ def worst_case_disparity(
         chains: Pre-enumerated source chains of ``task`` (an
             :class:`repro.api.AnalysisSession` passes its memoized
             enumeration; when ``None`` they are enumerated here).
+
+    Periodic releases only: Theorems 1-3 use the fact that release
+    differences are exact multiples of the task periods (the
+    ``floor_to_period`` rounding and the Theorem 2 offset recursion).
+    Jittered or sporadic workloads raise a structured
+    :class:`~repro.analysis_regime.RegimeError` — measure them with the
+    simulation tiers instead.
     """
+    from repro.analysis_regime import regime_of
+
+    regime_of(system).require_analytical(
+        "worst-case time disparity bound (Theorems 1-3)"
+    )
     method = normalize_method(method)
     if cache is None:
         # Standalone call: hoist everything shareable out of the

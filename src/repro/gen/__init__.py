@@ -30,6 +30,7 @@ from repro.gen.waters import (
     PERIOD_SHARE_PERCENT,
     PERIODS_MS,
     WCET_FACTOR_RANGE,
+    ReleaseModelSampler,
     TaskParameters,
     WatersSampler,
     expected_utilization_per_task,
@@ -59,6 +60,7 @@ __all__ = [
     "PERIOD_SHARE_PERCENT",
     "PERIODS_MS",
     "WCET_FACTOR_RANGE",
+    "ReleaseModelSampler",
     "TaskParameters",
     "WatersSampler",
     "expected_utilization_per_task",

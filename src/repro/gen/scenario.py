@@ -20,6 +20,7 @@ from repro.gen.graphgen import (
     random_cause_effect_graph,
     deploy,
 )
+from repro.gen.waters import ReleaseModelSampler
 from repro.model.graph import CauseEffectGraph
 from repro.model.system import System
 from repro.model.task import ModelError
@@ -66,6 +67,11 @@ class ScenarioConfig:
     max_paths: int = 256
     #: Retries before giving up on generating a valid scenario.
     max_attempts: int = 64
+    #: Optional per-task release-model distribution (jittered/sporadic
+    #: tasks); ``None`` keeps the paper's strictly periodic releases and
+    #: leaves every random stream untouched.  Bus message tasks inserted
+    #: by deployment always stay periodic (time-triggered frames).
+    release_models: Optional[ReleaseModelSampler] = None
 
 
 @dataclass(frozen=True)
@@ -104,10 +110,15 @@ def generate_random_scenario(
         # parent stream by a fixed amount, keeping siblings independent.
         attempt_rng = derive_rng(rng)
         if config.generator == "fusion":
-            graph = fusion_pipeline_graph(n_tasks, attempt_rng)
+            graph = fusion_pipeline_graph(
+                n_tasks, attempt_rng, release_models=config.release_models
+            )
         else:
             graph = random_cause_effect_graph(
-                n_tasks, attempt_rng, edge_factor=config.edge_factor
+                n_tasks,
+                attempt_rng,
+                edge_factor=config.edge_factor,
+                release_models=config.release_models,
             )
         sinks = graph.sinks()
         if len(sinks) != 1:
@@ -142,7 +153,9 @@ def generate_merged_pair_scenario(
     """A two-chains-merged-at-one-sink scenario (Fig. 6 c/d)."""
     for attempt in range(1, config.max_attempts + 1):
         attempt_rng = derive_rng(rng)
-        graph = merged_chain_pair(tasks_per_chain, attempt_rng)
+        graph = merged_chain_pair(
+            tasks_per_chain, attempt_rng, release_models=config.release_models
+        )
         deployed = deploy(
             graph, attempt_rng, n_ecus=config.n_ecus, use_bus=config.use_bus
         )

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from itertools import accumulate
 from typing import Dict, List, Tuple
 
-from repro.model.task import ModelError
+from repro.model.task import PERIODIC_RELEASE, ModelError, ReleaseModel
 from repro.units import Time, ms, us
 
 #: Periods used by the paper's evaluation, in milliseconds.
@@ -88,6 +88,74 @@ WCET_FACTOR_RANGE: Dict[int, Tuple[float, float]] = {
 
 
 @dataclass(frozen=True)
+class ReleaseModelSampler:
+    """Distribution over per-task release models.
+
+    The WATERS benchmark's excluded activation classes (sporadic and
+    angle-synchronous runnables) motivate evaluating the simulator
+    beyond the paper's strictly periodic model.  A sampler assigns each
+    task, independently:
+
+    * with probability ``sporadic_fraction`` — sporadic releases with
+      inter-arrivals uniform in ``[sporadic_gap[0] * T,
+      sporadic_gap[1] * T]`` (``T`` the task's nominal period);
+    * with probability ``jitter_fraction`` — bounded release jitter of
+      ``round(jitter_scale * T)``, clamped to ``[1, T - 1]``;
+    * otherwise — the paper's strictly periodic releases.
+
+    The two fractions must sum to at most 1.  A sampler with both
+    fractions zero draws **nothing** from the generator, so enabling
+    the mechanism does not shift any existing random stream.
+    """
+
+    jitter_fraction: float = 0.0
+    jitter_scale: float = 0.1
+    sporadic_fraction: float = 0.0
+    sporadic_gap: Tuple[float, float] = (1.0, 2.0)
+
+    def __post_init__(self) -> None:
+        for name in ("jitter_fraction", "sporadic_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ModelError(f"{name} must lie in [0, 1], got {value}")
+        if self.jitter_fraction + self.sporadic_fraction > 1.0:
+            raise ModelError(
+                "jitter_fraction + sporadic_fraction must not exceed 1, "
+                f"got {self.jitter_fraction} + {self.sporadic_fraction}"
+            )
+        if not 0.0 < self.jitter_scale < 1.0:
+            raise ModelError(
+                f"jitter_scale must lie in (0, 1), got {self.jitter_scale}"
+            )
+        lo, hi = self.sporadic_gap
+        if lo <= 0.0 or hi < lo:
+            raise ModelError(
+                f"sporadic_gap must satisfy 0 < lo <= hi, got {self.sporadic_gap}"
+            )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when every sample is periodic (and draws nothing)."""
+        return self.jitter_fraction == 0.0 and self.sporadic_fraction == 0.0
+
+    def sample(self, period: Time, rng: random.Random) -> ReleaseModel:
+        """Draw one task's release model (one ``rng`` draw, or none)."""
+        if self.is_trivial:
+            return PERIODIC_RELEASE
+        u = rng.random()
+        if u < self.sporadic_fraction:
+            lo = max(1, round(self.sporadic_gap[0] * period))
+            hi = max(lo, round(self.sporadic_gap[1] * period))
+            return ReleaseModel.sporadic(lo, hi)
+        if u < self.sporadic_fraction + self.jitter_fraction:
+            jitter = min(period - 1, max(1, round(self.jitter_scale * period)))
+            if jitter <= 0:  # period == 1 leaves no room for jitter
+                return PERIODIC_RELEASE
+            return ReleaseModel.jittered(jitter)
+        return PERIODIC_RELEASE
+
+
+@dataclass(frozen=True)
 class TaskParameters:
     """Sampled timing parameters of one WATERS task."""
 
@@ -95,6 +163,7 @@ class TaskParameters:
     bcet: Time
     wcet: Time
     acet_us: float
+    release_model: ReleaseModel = PERIODIC_RELEASE
 
 
 class WatersSampler:
@@ -103,10 +172,20 @@ class WatersSampler:
     Deterministic given its ``random.Random``; the period distribution
     is the renormalized Table III restricted to :data:`PERIODS_MS`, and
     the execution-time factors are uniform in the Table V ranges.
+
+    ``release_models`` optionally attaches a
+    :class:`ReleaseModelSampler` so sampled tasks carry jittered or
+    sporadic release models; the default (``None``) keeps every task
+    strictly periodic and consumes no extra randomness.
     """
 
-    def __init__(self, rng: random.Random) -> None:
+    def __init__(
+        self,
+        rng: random.Random,
+        release_models: "ReleaseModelSampler | None" = None,
+    ) -> None:
         self._rng = rng
+        self._release_models = release_models
         weights = [PERIOD_SHARE_PERCENT[p] for p in PERIODS_MS]
         total = sum(weights)
         self._cumulative: List[float] = list(
@@ -146,8 +225,16 @@ class WatersSampler:
         # sub-nanosecond, which WATERS values never are; still, clamp.
         if bcet > wcet:
             bcet = wcet
+        period = ms(period_ms)
+        release = PERIODIC_RELEASE
+        if self._release_models is not None:
+            release = self._release_models.sample(period, self._rng)
         return TaskParameters(
-            period=ms(period_ms), bcet=bcet, wcet=wcet, acet_us=acet
+            period=period,
+            bcet=bcet,
+            wcet=wcet,
+            acet_us=acet,
+            release_model=release,
         )
 
     def sample_many(self, count: int) -> List[TaskParameters]:

@@ -23,30 +23,63 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from repro.model.graph import CauseEffectGraph
-from repro.model.task import ModelError, Task
+from repro.model.task import ModelError, ReleaseModel, Task
 
 FORMAT_NAME = "repro-cause-effect-graph"
 FORMAT_VERSION = 1
 
 
+def _release_to_dict(model: ReleaseModel) -> Dict[str, Any]:
+    if model.kind == "jitter":
+        return {"kind": "jitter", "jitter_ns": model.jitter}
+    return {
+        "kind": "sporadic",
+        "min_gap_ns": model.min_gap,
+        "max_gap_ns": model.max_gap,
+    }
+
+
+def _release_from_dict(entry: Any) -> ReleaseModel:
+    if not isinstance(entry, dict):
+        raise ModelError(
+            f"release entry must be an object, got {type(entry).__name__}"
+        )
+    kind = entry.get("kind", "periodic")
+    if kind == "periodic":
+        return ReleaseModel.periodic()
+    if kind == "jitter":
+        return ReleaseModel.jittered(int(entry["jitter_ns"]))
+    if kind == "sporadic":
+        return ReleaseModel.sporadic(
+            int(entry["min_gap_ns"]), int(entry["max_gap_ns"])
+        )
+    raise ModelError(f"unknown release model kind {kind!r}")
+
+
 def graph_to_dict(graph: CauseEffectGraph) -> Dict[str, Any]:
     """Serialize a graph to a JSON-compatible dictionary."""
+    def task_entry(task: Task) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "name": task.name,
+            "period_ns": task.period,
+            "wcet_ns": task.wcet,
+            "bcet_ns": task.bcet,
+            "ecu": task.ecu,
+            "priority": task.priority,
+            "offset_ns": task.offset,
+            "kind": task.kind,
+        }
+        # Strictly periodic releases (the paper's model) stay implicit,
+        # so documents written before release models existed round-trip
+        # unchanged and older readers only fail on files that need it.
+        if not task.release_model.is_periodic:
+            entry["release"] = _release_to_dict(task.release_model)
+        return entry
+
     return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
-        "tasks": [
-            {
-                "name": task.name,
-                "period_ns": task.period,
-                "wcet_ns": task.wcet,
-                "bcet_ns": task.bcet,
-                "ecu": task.ecu,
-                "priority": task.priority,
-                "offset_ns": task.offset,
-                "kind": task.kind,
-            }
-            for task in graph.tasks
-        ],
+        "tasks": [task_entry(task) for task in graph.tasks],
         "channels": [
             {"src": channel.src, "dst": channel.dst, "capacity": channel.capacity}
             for channel in graph.channels
@@ -71,6 +104,9 @@ def graph_from_dict(data: Dict[str, Any]) -> CauseEffectGraph:
     graph = CauseEffectGraph()
     for entry in data.get("tasks", []):
         try:
+            release = ReleaseModel.periodic()
+            if "release" in entry:
+                release = _release_from_dict(entry["release"])
             graph.add_task(
                 Task(
                     name=entry["name"],
@@ -81,6 +117,7 @@ def graph_from_dict(data: Dict[str, Any]) -> CauseEffectGraph:
                     priority=entry.get("priority"),
                     offset=int(entry.get("offset_ns", 0)),
                     kind=entry.get("kind", "compute"),
+                    release_model=release,
                 )
             )
         except KeyError as exc:

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis_regime import max_release_gap
 from repro.chains.backward import BackwardBounds, BackwardBoundsCache, buffer_shift
 from repro.model.chain import Chain
 from repro.model.system import System
@@ -48,16 +49,31 @@ def wcbt_upper_let(chain: Chain, system: System) -> Time:
     immediately), so the head hop's release distance is in
     ``[0, T_source)`` and costs at most ``T_source``; every other hop
     publishes one period after release and costs below ``2 T``.
+
+    These bounds **survive non-periodic releases** with each hop's
+    inter-release term widened to the producer's *maximum* release gap
+    (:func:`~repro.analysis_regime.max_release_gap`: ``T + J`` under
+    bounded jitter, ``max_gap`` for sporadic tasks).  The argument only
+    uses how far apart consecutive producer publications can be — the
+    consumer reads the newest token published no later than its
+    release, whose producer released at most ``gap_max`` before the
+    previous publication boundary — so no periodicity is needed.  For
+    strictly periodic tasks this reduces to the ``T`` / ``2 T`` budgets
+    above exactly.
     """
     chain.validate(system.graph)
     if len(chain) == 1:
         return 0
     total = 0
     for producer, _consumer in chain.edges():
+        gap_max = max_release_gap(system.graph.task(producer))
         if system.is_source(producer):
-            total += system.T(producer)
+            total += gap_max
         else:
-            total += 2 * system.T(producer)
+            # Publish happens one nominal period after release, and the
+            # producing release trails the consumer's read by less than
+            # one maximal inter-release gap on top of that.
+            total += system.T(producer) + gap_max
     return total + buffer_shift(chain, system)
 
 
@@ -68,6 +84,11 @@ def bcbt_lower_let(chain: Chain, system: System) -> Time:
     after its release, so each such hop contributes at least ``T_p``;
     the source hop can contribute 0 (sample published exactly at the
     consumer's release).
+
+    This lower bound holds **unchanged** under jittered and sporadic
+    releases: the publish delay is exactly one nominal period after the
+    (possibly shifted) release in every regime, so the read-to-sample
+    distance of each non-source hop can never drop below ``T_p``.
     """
     chain.validate(system.graph)
     if len(chain) == 1:

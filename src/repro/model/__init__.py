@@ -19,7 +19,14 @@ from repro.model.platform import (
     insert_message_tasks,
 )
 from repro.model.system import System
-from repro.model.task import ModelError, Task, message_task, source_task
+from repro.model.task import (
+    PERIODIC_RELEASE,
+    ModelError,
+    ReleaseModel,
+    Task,
+    message_task,
+    source_task,
+)
 from repro.model.validation import (
     ValidationReport,
     validate_deployment,
@@ -46,6 +53,8 @@ __all__ = [
     "insert_message_tasks",
     "System",
     "ModelError",
+    "PERIODIC_RELEASE",
+    "ReleaseModel",
     "Task",
     "message_task",
     "source_task",

@@ -26,6 +26,97 @@ class ModelError(ValueError):
 
 
 @dataclass(frozen=True)
+class ReleaseModel:
+    """How a task's jobs are released over time.
+
+    Three kinds are supported:
+
+    * ``"periodic"`` — the paper's model: job ``k`` releases exactly at
+      ``offset + k * period``.  No randomness; the default.
+    * ``"jitter"`` — bounded release jitter: job ``k`` releases at
+      ``offset + k * period + J_k`` with ``J_k`` drawn uniformly from
+      ``[0, jitter]`` out of the task's own deterministic RNG stream
+      (derived from the simulation seed and the task name, independent
+      of the execution-time policy stream).  ``jitter < period`` keeps
+      per-task releases strictly increasing.
+    * ``"sporadic"`` — sporadic releases: the first job releases at
+      ``offset``, and each inter-arrival gap is drawn uniformly from
+      ``[min_gap, max_gap]``.  The task's ``period`` stays the nominal
+      period used for LET deadlines and analytical bounds.
+
+    Non-periodic models are **simulation-only** regimes for most of the
+    paper's analyses; see :mod:`repro.analysis_regime`.
+    """
+
+    kind: str = "periodic"
+    jitter: Time = 0
+    min_gap: Time = 0
+    max_gap: Time = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("periodic", "jitter", "sporadic"):
+            raise ModelError(
+                f"unknown release model kind {self.kind!r} "
+                f"(expected 'periodic', 'jitter' or 'sporadic')"
+            )
+        if self.kind == "jitter":
+            if self.jitter < 0:
+                raise ModelError(
+                    f"release jitter must be non-negative, got {self.jitter}"
+                )
+        elif self.kind == "sporadic":
+            if self.min_gap <= 0:
+                raise ModelError(
+                    f"sporadic min_gap must be positive, got {self.min_gap}"
+                )
+            if self.max_gap < self.min_gap:
+                raise ModelError(
+                    f"sporadic max_gap ({self.max_gap}) is below min_gap "
+                    f"({self.min_gap})"
+                )
+
+    @property
+    def is_periodic(self) -> bool:
+        """True when releases are strictly periodic (jitter 0 counts)."""
+        return self.kind == "periodic" or (self.kind == "jitter" and self.jitter == 0)
+
+    @property
+    def draws_randomness(self) -> bool:
+        """True when release instants consume the task's RNG stream."""
+        return (self.kind == "jitter" and self.jitter > 0) or self.kind == "sporadic"
+
+    @classmethod
+    def periodic(cls) -> "ReleaseModel":
+        """The strictly periodic release model (the default)."""
+        return PERIODIC_RELEASE
+
+    @classmethod
+    def jittered(cls, jitter: Time) -> "ReleaseModel":
+        """Bounded release jitter drawn from ``[0, jitter]`` per job."""
+        return cls(kind="jitter", jitter=jitter)
+
+    @classmethod
+    def sporadic(cls, min_gap: Time, max_gap: Time) -> "ReleaseModel":
+        """Sporadic releases with inter-arrivals in ``[min_gap, max_gap]``."""
+        return cls(kind="sporadic", min_gap=min_gap, max_gap=max_gap)
+
+    def describe(self) -> str:
+        """Compact human-readable form used by ``Task.describe`` and the CLI."""
+        if self.kind == "jitter":
+            return f"jitter<={format_time(self.jitter)}"
+        if self.kind == "sporadic":
+            return (
+                f"sporadic[{format_time(self.min_gap)},"
+                f"{format_time(self.max_gap)}]"
+            )
+        return "periodic"
+
+
+#: Shared default instance; the common case stays allocation-free.
+PERIODIC_RELEASE = ReleaseModel()
+
+
+@dataclass(frozen=True)
 class Task:
     """A periodic task (one vertex of the cause-effect graph).
 
@@ -47,6 +138,10 @@ class Task:
         kind: Free-form role tag (``"compute"``, ``"source"``,
             ``"message"``); informational except that validation checks
             source conventions.
+        release_model: How jobs are released (:class:`ReleaseModel`).
+            Defaults to strictly periodic; bounded jitter and sporadic
+            releases are simulation-only extensions of the paper's
+            model.
     """
 
     name: str
@@ -57,6 +152,7 @@ class Task:
     priority: Optional[int] = None
     offset: Time = 0
     kind: str = "compute"
+    release_model: ReleaseModel = PERIODIC_RELEASE
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -78,6 +174,17 @@ class Task:
             )
         if self.offset < 0:
             raise ModelError(f"task {self.name!r}: offset must be non-negative, got {self.offset}")
+        rm = self.release_model
+        if not isinstance(rm, ReleaseModel):
+            raise ModelError(
+                f"task {self.name!r}: release_model must be a ReleaseModel, "
+                f"got {type(rm).__name__}"
+            )
+        if rm.kind == "jitter" and rm.jitter >= self.period:
+            raise ModelError(
+                f"task {self.name!r}: release jitter ({rm.jitter}) must stay "
+                f"below the period ({self.period}) so releases remain ordered"
+            )
 
     @property
     def utilization(self) -> float:
@@ -106,6 +213,10 @@ class Task:
         """Return a copy of this task mapped to ``ecu``."""
         return replace(self, ecu=ecu)
 
+    def with_release_model(self, release_model: ReleaseModel) -> "Task":
+        """Return a copy of this task with a different release model."""
+        return replace(self, release_model=release_model)
+
     def describe(self) -> str:
         """One-line human-readable summary used by examples and the CLI."""
         parts = [
@@ -118,6 +229,8 @@ class Task:
             parts.append(f"ecu={self.ecu}")
         if self.priority is not None:
             parts.append(f"prio={self.priority}")
+        if not self.release_model.is_periodic:
+            parts.append(f"rel={self.release_model.describe()}")
         return " ".join(parts)
 
 
@@ -128,6 +241,7 @@ def source_task(
     ecu: Optional[str] = None,
     priority: Optional[int] = None,
     offset: Time = 0,
+    release_model: ReleaseModel = PERIODIC_RELEASE,
 ) -> Task:
     """Construct a source (sensor) task.
 
@@ -145,6 +259,7 @@ def source_task(
         priority=priority,
         offset=offset,
         kind="source",
+        release_model=release_model,
     )
 
 
@@ -157,6 +272,7 @@ def message_task(
     priority: Optional[int] = None,
     jitter_free_bcet: Optional[Time] = None,
     offset: Time = 0,
+    release_model: ReleaseModel = PERIODIC_RELEASE,
 ) -> Task:
     """Construct a bus message task for a cross-ECU edge.
 
@@ -187,4 +303,5 @@ def message_task(
         priority=priority,
         offset=offset,
         kind="message",
+        release_model=release_model,
     )

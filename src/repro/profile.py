@@ -23,6 +23,11 @@ optimization work:
   pair: the same replications through the columnar lockstep engine
   and through the per-replication compiled loop, asserted identical;
   its ratio is the regression-gate metric for the columnar tier.
+* :func:`bench_fault_kernel` is the paired comparison for faulted
+  runs: a dropout plan compiled to release masks and replayed through
+  the batched tiers versus the same replications as independent
+  general-loop simulations (the pre-mask fault path), disparities
+  asserted identical; its ratio gates the faulted fast path.
 * :func:`bench_delta_kernel` measures delta compilation: many offset
   candidates on one system, evaluated as cheap
   :meth:`~repro.sim.batch.CompiledScenario.with_offsets` views of one
@@ -448,6 +453,101 @@ def bench_columnar_kernel(
         "speedup": round(replay_s / columnar_s, 2) if columnar_s else 0.0,
         "sims_per_s": round(sims / columnar_s, 2) if columnar_s else 0.0,
         "phases": phases,
+    }
+
+
+def bench_fault_kernel(
+    *,
+    n_tasks: int = 10,
+    sims: int = 20,
+    duration_s: float = 6.0,
+    seed: int = 2023,
+    repeats: int = 3,
+) -> Dict[str, Any]:
+    """Faulted batched replay vs per-replication general loop, paired.
+
+    Fault plans used to force the general event loop — the one
+    workload that stressed the provenance machinery never benefited
+    from the batched tiers.  With dropouts compiled to boolean release
+    masks over the pre-drawn release tables, faulted runs replay
+    through the fastest eligible batched tier.  This kernel measures
+    that gain on a periodic scenario with a mid-horizon dropout of one
+    source: the sequential arm runs ``sims`` replications as
+    independent ``simulate(loop="general")`` calls (the pre-mask fault
+    path), the batched arm routes the same replications — same
+    generator state, same fault plan — through
+    :func:`repro.sim.batch.run_batch`; per-replication disparities are
+    asserted equal and the (min-of-``repeats``) walls plus their ratio
+    (the regression-gate metric) are reported.
+    """
+    from repro.gen import generate_random_scenario
+    from repro.model.system import System
+    from repro.sim.batch import run_batch
+    from repro.sim.engine import Simulator, randomize_offsets
+    from repro.sim.faults import FaultPlan
+    from repro.sim.metrics import DisparityMonitor
+    from repro.units import seconds
+
+    rng = random.Random(seed)
+    scenario = generate_random_scenario(n_tasks, rng)
+    system, sink = scenario.system, scenario.sink
+    duration = seconds(duration_s)
+    warmup = duration // 4
+    victim = sorted(system.graph.sources())[0]
+    faults = FaultPlan().drop(victim, 2 * duration // 5, 3 * duration // 5)
+    state = rng.getstate()
+
+    sequential_s: Optional[float] = None
+    batched_s: Optional[float] = None
+    engine = ""
+    for _ in range(max(1, repeats)):
+        rng.setstate(state)
+        start = time.perf_counter()
+        sequential: List[int] = []
+        for _ in range(sims):
+            monitor = DisparityMonitor([sink], warmup=warmup)
+            run_seed = rng.randrange(2**31)
+            run_system = System(
+                graph=randomize_offsets(system.graph, rng),
+                response_times=system.response_times,
+            )
+            Simulator(
+                run_system,
+                duration,
+                seed=run_seed,
+                observers=[monitor],
+                faults=faults,
+                loop="general",
+            ).run()
+            sequential.append(monitor.disparity(sink))
+        elapsed = time.perf_counter() - start
+        sequential_s = elapsed if sequential_s is None else min(
+            sequential_s, elapsed
+        )
+
+        rng.setstate(state)
+        start = time.perf_counter()
+        result = run_batch(
+            system, sink, sims=sims, duration=duration, warmup=warmup,
+            rng=rng, faults=faults,
+        )
+        elapsed = time.perf_counter() - start
+        batched_s = elapsed if batched_s is None else min(batched_s, elapsed)
+        engine = result.engine
+        if list(result.disparities) != sequential:
+            raise AssertionError(
+                "faulted batched replications diverged from the general loop"
+            )
+    return {
+        "n_tasks": n_tasks,
+        "sims": sims,
+        "duration_s": duration_s,
+        "engine": engine,
+        "victim": victim,
+        "sequential_s": round(sequential_s, 4),
+        "batched_s": round(batched_s, 4),
+        "speedup": round(sequential_s / batched_s, 2) if batched_s else 0.0,
+        "sims_per_s": round(sims / batched_s, 2) if batched_s else 0.0,
     }
 
 
@@ -1031,8 +1131,8 @@ def bench_analysis_scaling(
 
 #: Benchmark sections of :func:`run_benchmarks`, in document order.
 KERNELS = (
-    "sim", "batch", "let", "columnar", "delta", "structural", "campaign",
-    "analysis",
+    "sim", "batch", "let", "columnar", "fault", "delta", "structural",
+    "campaign", "analysis",
 )
 
 
@@ -1079,6 +1179,12 @@ def run_benchmarks(
             bench_columnar_kernel(sims=12, duration_s=2.0, repeats=2)
             if quick
             else bench_columnar_kernel()
+        )
+    if "fault" in kernels:
+        document["fault"] = (
+            bench_fault_kernel(sims=8, duration_s=2.0, repeats=2)
+            if quick
+            else bench_fault_kernel()
         )
     if "delta" in kernels:
         document["delta"] = (
@@ -1147,6 +1253,16 @@ def format_benchmarks(results: Dict[str, Any]) -> str:
             f"  ({columnar['speedup']:.2f}x, "
             f"{columnar['sims_per_s']:,.1f} sims/s, "
             f"engine {columnar['engine']})"
+        )
+    fault = results.get("fault")
+    if fault is not None:
+        lines.append(
+            f"fault        {fault['sims']:>9} sims"
+            f"  {fault['sequential_s']:.2f}s general loop ->"
+            f" {fault['batched_s']:.2f}s masked batched"
+            f"  ({fault['speedup']:.2f}x, "
+            f"{fault['sims_per_s']:,.1f} sims/s, "
+            f"engine {fault['engine']})"
         )
     delta = results.get("delta")
     if delta is not None:
@@ -1263,6 +1379,17 @@ def compare_to_baseline(
         if cur_speedup < base_speedup * (1.0 - tolerance):
             regressions.append(
                 f"columnar replay speedup {cur_speedup:.2f}x is "
+                f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
+                f"committed {base_speedup:.2f}x"
+            )
+    cur_fault = current.get("fault")
+    base_fault = baseline.get("fault")
+    if cur_fault is not None and base_fault is not None:
+        cur_speedup = cur_fault["speedup"]
+        base_speedup = base_fault["speedup"]
+        if cur_speedup < base_speedup * (1.0 - tolerance):
+            regressions.append(
+                f"faulted batch speedup {cur_speedup:.2f}x is "
                 f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
                 f"committed {base_speedup:.2f}x"
             )

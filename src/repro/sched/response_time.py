@@ -88,6 +88,43 @@ def lower_priority(task: Task, peers: Sequence[Task]) -> Tuple[Task, ...]:
     )
 
 
+def _release_jitter(task: Task) -> Time:
+    """Bounded release jitter of ``task`` (0 unless jitter-modeled).
+
+    Interference analysis charges a peer's jitter by shifting its
+    release grid maximally early at the critical instant (Tindell's
+    classical extension): ``n(w) = floor((w + J) / T) + 1`` releases
+    can fall inside a level-``i`` busy window of length ``w``.
+    """
+    model = task.release_model
+    return model.jitter if model.kind == "jitter" else 0
+
+
+def _interference_period(task: Task) -> Time:
+    """Worst-case release rate of ``task`` as an interferer.
+
+    A sporadic task releases at most every ``min_gap``; periodic and
+    jittered tasks keep their nominal period (jitter shifts the grid,
+    it does not densify it — the shift is charged separately by
+    :func:`_release_jitter`).
+    """
+    model = task.release_model
+    return model.min_gap if model.kind == "sporadic" else task.period
+
+
+def _deadline_budget(task: Task) -> Time:
+    """Constrained-deadline budget: the minimum inter-release gap.
+
+    The single-job busy-window argument of both analyses needs each
+    job done before the task's next release, which can arrive as soon
+    as ``T - J`` after the current one under bounded jitter, or
+    ``min_gap`` for a sporadic task.
+    """
+    from repro.analysis_regime import min_release_gap
+
+    return min_release_gap(task)
+
+
 def blocking_factor(task: Task, peers: Sequence[Task]) -> Time:
     """Non-preemptive blocking: longest lower-priority WCET on the unit.
 
@@ -111,10 +148,20 @@ def response_time_np_fp(
     """WCRT of ``task`` under non-preemptive fixed-priority scheduling.
 
     ``peers`` is any superset of the tasks on the same unit (other units
-    are filtered out).  Requires the resulting ``R <= T`` (constrained
-    deadline, as the paper assumes); raises
+    are filtered out).  Requires the resulting ``R`` to fit the task's
+    minimum inter-release gap (constrained deadline, as the paper
+    assumes; ``T`` for periodic tasks); raises
     :class:`SchedulabilityError` if the fixed point exceeds
-    ``limit_factor * T`` without converging, or converges above ``T``.
+    ``limit_factor * T`` without converging, or converges above that
+    budget.
+
+    Non-periodic release models are accounted for with the classical
+    extensions: a jittered interferer contributes
+    ``floor((s + J_j) / T_j) + 1`` releases (its grid shifted maximally
+    early at the critical instant), a sporadic interferer releases
+    back-to-back every ``min_gap``, and the analyzed task's own budget
+    shrinks to its minimum inter-release gap.  Strictly periodic task
+    sets reproduce the original fixed point bit for bit.
     """
     if task.is_instantaneous:
         return 0
@@ -126,7 +173,9 @@ def response_time_np_fp(
     start = blocking  # queueing delay before the job may start
     while True:
         interference = sum(
-            (floor_div(start, peer.period) + 1) * peer.wcet for peer in hp
+            (floor_div(start + _release_jitter(peer), _interference_period(peer)) + 1)
+            * peer.wcet
+            for peer in hp
         )
         next_start = blocking + interference
         if next_start == start:
@@ -138,10 +187,11 @@ def response_time_np_fp(
             )
         start = next_start
     response = start + task.wcet
-    if response > task.period:
+    budget = _deadline_budget(task)
+    if response > budget:
         raise SchedulabilityError(
             f"task {task.name!r} is unschedulable under NP-FP: "
-            f"R={response} > T={task.period}"
+            f"R={response} > minimum inter-release gap {budget}"
         )
     return response
 
@@ -167,7 +217,11 @@ def response_time_p_fp(
     bound = limit_factor * task.period
     response = task.wcet
     while True:
-        interference = sum(ceil_div(response, peer.period) * peer.wcet for peer in hp)
+        interference = sum(
+            ceil_div(response + _release_jitter(peer), _interference_period(peer))
+            * peer.wcet
+            for peer in hp
+        )
         next_response = task.wcet + interference
         if next_response == response:
             break
@@ -177,10 +231,11 @@ def response_time_p_fp(
                 f"{limit_factor} periods"
             )
         response = next_response
-    if response > task.period:
+    budget = _deadline_budget(task)
+    if response > budget:
         raise SchedulabilityError(
             f"task {task.name!r} is unschedulable under P-FP: "
-            f"R={response} > T={task.period}"
+            f"R={response} > minimum inter-release gap {budget}"
         )
     return response
 

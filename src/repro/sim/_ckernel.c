@@ -30,7 +30,7 @@
 #include <stdint.h>
 #include <stdlib.h>
 
-#define REPRO_CKERNEL_ABI 2
+#define REPRO_CKERNEL_ABI 3
 
 /* Read-only tables shared by every replication. */
 typedef struct {
@@ -53,12 +53,15 @@ typedef struct {
     const int32_t *rank_tid; /* n_units x max_ranks, -1 padded */
     const int64_t *job_base; /* first record slot per task, -1 if none */
     const int64_t *job_cap;  /* record slots per task */
+    const int64_t *dl_base;  /* first deadline slot per task (LET tables) */
+    int64_t dl_slots;        /* deadline columns per sim, 0 = arithmetic */
 } Tables;
 
 /* One replication's mutable state (scratch reused across sims). */
 typedef struct {
     const Tables *tb;
     const int64_t *offs; /* n: this sim's offsets */
+    const int64_t *dl;   /* dl_slots: this sim's LET deadline row */
     const double *var;   /* n_draws: this sim's U[0,1) variates */
     int64_t cursor;
     uint64_t *ready;     /* n_units: pending-task rank bitmask */
@@ -118,7 +121,11 @@ static int32_t pop_ready(Sim *s, int64_t u)
 
 /* LET: each finish must meet its job's deadline (one period past the
  * release).  rec counts dispatches, so the running job's index is
- * rec - 1 and its deadline offs + rec * period == release + period. */
+ * rec - 1 and its deadline offs + rec * period == release + period.
+ * Under release tables (jitter/sporadic models, fault masks) the
+ * arithmetic does not hold: the caller passes per-sim pre-computed
+ * deadline rows (kept release + period per dispatched job) instead,
+ * signalled by dl_slots > 0. */
 static int check_deadline(Sim *s, int64_t u, int64_t now)
 {
     const Tables *tb = s->tb;
@@ -127,7 +134,10 @@ static int check_deadline(Sim *s, int64_t u, int64_t now)
     if (!tb->let_mode)
         return 0;
     tid = s->running[u];
-    deadline = s->offs[tid] + s->rec[tid] * tb->periods[tid];
+    if (tb->dl_slots)
+        deadline = s->dl[tb->dl_base[tid] + s->rec[tid] - 1];
+    else
+        deadline = s->offs[tid] + s->rec[tid] * tb->periods[tid];
     if (now > deadline) {
         s->viol[0] = tid;
         s->viol[1] = s->rec[tid] - 1;
@@ -338,6 +348,9 @@ int64_t columnar_advance(
     int64_t policy_mode, int64_t let_mode, int64_t track,
     const double *variates, int64_t n_draws, /* sims x n_draws */
     const int64_t *offsets,      /* sims x n */
+    const int64_t *dl_tab,       /* sims x dl_slots (LET tables) */
+    const int64_t *dl_base,      /* n, -1 for non-compute tasks */
+    int64_t dl_slots,            /* 0 = arithmetic deadlines */
     const int64_t *job_base,     /* n */
     const int64_t *job_cap,      /* n */
     int64_t slots,
@@ -386,6 +399,8 @@ int64_t columnar_advance(
     tb.rank_tid = rank_tid;
     tb.job_base = job_base;
     tb.job_cap = job_cap;
+    tb.dl_base = dl_base;
+    tb.dl_slots = dl_slots;
 
     s.tb = &tb;
     s.ready = ready;
@@ -398,6 +413,7 @@ int64_t columnar_advance(
 
     for (i = 0; i < sims; i++) {
         s.offs = offsets + i * n;
+        s.dl = dl_tab + i * dl_slots;
         s.var = variates + i * n_draws;
         s.starts = starts_out + i * slots;
         s.fins = fins_out + i * slots;

@@ -78,7 +78,7 @@ import heapq
 import os
 import random
 import time as _time
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass, replace as _replace
 from fractions import Fraction
@@ -115,6 +115,7 @@ from repro.sim.exec_time import (
 )
 from repro.sim.metrics import DisparityMonitor
 from repro.sim.provenance import ProvenancePacker
+from repro.sim.release import kept_mask, release_table
 from repro.units import Time
 
 #: A policy given either by CLI name or as a callable.
@@ -185,9 +186,10 @@ class _ScheduleCache:
     """Bounded LRU over recorded schedules, shared across sibling views.
 
     Keys are ``(offsets, seed, duration, policy-name)`` (seed
-    normalized to 0 for deterministic policies); values are the
-    ``(starts, fins, completed, casc)`` tuples of
-    :meth:`CompiledScenario._schedule`, which consumers only read.
+    normalized to 0 for deterministic policies, unless release tables
+    are seed-drawn); values are the ``(starts, fins, completed, casc,
+    rels)`` tuples of :meth:`CompiledScenario._schedule`, which
+    consumers only read.
     Capacity-derived scenarios alias their parent's instance — buffer
     sizes never change scheduling, so one schedule serves every
     capacity candidate evaluated at the same draws.
@@ -328,7 +330,12 @@ class CompiledScenario:
     """
 
     def __init__(
-        self, system: System, task: str, *, semantics: str = "implicit"
+        self,
+        system: System,
+        task: str,
+        *,
+        semantics: str = "implicit",
+        faults=None,
     ) -> None:
         t0 = _time.perf_counter()
         if semantics not in ("implicit", "let"):
@@ -347,6 +354,20 @@ class CompiledScenario:
         n = len(tasks)
         self.n = n
         self.names = [t.name for t in tasks]
+        # Release tables (jitter/sporadic models, fault plans): a
+        # non-empty fault plan or any non-periodic release model makes
+        # the replication loop replay pre-drawn per-replication tables
+        # instead of the arithmetic release stream; strictly periodic
+        # fault-free scenarios keep the original paths untouched.
+        if faults is not None:
+            faults.validate(self.names)
+        self.faults = faults if faults else None
+        self._faults_sig = faults.signature() if self.faults else ()
+        self.release_models = [t.release_model for t in tasks]
+        self._nonperiodic = any(
+            not m.is_periodic for m in self.release_models
+        )
+        self._needs_tables = self._nonperiodic or self.faults is not None
         gid = {t.name: i for i, t in enumerate(tasks)}
         if task not in gid:
             raise ModelError(f"unknown task {task!r}")
@@ -664,6 +685,66 @@ class CompiledScenario:
         )
         return t_all[order].tolist(), tid_all[order].tolist()
 
+    def _release_tables(
+        self, offsets: Sequence[Time], seed: int, duration: Time
+    ) -> Tuple[List[Time], List[int], List[List[Time]]]:
+        """Table-mode release stream plus per-task kept-release tables.
+
+        Returns ``(rel_times, rel_tids, rels)``: the CPU release stream
+        in exactly the fast path's heap pop order, restricted to
+        releases the fault plan keeps, and per task (instantaneous ones
+        included) the sorted kept-release instants — the job-``k`` ->
+        release mapping the provenance resolver and LET deadlines read.
+
+        The static ``(time, k > 0, -period, -offset, tid)`` sort key of
+        :meth:`_release_stream` does not extend to drawn tables, so the
+        pop order is reproduced directly: a k-way merge with the same
+        seq discipline the fast path's release heap uses (initial
+        entries in task order, a successor entered at its predecessor's
+        pop).  Suppressed releases ride through the merge and are
+        filtered at pop — the fast path advances its heap on them too,
+        so the faulted pop order is the fault-free order filtered.
+        """
+        tables: List[List[Time]] = []
+        masks: List[List[bool]] = []
+        rels: List[List[Time]] = []
+        plan = self.faults
+        for tid, task in enumerate(self.tasks):
+            table = release_table(task, seed, duration, offset=offsets[tid])
+            mask = kept_mask(plan, task.name, table)
+            tables.append(table)
+            masks.append(mask)
+            rels.append(
+                table
+                if all(mask)
+                else [at for at, ok in zip(table, mask) if ok]
+            )
+        rel_times: List[Time] = []
+        rel_tids: List[int] = []
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heap: List[Tuple[Time, int, int]] = []
+        seq = 0
+        ptr = [1] * self.n
+        inst = self.inst
+        for tid in range(self.n):
+            if not inst[tid] and tables[tid]:
+                seq += 1
+                heap.append((tables[tid][0], seq, tid))
+        heapq.heapify(heap)
+        while heap:
+            at, _, tid = heappop(heap)
+            nxt = ptr[tid]
+            ptr[tid] = nxt + 1
+            table = tables[tid]
+            if nxt < len(table):
+                seq += 1
+                heappush(heap, (table[nxt], seq, tid))
+            if masks[tid][nxt - 1]:
+                rel_times.append(at)
+                rel_tids.append(tid)
+        return rel_times, rel_tids, rels
+
     # ------------------------------------------------------------------
     # the compiled replication loop
     # ------------------------------------------------------------------
@@ -679,10 +760,11 @@ class CompiledScenario:
         List[List[Time]],
         List[int],
         Optional[Dict[Tuple[int, int], int]],
+        Optional[List[List[Time]]],
     ]:
         """One replication's schedule of the monitored closure.
 
-        Returns ``(starts, fins, completed, casc)`` for the kept
+        Returns ``(starts, fins, completed, casc, rels)`` for the kept
         tasks; the RNG stream (and hence every execution-time draw) is
         identical to the engine loops under the same seed.  ``casc``
         is the cascade-depth side table for zero-BCET scenarios
@@ -691,6 +773,9 @@ class CompiledScenario:
         sub-batch depth the engine's fast path would record.  Under
         LET the loop instead checks each finish against its job's
         deadline, raising the engine's ``LET violation`` error.
+        ``rels`` is ``None`` on the arithmetic (periodic fault-free)
+        path; in table mode it holds each task's kept-release instants
+        (the job ``k`` -> release mapping downstream resolvers need).
         """
         rng = random.Random(seed)
         rng_random = rng.random
@@ -712,7 +797,13 @@ class CompiledScenario:
         fast_uniform = policy is uniform_policy
         fast_wcet = policy is wcet_policy
 
-        rel_times, rel_tids = self._release_stream(offsets, duration)
+        if self._needs_tables:
+            rel_times, rel_tids, rels = self._release_tables(
+                offsets, seed, duration
+            )
+        else:
+            rel_times, rel_tids = self._release_stream(offsets, duration)
+            rels = None
         sentinel = duration + 1
         rel_times.append(sentinel)
         rel_tids.append(-1)
@@ -732,7 +823,10 @@ class CompiledScenario:
         names = self.names
 
         def check_deadline(tid: int, at: Time) -> None:
-            deadline = offsets[tid] + ndisp[tid] * periods[tid]
+            if rels is None:
+                deadline = offsets[tid] + ndisp[tid] * periods[tid]
+            else:
+                deadline = rels[tid][ndisp[tid] - 1] + periods[tid]
             if at > deadline:
                 raise ModelError(
                     f"LET violation: job {names[tid]}#{ndisp[tid] - 1} "
@@ -965,7 +1059,7 @@ class CompiledScenario:
             if done and fs[-1] > duration:
                 done -= 1
             completed[tid] = done
-        return starts, fins, completed, casc
+        return starts, fins, completed, casc, rels
 
     def _schedule_cached(
         self,
@@ -978,6 +1072,7 @@ class CompiledScenario:
         List[List[Time]],
         List[int],
         Optional[Dict[Tuple[int, int], int]],
+        Optional[List[List[Time]]],
     ]:
         """:meth:`_schedule` through the bounded schedule memo.
 
@@ -988,14 +1083,21 @@ class CompiledScenario:
         affect scheduling) and repeated probes of one candidate hit it
         directly.  Deterministic policies (WCET/BCET) consume no RNG,
         so their key normalizes the seed away and candidates differing
-        only in execution-time seeds share one computed schedule.
-        Unrecognized policy callables bypass the memo.
+        only in execution-time seeds share one computed schedule —
+        *unless* a non-periodic release model is present: release
+        tables are drawn from the seed, so the key keeps the real seed
+        even for deterministic policies.  (A fault plan alone does not
+        re-couple the seed: periodic tables are seed-independent and
+        the plan is fixed per compiled scenario, so masked schedules
+        still alias across execution-time seeds.)  Unrecognized policy
+        callables bypass the memo.
         """
         token = _policy_token(policy)
         if token is None:
             return self._schedule(offsets, seed, duration, policy)
         name, consumes_rng = token
-        key = (tuple(offsets), seed if consumes_rng else 0, duration, name)
+        consumes_seed = consumes_rng or self._nonperiodic
+        key = (tuple(offsets), seed if consumes_seed else 0, duration, name)
         found = self._sched_cache.get(key)
         if found is None:
             found = self._schedule(offsets, seed, duration, policy)
@@ -1009,6 +1111,7 @@ class CompiledScenario:
         fins: List[List[Time]],
         completed: List[int],
         casc: Optional[Dict[Tuple[int, int], int]] = None,
+        rels: Optional[List[List[Time]]] = None,
     ):
         """Memoized packed-provenance DP over one recorded schedule.
 
@@ -1019,11 +1122,17 @@ class CompiledScenario:
         the engine's fast path does), the FIFO head among ``m``
         visible writes on a capacity-``c`` channel is write
         ``max(0, m - c)``, and provenance folds bottom-up as interned
-        bitmask + stamp pairs.  Under LET both sides are arithmetic:
-        jobs read at their release, sources publish at release, every
-        other producer at its deadline (one period after release),
-        with CPU producers publishing only jobs they completed within
-        the horizon.
+        bitmask + stamp pairs.  Under LET both sides are
+        time-deterministic: jobs read at their release, sources
+        publish at release, every other producer at its deadline (one
+        period after release), with CPU producers publishing only jobs
+        they completed within the horizon.
+
+        ``rels`` switches the release arithmetic: ``None`` keeps
+        ``offset + k * period``; in table mode job ``k`` of task ``g``
+        releases at ``rels[g][k]`` and counting a producer's releases
+        or publications up to an instant becomes a bisect over its
+        kept table (exactly ``_FastFlow._writes_upto``).
         """
         periods = self.periods
         inst = self.inst
@@ -1043,10 +1152,17 @@ class CompiledScenario:
             if got is not None:
                 return got
             if is_source[g]:
-                p = pk_source(names[g], offsets[g] + k * periods[g])
+                release = (
+                    rels[g][k] if rels is not None
+                    else offsets[g] + k * periods[g]
+                )
+                p = pk_source(names[g], release)
             else:
                 if let_mode or inst[g]:
-                    at = offsets[g] + k * periods[g]
+                    at = (
+                        rels[g][k] if rels is not None
+                        else offsets[g] + k * periods[g]
+                    )
                     rkey = 1
                 else:
                     at = starts[g][k]
@@ -1059,7 +1175,16 @@ class CompiledScenario:
                 for pg, cap in in_edges[g]:
                     po = offsets[pg]
                     if let_mode:
-                        if at < po:
+                        if rels is not None:
+                            if is_source[pg]:
+                                mm = bisect_right(rels[pg], at)
+                            else:
+                                mm = bisect_right(
+                                    rels[pg], at - periods[pg]
+                                )
+                                if not inst[pg] and mm > completed[pg]:
+                                    mm = completed[pg]
+                        elif at < po:
                             mm = 0
                         elif is_source[pg]:
                             mm = (at - po) // periods[pg] + 1
@@ -1068,7 +1193,13 @@ class CompiledScenario:
                             if not inst[pg] and mm > completed[pg]:
                                 mm = completed[pg]
                     elif inst[pg]:
-                        mm = 0 if at < po else (at - po) // periods[pg] + 1
+                        if rels is not None:
+                            mm = bisect_right(rels[pg], at)
+                        else:
+                            mm = (
+                                0 if at < po
+                                else (at - po) // periods[pg] + 1
+                            )
                     else:
                         fts = fins[pg]
                         mm = bisect_right(fts, at)
@@ -1096,11 +1227,17 @@ class CompiledScenario:
         return prov
 
     def _monitored_count(
-        self, offsets: Sequence[Time], duration: Time, completed: List[int]
+        self,
+        offsets: Sequence[Time],
+        duration: Time,
+        completed: List[int],
+        rels: Optional[List[List[Time]]] = None,
     ) -> int:
         gid = self.m_gid
         if not self.inst[gid]:
             return completed[gid]
+        if rels is not None:
+            return len(rels[gid])
         offset = offsets[gid]
         if offset > duration:
             return 0
@@ -1130,17 +1267,22 @@ class CompiledScenario:
                 return self._fallback_disparity(
                     offsets, seed, duration, warmup, resolved
                 )
-            starts, fins, completed, casc = self._schedule_cached(
+            starts, fins, completed, casc, rels = self._schedule_cached(
                 offsets, seed, duration, resolved
             )
-            prov = self._prov_resolver(offsets, starts, fins, completed, casc)
+            prov = self._prov_resolver(
+                offsets, starts, fins, completed, casc, rels
+            )
             gid = self.m_gid
-            count = self._monitored_count(offsets, duration, completed)
+            count = self._monitored_count(offsets, duration, completed, rels)
             offset = offsets[gid]
             period = self.periods[gid]
-            k0 = 0
-            if warmup > offset:
-                k0 = -(-(warmup - offset) // period)
+            if rels is not None:
+                k0 = bisect_left(rels[gid], warmup)
+            else:
+                k0 = 0
+                if warmup > offset:
+                    k0 = -(-(warmup - offset) // period)
             best = -1
             pd = self.packer.disparity
             for k in range(k0, count):
@@ -1180,24 +1322,33 @@ class CompiledScenario:
         resolved = _resolve_policy(policy)
         t0 = _time.perf_counter()
         try:
-            starts, fins, completed, casc = self._schedule_cached(
+            starts, fins, completed, casc, rels = self._schedule_cached(
                 offsets, seed, duration, resolved
             )
-            prov = self._prov_resolver(offsets, starts, fins, completed, casc)
+            prov = self._prov_resolver(
+                offsets, starts, fins, completed, casc, rels
+            )
             gid = self.m_gid
-            total = self._monitored_count(offsets, duration, completed)
+            total = self._monitored_count(offsets, duration, completed, rels)
             offset = offsets[gid]
             period = self.periods[gid]
-            k0 = 0
-            if start > offset:
-                k0 = -(-(start - offset) // period)
+            if rels is not None:
+                k0 = bisect_left(rels[gid], start)
+            else:
+                k0 = 0
+                if start > offset:
+                    k0 = -(-(start - offset) // period)
             per_window: Dict[int, Time] = {}
             pd = self.packer.disparity
             for k in range(k0, total):
                 d = pd(prov(gid, k))
                 if d is None:
                     continue
-                index = (offset + k * period - start) // window
+                release = (
+                    rels[gid][k] if rels is not None
+                    else offset + k * period
+                )
+                index = (release - start) // window
                 if d > per_window.get(index, -1):
                     per_window[index] = d
             return [per_window.get(i, 0) for i in range(count)]
@@ -1378,6 +1529,16 @@ class CompiledScenario:
         clone.names = self.names
         clone._gid = self._gid
         clone.inst = self.inst
+        # The fault plan and release models ride along unchanged:
+        # edits replace periods/priorities/capacities only, and table
+        # construction reads ``clone.tasks`` fresh per replication, so
+        # a period edit of a jittered task re-draws its table from the
+        # new grid automatically (nothing stale survives the edit).
+        clone.faults = self.faults
+        clone._faults_sig = self._faults_sig
+        clone.release_models = [t.release_model for t in tasks]
+        clone._nonperiodic = self._nonperiodic
+        clone._needs_tables = self._needs_tables
         clone.periods = (
             [t.period for t in tasks] if periods_changed else self.periods
         )
@@ -1454,6 +1615,7 @@ class CompiledScenario:
             policy=policy,
             observers=[monitor],
             semantics=self.semantics,
+            faults=self.faults,
         )
         return monitor.disparity(self.task)
 
@@ -1625,10 +1787,19 @@ class StructuralView(OffsetView):
 
 
 def compile_scenario(
-    system: System, task: str, *, semantics: str = "implicit"
+    system: System,
+    task: str,
+    *,
+    semantics: str = "implicit",
+    faults=None,
 ) -> CompiledScenario:
-    """Compile ``system`` for batched replications monitoring ``task``."""
-    return CompiledScenario(system, task, semantics=semantics)
+    """Compile ``system`` for batched replications monitoring ``task``.
+
+    A non-empty ``faults`` plan (release dropouts) compiles into the
+    scenario: every replication replays it, byte-identical to passing
+    the same plan to :func:`~repro.sim.engine.simulate`.
+    """
+    return CompiledScenario(system, task, semantics=semantics, faults=faults)
 
 
 def run_batch(
@@ -1644,6 +1815,7 @@ def run_batch(
     compiled: Optional[CompiledScenario] = None,
     semantics: str = "implicit",
     engine: str = "auto",
+    faults=None,
 ) -> BatchResult:
     """Run ``sims`` randomized replications against one compiled scenario.
 
@@ -1670,6 +1842,11 @@ def run_batch(
     replication's seed/offsets, so after a mid-batch LET-violation
     error ``rng`` has advanced past all ``sims`` draws (the
     sequential loop stops at the violating replication).
+
+    ``faults`` (a :class:`~repro.sim.faults.FaultPlan`) compiles into
+    the scenario as per-replication release masks, so faulted runs
+    stay eligible for the batched tiers; a pre-``compiled`` scenario
+    must have been compiled under a plan with the same signature.
     """
     if sims < 0:
         raise ModelError(f"sims must be >= 0, got {sims}")
@@ -1683,7 +1860,9 @@ def run_batch(
         rng = random.Random(seed)
     compile_s = 0.0
     if compiled is None:
-        compiled = CompiledScenario(system, task, semantics=semantics)
+        compiled = CompiledScenario(
+            system, task, semantics=semantics, faults=faults
+        )
         compile_s = compiled.compile_s
     elif compiled.task != task:
         raise ModelError(
@@ -1693,6 +1872,11 @@ def run_batch(
         raise ModelError(
             f"compiled scenario replays {compiled.semantics!r} semantics, "
             f"not {semantics!r}"
+        )
+    elif compiled._faults_sig != (faults.signature() if faults else ()):
+        raise ModelError(
+            "compiled scenario was compiled under a different fault plan; "
+            "recompile with compile_scenario(..., faults=...)"
         )
     t0 = _time.perf_counter()
     periods = compiled.periods

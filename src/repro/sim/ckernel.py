@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import List, Optional, Tuple
 
 #: ABI stamp; must match ``REPRO_CKERNEL_ABI`` in ``_ckernel.c``.
-ABI_VERSION = 2
+ABI_VERSION = 3
 
 _SOURCE = Path(__file__).with_name("_ckernel.c")
 
@@ -57,6 +57,7 @@ _ADVANCE_ARGTYPES = [
     _I64, _I64, _I64,          # policy_mode, let_mode, track
     _P_F64, _I64,              # variates, n_draws
     _P_I64,                    # offsets
+    _P_I64, _P_I64, _I64,      # dl_tab, dl_base, dl_slots
     _P_I64, _P_I64, _I64,      # job_base, job_cap, slots
     _P_I64, _P_I64, _P_I32,    # starts_out, fins_out, casc_out
     _P_I64, _P_I64,            # rec_out, viol_out

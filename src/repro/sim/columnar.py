@@ -51,6 +51,7 @@ from repro.sim import batch as _batch
 from repro.sim import ckernel
 from repro.sim.exec_time import BATCH_POLICY_MODES, draw_batch
 from repro.sim.provenance import StampColumns
+from repro.sim.release import max_jobs
 from repro.units import Time
 
 #: The C kernel's ready masks are one ``uint64`` per unit.
@@ -136,14 +137,26 @@ def run_columnar(
 # ----------------------------------------------------------------------
 
 
+def _job_cap(compiled, tid: int, duration: Time) -> int:
+    """Job-slot bound of one task: the most releases any sim can see.
+
+    ``duration // T + 1`` (the offset-0 release count) for periodic and
+    jittered models, ``duration // min_gap + 1`` for sporadic ones —
+    :func:`repro.sim.release.max_jobs`, which the padded job columns,
+    release tables, and variate budgets must all agree on.
+    """
+    return max_jobs(compiled.tasks[tid], duration)
+
+
 def _draw_budget(compiled, duration: Time, mode: int) -> int:
     """Offset-independent upper bound on the variates one sim consumes.
 
     Uniform draws once per dispatch of a ``span > 1`` task, extremes
     once per dispatch of any compute task, WCET/BCET never; dispatches
-    per task are bounded by the offset-0 release count
-    ``duration // T + 1``.  The kernel's cursor errors out if a sim
-    ever outruns this budget (an invariant, not an input condition).
+    per task are bounded by the release-count bound :func:`_job_cap`
+    (fault masks only shrink it).  The kernel's cursor errors out if a
+    sim ever outruns this budget (an invariant, not an input
+    condition).
     """
     if mode in (1, 2):
         return 0
@@ -153,11 +166,11 @@ def _draw_budget(compiled, duration: Time, mode: int) -> int:
             continue
         if mode == 0 and compiled.spans[tid] <= 1:
             continue
-        total += duration // compiled.periods[tid] + 1
+        total += _job_cap(compiled, tid, duration)
     return total
 
 
-def _release_streams(compiled, offs, duration: Time):
+def _release_streams(compiled, seeds, offs, duration: Time):
     """Batched ``_release_stream``: ``(sims, W)`` rows in pop order.
 
     The packed single-key path applies each sim's offset vector as a
@@ -166,14 +179,38 @@ def _release_streams(compiled, offs, duration: Time):
     Both append the ``duration + 1`` sentinel column the kernel's
     event loop terminates on.  Row ``i`` equals
     ``compiled._release_stream(offsets_i, duration)`` exactly.
+
+    Returns ``(rel_times, rel_tids, rels_rows)``.  In table mode
+    (fault plan or non-periodic release models) each row is the
+    scalar loop's :meth:`CompiledScenario._release_tables` stream —
+    drawn per ``(seed, task)``, fault-masked, padded to the widest row
+    with sentinels — and ``rels_rows[i]`` holds sim ``i``'s per-task
+    kept-release tables for the derive phase; on the arithmetic path
+    ``rels_rows`` is ``None``.
     """
     sims = offs.shape[0]
     sentinel = duration + 1
+    if compiled._needs_tables:
+        rows = [
+            compiled._release_tables(
+                tuple(int(x) for x in offs[i]), seeds[i], duration
+            )
+            for i in range(sims)
+        ]
+        width = max((len(r[0]) for r in rows), default=0) + 1
+        rel_times = _np.full((sims, width), sentinel, dtype=_np.int64)
+        rel_tids = _np.full((sims, width), -1, dtype=_np.int32)
+        for i, (times, tids, _rels) in enumerate(rows):
+            if times:
+                rel_times[i, : len(times)] = times
+                rel_tids[i, : len(times)] = tids
+        return rel_times, rel_tids, [r[2] for r in rows]
     tables = compiled._stream_tables(duration)
     if tables[0] == "empty":
         return (
             _np.full((sims, 1), sentinel, dtype=_np.int64),
             _np.full((sims, 1), -1, dtype=_np.int32),
+            None,
         )
     n = compiled.n
     inst = compiled.inst
@@ -233,17 +270,20 @@ def _release_streams(compiled, offs, duration: Time):
     return (
         _np.ascontiguousarray(rel_times, dtype=_np.int64),
         _np.ascontiguousarray(rel_tids, dtype=_np.int32),
+        None,
     )
 
 
 def _advance(compiled, seeds, offs, duration: Time, policy):
     """All replications' recorded schedules, via one C kernel call.
 
-    Returns ``(starts, fins, casc, rec, job_base, job_cap, pad)``:
-    ``(sims, slots)`` start/finish/cascade columns over the kept
-    compute tasks' job slots (``job_base``/``job_cap`` map task to
-    slot range), ``(sims, n)`` dispatch counts, and the ``pad`` time
-    filling never-dispatched slots.  Memoized on the scenario's
+    Returns ``(starts, fins, casc, rec, job_base, job_cap, pad,
+    rels)``: ``(sims, slots)`` start/finish/cascade columns over the
+    kept compute tasks' job slots (``job_base``/``job_cap`` map task
+    to slot range), ``(sims, n)`` dispatch counts, the ``pad`` time
+    filling never-dispatched slots, and — in table mode — per kept
+    task the ``(sims, cap)`` kept-release columns (``None`` on the
+    arithmetic path).  Memoized on the scenario's
     ``_adv_cache`` — keyed like the scalar schedule memo, so
     capacity-derived siblings (which alias the cache) and repeated
     probes replay the recorded columns without re-advancing, and
@@ -255,7 +295,11 @@ def _advance(compiled, seeds, offs, duration: Time, policy):
     the sequential reference would hit) with the engine's message.
     """
     mode = BATCH_POLICY_MODES[policy]
-    seeds_key = tuple(seeds) if mode in (0, 3) else ()
+    # Non-periodic release models draw their tables from the seed, so
+    # deterministic policies stop being seed-independent there.
+    seeds_key = (
+        tuple(seeds) if mode in (0, 3) or compiled._nonperiodic else ()
+    )
     key = ("columnar", seeds_key, offs.tobytes(), duration, mode)
     cache = compiled._adv_cache
     found = cache.get(key)
@@ -275,7 +319,9 @@ def _advance(compiled, seeds, offs, duration: Time, policy):
     _batch.PHASE_TIMES["draw_s"] += _time.perf_counter() - t0
 
     t0 = _time.perf_counter()
-    rel_times, rel_tids = _release_streams(compiled, offs, duration)
+    rel_times, rel_tids, rels_rows = _release_streams(
+        compiled, seeds, offs, duration
+    )
 
     job_base = _np.full(n, -1, dtype=_np.int64)
     job_cap = _np.zeros(n, dtype=_np.int64)
@@ -283,7 +329,7 @@ def _advance(compiled, seeds, offs, duration: Time, policy):
     for tid in range(n):
         if compiled.keep[tid] and not compiled.inst[tid]:
             job_base[tid] = slots
-            job_cap[tid] = duration // compiled.periods[tid] + 1
+            job_cap[tid] = _job_cap(compiled, tid, duration)
             slots += int(job_cap[tid])
 
     # Beyond any real record (start <= duration, finish <= duration +
@@ -298,6 +344,51 @@ def _advance(compiled, seeds, offs, duration: Time, policy):
         )
         + 1
     )
+
+    # Table mode: per-(sim, task) kept-release columns for the derive
+    # phase (padded with ``pad``, so the row-biased bisects stay in
+    # range), plus — under LET — flat per-sim deadline rows the kernel
+    # indexes by ``(task, dispatch - 1)`` in place of the arithmetic
+    # ``offset + rec * period``.
+    rels_arrs = None
+    dl_tab = _np.zeros(1, dtype=_np.int64)
+    dl_base = _np.full(n, -1, dtype=_np.int64)
+    dl_slots = 0
+    if rels_rows is not None:
+        rels_arrs = {}
+        for g in range(n):
+            if not compiled.keep[g]:
+                continue
+            arr = _np.full(
+                (sims, max(_job_cap(compiled, g, duration), 1)),
+                pad,
+                dtype=_np.int64,
+            )
+            for i in range(sims):
+                row = rels_rows[i][g]
+                if row:
+                    arr[i, : len(row)] = row
+            rels_arrs[g] = arr
+        if compiled._let:
+            for tid in range(n):
+                if not compiled.inst[tid]:
+                    dl_base[tid] = dl_slots
+                    dl_slots += _job_cap(compiled, tid, duration)
+            dl_tab = _np.full(
+                (sims, max(dl_slots, 1)), pad, dtype=_np.int64
+            )
+            for i in range(sims):
+                rels_i = rels_rows[i]
+                for tid in range(n):
+                    if compiled.inst[tid]:
+                        continue
+                    row = rels_i[tid]
+                    if row:
+                        base = int(dl_base[tid])
+                        dl_tab[i, base : base + len(row)] = [
+                            at + compiled.periods[tid] for at in row
+                        ]
+
     starts = _np.full((sims, max(slots, 1)), pad, dtype=_np.int64)
     fins = _np.full((sims, max(slots, 1)), pad, dtype=_np.int64)
     casc = _np.zeros((sims, max(slots, 1)), dtype=_np.int32)
@@ -344,6 +435,9 @@ def _advance(compiled, seeds, offs, duration: Time, policy):
         _pf64(variates),
         n_draws,
         _p64(offs_c),
+        _p64(dl_tab),
+        _p64(dl_base),
+        dl_slots,
         _p64(job_base),
         _p64(job_cap),
         slots,
@@ -367,7 +461,7 @@ def _advance(compiled, seeds, offs, duration: Time, policy):
                 f"LET violation: job {compiled.names[tid]}#{job} "
                 f"finished at {at} past its deadline {deadline}"
             )
-    found = (starts, fins, casc, rec, job_base, job_cap, pad)
+    found = (starts, fins, casc, rec, job_base, job_cap, pad, rels_arrs)
     cache.put(key, found)
     return found
 
@@ -416,6 +510,18 @@ def _row_bisect_right(rows, queries, pad):
     )[:, None] * width
 
 
+def _row_bisect_left(rows, queries, pad):
+    """Per-row ``bisect_left``, same row-biased trick as the right form."""
+    sims, width = rows.shape
+    bias = _np.arange(sims, dtype=_np.int64)[:, None] * (pad + 1)
+    pos = _np.searchsorted(
+        (rows + bias).ravel(), (queries + bias).ravel(), side="left"
+    )
+    return pos.reshape(sims, queries.shape[1]) - _np.arange(
+        sims, dtype=_np.int64
+    )[:, None] * width
+
+
 def _derive(compiled, adv, offs, duration: Time, warmup: Time) -> List[Time]:
     """Bulk ``_prov_resolver`` + monitored disparity over the columns.
 
@@ -435,7 +541,7 @@ def _derive(compiled, adv, offs, duration: Time, warmup: Time) -> List[Time]:
     as the scalar loop does.
     """
     t0 = _time.perf_counter()
-    starts, fins, casc, rec, job_base, job_cap, pad = adv
+    starts, fins, casc, rec, job_base, job_cap, pad, rels = adv
     sims = offs.shape[0]
     periods = compiled.periods
     inst = compiled.inst
@@ -448,7 +554,7 @@ def _derive(compiled, adv, offs, duration: Time, warmup: Time) -> List[Time]:
     order = _topo_kept(compiled)
     src_cols = {g: i for i, g in enumerate(g for g in order if is_source[g])}
     n_src = len(src_cols)
-    heights = {g: duration // periods[g] + 1 for g in order}
+    heights = {g: _job_cap(compiled, g, duration) for g in order}
 
     ks_memo: Dict[int, object] = {}
 
@@ -483,14 +589,20 @@ def _derive(compiled, adv, offs, duration: Time, warmup: Time) -> List[Time]:
     for g in order:
         height = heights[g]
         if is_source[g]:
-            stamps = offs[:, g : g + 1] + ks_of(height) * periods[g]
+            if rels is not None:
+                stamps = rels[g]
+            else:
+                stamps = offs[:, g : g + 1] + ks_of(height) * periods[g]
             blocks[g] = StampColumns.source(
                 sims, height, n_src, src_cols[g], stamps
             )
         else:
             block = StampColumns.empty(sims, height, n_src)
             if let_mode or inst[g]:
-                at = offs[:, g : g + 1] + ks_of(height) * periods[g]
+                if rels is not None:
+                    at = rels[g]
+                else:
+                    at = offs[:, g : g + 1] + ks_of(height) * periods[g]
                 rkey = 1
             else:
                 base = int(job_base[g])
@@ -507,14 +619,34 @@ def _derive(compiled, adv, offs, duration: Time, warmup: Time) -> List[Time]:
                 po = offs[:, pg : pg + 1]
                 per_p = periods[pg]
                 if let_mode:
-                    if is_source[pg]:
+                    if rels is not None:
+                        if is_source[pg]:
+                            mm = _row_bisect_right(rels[pg], at, pad)
+                        else:
+                            # Publications at kept release + period:
+                            # count kept releases <= at - period,
+                            # guarding the clip against counting a
+                            # release at 0 when the query is negative.
+                            raw = at - per_p
+                            mm = _row_bisect_right(
+                                rels[pg], _np.clip(raw, 0, pad), pad
+                            )
+                            mm = _np.where(raw < 0, 0, mm)
+                            if not inst[pg]:
+                                mm = _np.minimum(
+                                    mm, completed_of(pg)[:, None]
+                                )
+                    elif is_source[pg]:
                         mm = _np.where(at < po, 0, (at - po) // per_p + 1)
                     else:
                         mm = _np.where(at < po, 0, (at - po) // per_p)
                         if not inst[pg]:
                             mm = _np.minimum(mm, completed_of(pg)[:, None])
                 elif inst[pg]:
-                    mm = _np.where(at < po, 0, (at - po) // per_p + 1)
+                    if rels is not None:
+                        mm = _row_bisect_right(rels[pg], at, pad)
+                    else:
+                        mm = _np.where(at < po, 0, (at - po) // per_p + 1)
                 else:
                     pb = int(job_base[pg])
                     f_pg = fins[:, pb : pb + hp]
@@ -571,12 +703,22 @@ def _derive(compiled, adv, offs, duration: Time, warmup: Time) -> List[Time]:
     off_m = offs[:, gid]
     per_m = periods[gid]
     if inst[gid]:
-        count = _np.where(
-            off_m > duration, 0, (duration - off_m) // per_m + 1
-        )
+        if rels is not None:
+            count = (rels[gid] <= duration).sum(axis=1)
+        else:
+            count = _np.where(
+                off_m > duration, 0, (duration - off_m) // per_m + 1
+            )
     else:
         count = completed_of(gid)
-    k0 = _np.where(off_m < warmup, -((off_m - warmup) // per_m), 0)
+    if rels is not None:
+        k0 = _row_bisect_left(
+            rels[gid],
+            _np.full((sims, 1), warmup, dtype=_np.int64),
+            pad,
+        )[:, 0]
+    else:
+        k0 = _np.where(off_m < warmup, -((off_m - warmup) // per_m), 0)
     ks = ks_of(height)
     mask = defined & (ks >= k0[:, None]) & (ks < count[:, None])
     best = _np.where(mask, values, -1).max(axis=1)

@@ -57,6 +57,7 @@ from repro.sim.provenance import (
     merge_provenance,
     source_token,
 )
+from repro.sim.release import kept_mask, needs_tables, release_table
 from repro.units import Time
 
 _PHASE_PUBLISH = 0
@@ -171,15 +172,18 @@ class Simulator:
         loop: Event-loop selection, primarily a testing aid.  ``"auto"``
             (default) picks the fastest exact loop for the run: the
             two-phase fast path for implicit *and* LET semantics
-            without faults (zero-BCET CPU tasks included — their
-            same-instant finish cascades are replayed from a recorded
-            depth table), and the general loop for fault runs.
-            ``"fast"``, ``"classic"`` and ``"general"`` force a
-            specific loop; all loops produce identical results.  The
-            loop/semantics/faults combination is validated here in the
-            constructor, so a misconfigured run (``loop="fast"`` with
-            a fault plan, ``loop="classic"`` with LET) raises
-            :class:`ModelError` at construction, not at :meth:`run`.
+            (zero-BCET CPU tasks included — their same-instant finish
+            cascades are replayed from a recorded depth table).  Fault
+            plans and non-periodic release models compile to per-task
+            release tables consumed by every loop, so they stay
+            fast-path eligible; only unmapped CPU tasks fall back to
+            the general loop.  ``"fast"``, ``"classic"`` and
+            ``"general"`` force a specific loop; all loops produce
+            identical results.  The loop/semantics/faults combination
+            is validated here in the constructor, so a misconfigured
+            run (``loop="classic"`` with LET, a fault plan, or a
+            non-periodic release model) raises :class:`ModelError` at
+            construction, not at :meth:`run`.
     """
 
     def __init__(
@@ -212,6 +216,7 @@ class Simulator:
         self._system = system
         self._graph = system.graph
         self._duration = duration
+        self._seed = seed
         self._rng = random.Random(seed)
         self._policy = policy
         self._observers: Tuple[Observer, ...] = tuple(observers)
@@ -239,6 +244,22 @@ class Simulator:
         self._seq = 0
         self._job_counters: Dict[str, int] = {}
         self._stats = SimulationStats(duration=duration)
+        # Release tables: when any task releases non-periodically or a
+        # fault plan is active, every release instant (and its "kept"
+        # flag) is pre-drawn here and all loops consume the table —
+        # the one source of truth that keeps the tiers byte-identical.
+        # Strictly periodic fault-free runs skip the tables entirely
+        # and keep the original arithmetic release paths.
+        self._use_tables = needs_tables(self._graph.tasks, faults)
+        self._rel_full: Dict[str, List[Time]] = {}
+        self._rel_keep: Dict[str, List[bool]] = {}
+        self._rel_idx: Dict[str, int] = {}
+        if self._use_tables:
+            for task in self._graph.tasks:
+                full = release_table(task, seed, duration)
+                self._rel_full[task.name] = full
+                self._rel_keep[task.name] = kept_mask(faults, task.name, full)
+                self._rel_idx[task.name] = 0
         # Resolve (and validate) the loop now: a misconfigured
         # loop/semantics/faults combination should fail at
         # construction, not midway through a sweep.
@@ -280,15 +301,6 @@ class Simulator:
         choice = self._loop
         if choice == "general":
             return "general"
-        if self._faults is not None:
-            # Fault plans suppress releases data-dependently; only the
-            # general loop models them.
-            if choice != "auto":
-                raise ModelError(
-                    f"loop {choice!r} requires a run without a fault "
-                    f"plan; this run needs the general loop"
-                )
-            return "general"
         # The two-phase fast path resolves data flow after the fact:
         # under implicit semantics by "writes at t are visible to
         # reads at t" bisection over recorded finish times (with a
@@ -317,6 +329,13 @@ class Simulator:
                 return "fast"
             return "fast" if eligible else "general"
         if choice == "classic":
+            # The classic loop derives releases arithmetically and has
+            # no fault hook; table runs use the fast or general loop.
+            if self._use_tables:
+                raise ModelError(
+                    "loop 'classic' requires strictly periodic releases "
+                    "and no fault plan; this run uses release tables"
+                )
             return "classic"
         if choice == "fast":
             if not eligible:
@@ -325,6 +344,8 @@ class Simulator:
                     "a unit assignment"
                 )
             return "fast"
+        if self._use_tables:
+            return "fast" if eligible else "general"
         return "fast" if eligible else "classic"
 
     def run(self) -> SimulationResult:
@@ -340,7 +361,13 @@ class Simulator:
             self._run_fastpath()
         else:
             for task in self._graph.tasks:
-                self._push(task.offset, _PHASE_RELEASE, task)
+                if self._use_tables:
+                    table = self._rel_full[task.name]
+                    if table:
+                        self._rel_idx[task.name] = 1
+                        self._push(table[0], _PHASE_RELEASE, task)
+                else:
+                    self._push(task.offset, _PHASE_RELEASE, task)
             if loop == "classic":
                 self._run_events_implicit()
             else:
@@ -769,10 +796,31 @@ class Simulator:
 
         names = [task.name for task in tasks]
 
+        # Release tables (fault plans / non-periodic release models):
+        # the full instant list feeds the release heap, the keep mask
+        # suppresses jobs, and the kept list (the instants that *did*
+        # produce a job) is what phase 2 and the deadline check index
+        # by job number.  ``rel_tab is None`` keeps the strictly
+        # periodic arithmetic paths byte-for-byte untouched.
+        rel_tab: Optional[List[List[Time]]] = None
+        keep_tab: List[List[bool]] = []
+        kept_rel: List[List[Time]] = []
+        if self._use_tables:
+            rel_tab = [self._rel_full[name] for name in names]
+            keep_tab = [self._rel_keep[name] for name in names]
+            kept_rel = [
+                [at for at, ok in zip(full, keep) if ok]
+                for full, keep in zip(rel_tab, keep_tab)
+            ]
+        rel_ptr = [1] * n  # next table index to push, per task
+
         def check_deadline(tid: int, now: Time) -> None:
             """LET deadline check at a finish, mirroring ``_complete``."""
             k = len(starts[tid]) - 1
-            deadline = offsets[tid] + (k + 1) * periods[tid]
+            if rel_tab is None:
+                deadline = offsets[tid] + (k + 1) * periods[tid]
+            else:
+                deadline = kept_rel[tid][k] + periods[tid]
             if now > deadline:
                 raise ModelError(
                     f"LET violation: job {names[tid]}#{k} "
@@ -825,8 +873,12 @@ class Simulator:
         rel_heap: List[Tuple[Time, int, int]] = []
         for tid in range(n):
             if not inst[tid]:
-                seq += 1
-                rel_heap.append((offsets[tid], seq, tid))
+                if rel_tab is None:
+                    seq += 1
+                    rel_heap.append((offsets[tid], seq, tid))
+                elif rel_tab[tid]:
+                    seq += 1
+                    rel_heap.append((rel_tab[tid][0], seq, tid))
         rel_heap.append((sentinel, 0, -1))
         heapq.heapify(rel_heap)
         fin_heap: List[Tuple[Time, int, int]] = [(sentinel, 0, -1)]
@@ -879,12 +931,28 @@ class Simulator:
                 if now > duration:
                     break
                 tid = head[2]
-                next_release = now + periods[tid]
-                if next_release <= duration:
-                    seq += 1
-                    heapreplace(rel_heap, (next_release, seq, tid))
+                if rel_tab is None:
+                    next_release = now + periods[tid]
+                    if next_release <= duration:
+                        seq += 1
+                        heapreplace(rel_heap, (next_release, seq, tid))
+                    else:
+                        heappop(rel_heap)
                 else:
-                    heappop(rel_heap)
+                    table = rel_tab[tid]
+                    nxt = rel_ptr[tid]
+                    rel_ptr[tid] = nxt + 1
+                    if nxt < len(table):
+                        seq += 1
+                        heapreplace(rel_heap, (table[nxt], seq, tid))
+                    else:
+                        heappop(rel_heap)
+                    if not keep_tab[tid][nxt - 1]:
+                        # Suppressed release: the heap advanced, no job
+                        # exists — same-instant siblings are handled by
+                        # the following iterations (intra-instant order
+                        # among releases never affects the schedule).
+                        continue
                 u = unit_of[tid]
                 if rel_heap[0][0] == now or fin_heap[0][0] == now:
                     # Multi-event instant: queue this release and fall
@@ -895,10 +963,20 @@ class Simulator:
                     touched = [u]
                     while rel_heap[0][0] == now:
                         tid2 = heappop(rel_heap)[2]
-                        nr = now + periods[tid2]
-                        if nr <= duration:
-                            seq += 1
-                            heappush(rel_heap, (nr, seq, tid2))
+                        if rel_tab is None:
+                            nr = now + periods[tid2]
+                            if nr <= duration:
+                                seq += 1
+                                heappush(rel_heap, (nr, seq, tid2))
+                        else:
+                            table = rel_tab[tid2]
+                            nxt = rel_ptr[tid2]
+                            rel_ptr[tid2] = nxt + 1
+                            if nxt < len(table):
+                                seq += 1
+                                heappush(rel_heap, (table[nxt], seq, tid2))
+                            if not keep_tab[tid2][nxt - 1]:
+                                continue  # suppressed: queue nothing
                         u2 = unit_of[tid2]
                         seq += 1
                         heappush(ready[u2], (prios[tid2], seq, tid2))
@@ -1029,13 +1107,22 @@ class Simulator:
         # job of a task can outlive the horizon, and busy time /
         # dispatch counts are plain sums over the start/exec arrays.
         releases_processed = 0
+        jobs_released = 0
+        jobs_dropped = 0
         finishes_processed = 0
         for tid in range(n):
             if inst[tid]:
                 continue
-            offset = offsets[tid]
-            if offset <= duration:
-                releases_processed += (duration - offset) // periods[tid] + 1
+            if rel_tab is None:
+                offset = offsets[tid]
+                if offset <= duration:
+                    count = (duration - offset) // periods[tid] + 1
+                    releases_processed += count
+                    jobs_released += count
+            else:
+                releases_processed += len(rel_tab[tid])
+                jobs_released += len(kept_rel[tid])
+                jobs_dropped += len(rel_tab[tid]) - len(kept_rel[tid])
             task_starts = starts[tid]
             task_execs = execs[tid]
             done = len(task_starts)
@@ -1053,11 +1140,22 @@ class Simulator:
             state.dispatches = unit_dispatches[u]
 
         # Instantaneous tasks never entered the event queue; their
-        # release/completion counters are pure arithmetic.
+        # release/completion counters are pure arithmetic (or table
+        # lengths under release tables).
         inst_releases = 0
+        inst_jobs = 0
         for tid in range(n):
-            if inst[tid] and offsets[tid] <= duration:
-                inst_releases += (duration - offsets[tid]) // periods[tid] + 1
+            if not inst[tid]:
+                continue
+            if rel_tab is None:
+                if offsets[tid] <= duration:
+                    count = (duration - offsets[tid]) // periods[tid] + 1
+                    inst_releases += count
+                    inst_jobs += count
+            else:
+                inst_releases += len(rel_tab[tid])
+                inst_jobs += len(kept_rel[tid])
+                jobs_dropped += len(rel_tab[tid]) - len(kept_rel[tid])
 
         # Under LET the general loop also processes one publication
         # event per completed non-source job whose deadline falls
@@ -1065,10 +1163,17 @@ class Simulator:
         pubs_processed = 0
         if let_mode:
             for tid in range(n):
-                offset = offsets[tid]
-                if offset > duration or graph.is_source(names[tid]):
+                if graph.is_source(names[tid]):
                     continue
-                horizon_pubs = (duration - offset) // periods[tid]
+                if rel_tab is None:
+                    offset = offsets[tid]
+                    if offset > duration:
+                        continue
+                    horizon_pubs = (duration - offset) // periods[tid]
+                else:
+                    horizon_pubs = bisect_right(
+                        kept_rel[tid], duration - periods[tid]
+                    )
                 if inst[tid]:
                     pubs_processed += horizon_pubs
                 else:
@@ -1080,8 +1185,9 @@ class Simulator:
             releases_processed + finishes_processed + inst_releases
             + pubs_processed
         )
-        self._stats.jobs_released += releases_processed + inst_releases
-        self._stats.jobs_completed += finishes_processed + inst_releases
+        self._stats.jobs_released += jobs_released + inst_jobs
+        self._stats.jobs_dropped += jobs_dropped
+        self._stats.jobs_completed += finishes_processed + inst_jobs
 
         self._fastflow = flow = _FastFlow(
             graph=graph,
@@ -1096,6 +1202,7 @@ class Simulator:
             topo_index=self._topo_index,
             casc=casc,
             semantics=self._semantics,
+            rels=kept_rel if rel_tab is not None else None,
         )
         if self._observers:
             self._fastpath_notify(flow, comp_times, comp_gids)
@@ -1153,11 +1260,9 @@ class Simulator:
                 continue
             if monitored is not None and task.name not in monitored:
                 continue
-            period = flow.periods[gid]
-            offset = flow.offsets[gid]
             key = topo[task.name]
             for index in range(flow.n_releases(gid)):
-                stream.append((offset + index * period, 1, key, gid, index))
+                stream.append((flow.release_of(gid, index), 1, key, gid, index))
         stream.sort()
 
         for _, _, _, gid, index in stream:
@@ -1180,14 +1285,28 @@ class Simulator:
         heapq.heappush(self._events, (time, phase, self._next_seq(), payload))
 
     def _release(self, task: Task, now: Time) -> Optional[Job]:
-        next_release = now + task.period
-        if next_release <= self._duration:
-            self._push(next_release, _PHASE_RELEASE, task)
-        if self._faults is not None and self._faults.is_dropped(task.name, now):
-            self._stats.jobs_dropped += 1
-            return None
-        index = self._job_counters.get(task.name, 0)
-        self._job_counters[task.name] = index + 1
+        name = task.name
+        if self._use_tables:
+            # Table mode: successor and "kept" flag come from the
+            # pre-drawn release table (the fault plan is already folded
+            # into the keep mask).
+            table = self._rel_full[name]
+            nxt = self._rel_idx[name]
+            self._rel_idx[name] = nxt + 1
+            if nxt < len(table):
+                self._push(table[nxt], _PHASE_RELEASE, task)
+            if not self._rel_keep[name][nxt - 1]:
+                self._stats.jobs_dropped += 1
+                return None
+        else:
+            next_release = now + task.period
+            if next_release <= self._duration:
+                self._push(next_release, _PHASE_RELEASE, task)
+            if self._faults is not None and self._faults.is_dropped(name, now):
+                self._stats.jobs_dropped += 1
+                return None
+        index = self._job_counters.get(name, 0)
+        self._job_counters[name] = index + 1
         self._stats.jobs_released += 1
         return Job(task, index, now)
 
@@ -1336,6 +1455,7 @@ class _FastFlow:
         "_tokens",
         "_casc",
         "_let",
+        "_rels",
     )
 
     def __init__(
@@ -1353,6 +1473,7 @@ class _FastFlow:
         topo_index: Dict[str, int],
         casc: Optional[Dict[Tuple[int, int], int]] = None,
         semantics: str = "implicit",
+        rels: Optional[List[List[Time]]] = None,
     ) -> None:
         self.tasks = tasks
         self.inst = inst
@@ -1382,15 +1503,29 @@ class _FastFlow:
         self._tokens: Dict[Tuple[int, int], Token] = {}
         self._casc = casc
         self._let = semantics == "let"
+        # Kept release instants per task under release tables (fault
+        # plans / non-periodic models); None keeps every geometry
+        # question arithmetic over ``offset + k * period``.
+        self._rels = rels
 
     # -- write/read geometry -------------------------------------------
 
     def n_releases(self, gid: int) -> int:
-        """Releases of task ``gid`` processed within the horizon."""
+        """Releases of task ``gid`` producing a job within the horizon."""
+        rels = self._rels
+        if rels is not None:
+            return len(rels[gid])
         offset = self.offsets[gid]
         if offset > self.duration:
             return 0
         return (self.duration - offset) // self.periods[gid] + 1
+
+    def release_of(self, gid: int, index: int) -> Time:
+        """Release instant of job ``index`` of task ``gid``."""
+        rels = self._rels
+        if rels is not None:
+            return rels[gid][index]
+        return self.offsets[gid] + index * self.periods[gid]
 
     def _finish_times(self, gid: int) -> List[Time]:
         found = self._finishes[gid]
@@ -1425,19 +1560,30 @@ class _FastFlow:
         ``t`` being visible to a read at ``t``; CPU producers publish
         only jobs they completed within the horizon.
         """
+        rels = self._rels
         if self._let:
-            offset = self.offsets[gid]
-            if time < offset:
-                return 0
-            if self._is_source[gid]:
-                return (time - offset) // self.periods[gid] + 1
-            m = (time - offset) // self.periods[gid]
+            if rels is not None:
+                # Sources publish at release; every other producer at
+                # its deadline (release + period), counted over the
+                # *kept* releases.
+                if self._is_source[gid]:
+                    return bisect_right(rels[gid], time)
+                m = bisect_right(rels[gid], time - self.periods[gid])
+            else:
+                offset = self.offsets[gid]
+                if time < offset:
+                    return 0
+                if self._is_source[gid]:
+                    return (time - offset) // self.periods[gid] + 1
+                m = (time - offset) // self.periods[gid]
             if not self.inst[gid]:
                 done = self._completed[gid]
                 if m > done:
                     m = done
             return m
         if self.inst[gid]:
+            if rels is not None:
+                return bisect_right(rels[gid], time)
             offset = self.offsets[gid]
             if time < offset:
                 return 0
@@ -1460,12 +1606,16 @@ class _FastFlow:
         """All writes of ``gid`` within the horizon."""
         if self._let and not self._is_source[gid]:
             # Publications processed within the horizon: deadlines
-            # ``offset + (j + 1) * period <= duration``, capped by the
+            # ``release + period <= duration``, capped by the
             # completed count for CPU producers.
-            offset = self.offsets[gid]
-            if self.duration < offset:
-                return 0
-            m = (self.duration - offset) // self.periods[gid]
+            rels = self._rels
+            if rels is not None:
+                m = bisect_right(rels[gid], self.duration - self.periods[gid])
+            else:
+                offset = self.offsets[gid]
+                if self.duration < offset:
+                    return 0
+                m = (self.duration - offset) // self.periods[gid]
             if not self.inst[gid]:
                 done = self._completed[gid]
                 if m > done:
@@ -1482,10 +1632,10 @@ class _FastFlow:
         if found is None:
             if self._let:
                 # LET jobs read at release, CPU and relay alike.
-                at = self.offsets[gid] + index * self.periods[gid]
+                at = self.release_of(gid, index)
                 rkey = 2  # unused: LET visibility ignores sub-batches
             elif self.inst[gid]:
-                at = self.offsets[gid] + index * self.periods[gid]
+                at = self.release_of(gid, index)
                 rkey = 1
             else:
                 at = self._starts[gid][index]
@@ -1511,7 +1661,7 @@ class _FastFlow:
         found = self._prov.get(key)
         if found is None:
             if self._is_source[gid]:
-                stamp = self.offsets[gid] + index * self.periods[gid]
+                stamp = self.release_of(gid, index)
                 found = self._packer.source(self._names[gid], stamp)
             else:
                 reads = self.reads_of(gid, index)
@@ -1532,7 +1682,7 @@ class _FastFlow:
         found = self._tokens.get(key)
         if found is None:
             name = self._names[gid]
-            release = self.offsets[gid] + index * self.periods[gid]
+            release = self.release_of(gid, index)
             if self._is_source[gid]:
                 found = Token(release, name, release, {name: (release, release)})
             else:
@@ -1553,7 +1703,7 @@ class _FastFlow:
     def materialize(self, gid: int, index: int) -> Tuple[Job, Token]:
         """A ``(job, token)`` pair as the live loops hand to observers."""
         task = self.tasks[gid]
-        release = self.offsets[gid] + index * self.periods[gid]
+        release = self.release_of(gid, index)
         job = Job(task, index, release)
         if self.inst[gid]:
             job.start = release

@@ -55,18 +55,60 @@ class FaultPlan:
         self._windows: Dict[str, List[DropoutWindow]] = {}
 
     def drop(self, task: str, start: Time, end: Time) -> "FaultPlan":
-        """Suppress all releases of ``task`` in ``[start, end)``."""
+        """Suppress all releases of ``task`` in ``[start, end)``.
+
+        Windows are normalized to a sorted, **disjoint** form:
+        overlapping, adjacent, and duplicate windows merge into one, so
+        the stored shape — and everything derived from it
+        (:meth:`windows_for` order, release masks, cache signatures) —
+        depends only on the *set* of suppressed instants, never on
+        insertion order.
+        """
         window = DropoutWindow(start=start, end=end)
-        self._windows.setdefault(task, []).append(window)
-        self._windows[task].sort(key=lambda w: w.start)
+        merged: List[DropoutWindow] = []
+        for current in sorted(
+            self._windows.get(task, []) + [window],
+            key=lambda w: (w.start, w.end),
+        ):
+            if merged and current.start <= merged[-1].end:
+                last = merged[-1]
+                if current.end > last.end:
+                    merged[-1] = DropoutWindow(start=last.start, end=current.end)
+            else:
+                merged.append(current)
+        self._windows[task] = merged
         return self
 
     def is_dropped(self, task: str, release: Time) -> bool:
-        """Whether the release of ``task`` at ``release`` is suppressed."""
+        """Whether the release of ``task`` at ``release`` is suppressed.
+
+        A release at exactly ``DropoutWindow.end`` is **not** suppressed
+        (windows are half-open); every simulation tier applies the same
+        rule, pinned by ``tests/test_faults.py``.
+        """
         windows = self._windows.get(task)
         if not windows:
             return False
         return any(window.contains(release) for window in windows)
+
+    def windows_for(self, task: str) -> Tuple[DropoutWindow, ...]:
+        """The normalized (sorted, disjoint) windows of one task."""
+        return tuple(self._windows.get(task, ()))
+
+    def signature(self) -> Tuple:
+        """Hashable identity of the suppressed-instant set.
+
+        Two plans with the same signature drop exactly the same
+        releases; the batch tiers key their schedule/advance memos on
+        it (plans are mutable, so the object itself cannot be the key).
+        """
+        return tuple(
+            sorted(
+                (name, tuple((w.start, w.end) for w in windows))
+                for name, windows in self._windows.items()
+                if windows
+            )
+        )
 
     @property
     def tasks(self) -> Tuple[str, ...]:

@@ -331,3 +331,111 @@ def test_period_view_gets_fresh_stream_and_schedule_caches():
     other = compute[1]
     if batch_mod._np is not None:
         assert (other.period, duration) in base._grid_cache
+
+
+def _nonperiodic_variant(system, seed: int):
+    """Some tasks re-released with jittered/sporadic models."""
+    from repro.model.task import ReleaseModel
+
+    rng = random.Random(seed)
+    graph = system.graph.copy()
+    converted = 0
+    for task in system.graph.tasks:
+        u = rng.random()
+        if u < 0.35:
+            jitter = max(1, task.period // 4)
+            model = ReleaseModel.jittered(min(task.period - 1, jitter))
+        elif u < 0.6:
+            model = ReleaseModel.sporadic(
+                max(1, task.period // 2), task.period + task.period // 2
+            )
+        else:
+            continue
+        graph.replace_task(task.with_release_model(model))
+        converted += 1
+    if not converted:
+        first = next(iter(system.graph.tasks))
+        graph.replace_task(
+            first.with_release_model(
+                ReleaseModel.jittered(max(1, first.period // 4))
+            )
+        )
+    return System(graph=graph, response_times=system.response_times)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    semantics=st.sampled_from(["implicit", "let"]),
+)
+def test_offset_edits_redraw_nonperiodic_release_tables(seed, semantics):
+    """Offset views of jittered/sporadic scenarios never reuse stale tables.
+
+    The release streams are keyed on the task *name*, so an offset
+    edit must yield the exact tables of a fresh compile of the
+    offset-edited system — pinned against both a fresh compile and the
+    plain simulator.
+    """
+    base_system, sink = _scenario(seed, 7)
+    system = _nonperiodic_variant(base_system, seed ^ 0x0FF5E7)
+    duration = 2 * max(task.period for task in system.graph.tasks)
+    warmup = duration // 4
+    shared = compile_scenario(system, sink, semantics=semantics)
+    for index in range(2):
+        vector = _offset_vector(system, (seed ^ 0x51) + index)
+        view = shared.edit(offsets=vector)
+        assert type(view) is OffsetView
+        got = view.disparity(seed + index, duration, warmup, "uniform")
+        fresh = (
+            compile_scenario(system, sink, semantics=semantics)
+            .with_offsets(vector)
+            .disparity(seed + index, duration, warmup, "uniform")
+        )
+        assert got == fresh
+        assert got == _simulator_reference(
+            system,
+            sink,
+            vector,
+            seed=seed + index,
+            duration=duration,
+            warmup=warmup,
+            policy="uniform",
+            semantics=semantics,
+        )
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_structural_edits_on_nonperiodic_tasks_match_fresh_compile(seed):
+    """Period/capacity edits compose with non-periodic release tables."""
+    base_system, sink = _scenario(seed, 7)
+    system = _nonperiodic_variant(base_system, seed ^ 0xE417)
+    duration = 2 * max(task.period for task in system.graph.tasks)
+    warmup = duration // 4
+    shared = compile_scenario(system, sink)
+    vector = _offset_vector(system, seed ^ 0x5A)
+    compute = [t for t in system.graph.tasks if not t.is_instantaneous]
+    channel = system.graph.channels[0]
+    changes = {
+        "periods": {compute[0].name: compute[0].period * 2},
+        "capacities": {(channel.src, channel.dst): 2},
+    }
+    view = shared.edit(offsets=vector, **changes)
+    got = view.disparity(seed, duration, warmup, "wcet")
+    edited = _edited_system(system, **changes)
+    fresh = (
+        compile_scenario(edited, sink)
+        .with_offsets(vector)
+        .disparity(seed, duration, warmup, "wcet")
+    )
+    assert got == fresh
+    assert got == _simulator_reference(
+        edited,
+        sink,
+        vector,
+        seed=seed,
+        duration=duration,
+        warmup=warmup,
+        policy="wcet",
+        semantics="implicit",
+    )

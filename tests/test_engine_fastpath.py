@@ -155,10 +155,12 @@ def test_fastpath_matches_classic_with_buffers():
 def test_loop_validation_happens_at_construction():
     """Misconfigured loop/semantics/faults combinations fail in __init__.
 
-    LET is now fast-path eligible (``loop="fast"`` works, ``"classic"``
-    does not reconstruct LET data flow), and fault plans still require
-    the general loop — but every rejection must fire at construction,
-    before ``.run()``.
+    LET is fast-path eligible (``loop="fast"`` works, ``"classic"``
+    does not reconstruct LET data flow).  Fault plans compile to
+    release tables, so faulted runs are fast-path eligible too; only
+    the classic loop (arithmetic releases, no fault hook) rejects
+    them.  Every rejection must fire at construction, before
+    ``.run()``.
     """
     system = _random_system(5, 6)
     assert Simulator(system, 10**9, semantics="let")._resolved_loop == "fast"
@@ -172,11 +174,25 @@ def test_loop_validation_happens_at_construction():
 
     task = next(t.name for t in system.graph.tasks)
     plan = FaultPlan().drop(task, 0, 10**8)
-    assert Simulator(system, 10**9, faults=plan)._resolved_loop == "general"
-    with pytest.raises(ModelError):
-        Simulator(system, 10**9, faults=plan, loop="fast")
+    assert Simulator(system, 10**9, faults=plan)._resolved_loop == "fast"
+    assert (
+        Simulator(system, 10**9, faults=plan, loop="fast")._resolved_loop
+        == "fast"
+    )
     with pytest.raises(ModelError):
         Simulator(system, 10**9, faults=plan, loop="classic")
+    # Non-periodic release models follow the same rule.
+    from repro.model.task import ReleaseModel
+
+    jittered = system.graph.copy()
+    for t in system.graph.tasks:
+        jittered.replace_task(
+            t.with_release_model(ReleaseModel.jittered(max(1, t.period // 8)))
+        )
+    jsys = System(graph=jittered, response_times=system.response_times)
+    assert Simulator(jsys, 10**9, seed=1)._resolved_loop == "fast"
+    with pytest.raises(ModelError):
+        Simulator(jsys, 10**9, seed=1, loop="classic")
 
 
 def test_auto_uses_fastpath_for_zero_bcet():

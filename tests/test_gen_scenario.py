@@ -67,3 +67,43 @@ class TestMergedPairScenario:
         scenario = generate_merged_pair_scenario(5, rng)
         chains = enumerate_source_chains(scenario.system.graph, "sink")
         assert len(chains) == 2
+
+
+class TestReleaseModelKnob:
+    def test_release_models_attached_and_schedulable(self):
+        from repro.gen import ReleaseModelSampler
+
+        config = ScenarioConfig(
+            release_models=ReleaseModelSampler(
+                jitter_fraction=0.4, sporadic_fraction=0.2
+            )
+        )
+        kinds = set()
+        for seed in range(6):
+            scenario = generate_random_scenario(12, random.Random(seed), config)
+            kinds |= {
+                t.release_model.kind for t in scenario.system.graph.tasks
+            }
+            # System.build succeeded: the jitter/sporadic-aware RTA
+            # accepted the task set.
+            for task in scenario.system.graph.tasks:
+                if task.kind == "message":
+                    assert task.release_model.is_periodic
+        assert "jitter" in kinds
+        assert "sporadic" in kinds
+
+    def test_default_config_stays_periodic_and_stream_identical(self):
+        from repro.gen import ReleaseModelSampler
+
+        plain = generate_random_scenario(10, random.Random(21))
+        trivial = generate_random_scenario(
+            10,
+            random.Random(21),
+            ScenarioConfig(release_models=ReleaseModelSampler()),
+        )
+        assert [t.describe() for t in plain.system.graph.tasks] == [
+            t.describe() for t in trivial.system.graph.tasks
+        ]
+        assert all(
+            t.release_model.is_periodic for t in plain.system.graph.tasks
+        )

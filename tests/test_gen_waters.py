@@ -100,3 +100,87 @@ class TestUtilization:
         # 1% — this is what makes 35-task systems schedulable.
         expected = expected_utilization_per_task()
         assert 0 < expected < 0.02
+
+
+class TestReleaseModelSampler:
+    def test_validation(self):
+        from repro.gen.waters import ReleaseModelSampler
+
+        with pytest.raises(ModelError):
+            ReleaseModelSampler(jitter_fraction=1.2)
+        with pytest.raises(ModelError):
+            ReleaseModelSampler(jitter_fraction=0.6, sporadic_fraction=0.6)
+        with pytest.raises(ModelError):
+            ReleaseModelSampler(jitter_fraction=0.1, jitter_scale=0.0)
+        with pytest.raises(ModelError):
+            ReleaseModelSampler(sporadic_fraction=0.1, sporadic_gap=(2.0, 1.0))
+
+    def test_trivial_sampler_draws_nothing(self):
+        # Stream hygiene: a disabled sampler must not consume the
+        # generator, so enabling the mechanism shifts no existing
+        # stream (goldens, scenarios, offsets).
+        from repro.gen.waters import ReleaseModelSampler
+
+        sampler = ReleaseModelSampler()
+        assert sampler.is_trivial
+        rng = random.Random(7)
+        state = rng.getstate()
+        model = sampler.sample(ms(10), rng)
+        assert model.is_periodic
+        assert rng.getstate() == state
+
+    def test_fractions_roughly_respected(self):
+        from repro.gen.waters import ReleaseModelSampler
+
+        sampler = ReleaseModelSampler(
+            jitter_fraction=0.3, sporadic_fraction=0.2
+        )
+        rng = random.Random(3)
+        kinds = Counter(
+            sampler.sample(ms(10), rng).kind for _ in range(2000)
+        )
+        assert 0.25 < kinds["jitter"] / 2000 < 0.35
+        assert 0.15 < kinds["sporadic"] / 2000 < 0.25
+        assert 0.45 < kinds["periodic"] / 2000 < 0.55
+
+    def test_jitter_clamped_below_period(self):
+        from repro.gen.waters import ReleaseModelSampler
+
+        sampler = ReleaseModelSampler(jitter_fraction=1.0, jitter_scale=0.9)
+        rng = random.Random(5)
+        for period in (2, 3, ms(1), ms(10)):
+            model = sampler.sample(period, rng)
+            assert model.kind == "jitter"
+            assert 1 <= model.jitter < period
+
+    def test_sporadic_gaps_scale_with_period(self):
+        from repro.gen.waters import ReleaseModelSampler
+
+        sampler = ReleaseModelSampler(
+            sporadic_fraction=1.0, sporadic_gap=(0.5, 2.0)
+        )
+        model = sampler.sample(ms(10), random.Random(1))
+        assert model.kind == "sporadic"
+        assert model.min_gap == ms(5)
+        assert model.max_gap == ms(20)
+
+    def test_waters_sampler_attaches_models(self):
+        from repro.gen.waters import ReleaseModelSampler, WatersSampler
+
+        sampler = WatersSampler(
+            random.Random(11),
+            release_models=ReleaseModelSampler(jitter_fraction=0.5),
+        )
+        kinds = Counter(
+            sampler.sample_parameters().release_model.kind for _ in range(200)
+        )
+        assert kinds["jitter"] > 0
+        assert kinds["periodic"] > 0
+
+    def test_waters_sampler_stream_unchanged_without_models(self):
+        from repro.gen.waters import WatersSampler
+
+        plain = WatersSampler(random.Random(9))
+        gated = WatersSampler(random.Random(9), release_models=None)
+        for _ in range(50):
+            assert plain.sample_parameters() == gated.sample_parameters()

@@ -102,3 +102,66 @@ class TestFormatValidation:
         parsed = json.loads(path.read_text())
         assert parsed["format"] == FORMAT_NAME
         assert isinstance(parsed["tasks"], list)
+
+
+class TestReleaseModelSerialization:
+    def _graph(self):
+        from repro.model.graph import CauseEffectGraph
+        from repro.model.task import ReleaseModel, Task, source_task
+        from repro.units import ms
+
+        graph = CauseEffectGraph()
+        graph.add_task(
+            source_task(
+                "cam", ms(10), ecu="e", priority=0,
+                release_model=ReleaseModel.jittered(ms(2)),
+            )
+        )
+        graph.add_task(
+            Task(
+                "proc", ms(30), ms(2), ms(1), ecu="e", priority=1,
+                release_model=ReleaseModel.sporadic(ms(20), ms(45)),
+            )
+        )
+        graph.add_task(Task("sink", ms(30), ms(2), ms(1), ecu="e", priority=2))
+        graph.add_channel("cam", "proc")
+        graph.add_channel("proc", "sink")
+        return graph
+
+    def test_roundtrip_preserves_release_models(self, tmp_path):
+        graph = self._graph()
+        path = tmp_path / "graph.json"
+        save_graph(graph, path)
+        back = load_graph(path)
+        for name in graph.task_names:
+            assert back.task(name).release_model == graph.task(name).release_model
+
+    def test_periodic_tasks_omit_release_key(self):
+        # Back-compat: strictly periodic documents are byte-identical
+        # to pre-release-model documents.
+        data = graph_to_dict(self._graph())
+        by_name = {entry["name"]: entry for entry in data["tasks"]}
+        assert "release" not in by_name["sink"]
+        assert by_name["cam"]["release"] == {"kind": "jitter", "jitter_ns": 2_000_000}
+        assert by_name["proc"]["release"] == {
+            "kind": "sporadic",
+            "min_gap_ns": 20_000_000,
+            "max_gap_ns": 45_000_000,
+        }
+
+    def test_unknown_release_kind_rejected(self):
+        data = graph_to_dict(self._graph())
+        for entry in data["tasks"]:
+            if entry["name"] == "cam":
+                entry["release"] = {"kind": "bursty"}
+        with pytest.raises(ModelError):
+            graph_from_dict(data)
+
+    def test_networkx_roundtrip_preserves_release_models(self):
+        pytest.importorskip("networkx")
+        from repro.gen.graphgen import from_networkx, to_networkx
+
+        graph = self._graph()
+        back = from_networkx(to_networkx(graph))
+        for name in graph.task_names:
+            assert back.task(name).release_model == graph.task(name).release_model
