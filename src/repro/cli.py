@@ -9,6 +9,8 @@ Usage examples::
         --out out/ab.shard0.jsonl
     python -m repro campaign merge --part ab --preset smoke \
         out/ab.shard*.jsonl --csv out/ab.csv
+    python -m repro cluster run --part ab --preset smoke --shards 4 \
+        --workers 2 --dir out/cluster --csv out/ab.csv --progress
     python -m repro analyze --tasks 15 --seed 7 --replications 20
     python -m repro bench --check BENCH_kernel.json
     python -m repro bench --kernel batch
@@ -162,6 +164,113 @@ def _cmd_campaign_merge(args: argparse.Namespace) -> int:
         print(f"[campaign] merged {len(args.shards)} shard file(s) -> {path}")
     else:
         print(csv_text, end="")
+    return 0
+
+
+def _remote_shard_commands(args: argparse.Namespace, shards: int) -> list:
+    """Ready-to-run ``repro campaign run`` lines for remote machines.
+
+    A remote worker is nothing special: it runs one shard with the same
+    part/preset/overrides and ships the JSONL back.  The coordinator's
+    directory layout is reproduced so the files drop straight into a
+    later ``repro campaign merge`` (or a re-run of ``cluster run``,
+    which resumes from whatever records already arrived).
+    """
+    base = ["python", "-m", "repro", "campaign", "run",
+            "--part", args.part, "--preset", args.preset]
+    for flag, key in (
+        ("--duration", "duration"), ("--graphs", "graphs"),
+        ("--sims", "sims"), ("--seed", "seed"), ("--semantics", "semantics"),
+    ):
+        value = getattr(args, key, None)
+        if value is not None:
+            base += [flag, str(value)]
+    width = len(str(shards - 1))
+    return [
+        " ".join(
+            base
+            + ["--shard", f"{index}/{shards}",
+               "--out", f"{args.dir}/shard{index:0{width}d}.jsonl"]
+        )
+        for index in range(shards)
+    ]
+
+
+def _parse_chaos(specs, tear: bool) -> dict:
+    """Parse repeated ``--chaos-kill SHARD:RECORDS`` flags into faults."""
+    from repro.parallel.cluster import ClusterFault
+
+    faults = {}
+    for spec in specs or ():
+        shard_text, _, records_text = spec.partition(":")
+        try:
+            shard, records = int(shard_text), int(records_text)
+        except ValueError:
+            raise SystemExit(
+                f"--chaos-kill expects SHARD:RECORDS (e.g. 0:1), got {spec!r}"
+            ) from None
+        faults[shard] = ClusterFault(die_after_records=records, tear=tear)
+    return faults
+
+
+def _cmd_cluster_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import cluster_live_line, format_cluster_report
+    from repro.parallel.campaign import get_part
+    from repro.parallel.cluster import ClusterError, run_cluster
+
+    config = _campaign_config(args)
+    part = get_part(args.part)
+    if args.emit_commands:
+        for line in _remote_shard_commands(args, args.shards):
+            print(line)
+        return 0
+
+    stream = sys.stdout
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", file=stream))
+    live = cluster_live_line("cluster", stream, args.progress)
+    faults = _parse_chaos(args.chaos_kill, args.chaos_tear)
+    try:
+        rows, report = run_cluster(
+            args.part,
+            config,
+            shards=args.shards,
+            workers=args.workers,
+            out_dir=args.dir,
+            jobs=args.jobs,
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_retries=args.max_retries,
+            backoff_s=args.backoff,
+            allow_missing=args.allow_missing,
+            progress=progress,
+            heartbeat=live,
+            faults=faults or None,
+        )
+    except ClusterError as exc:
+        if live is not None:
+            live.finish()
+        print(f"[cluster] FAILED: {exc}", file=sys.stderr)
+        return 1
+    if live is not None:
+        live.finish()
+
+    csv_text = part.to_csv(rows)
+    if args.csv:
+        import json
+
+        path = Path(args.csv)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(csv_text)
+        print(f"[cluster] wrote {path}", file=stream)
+        report_path = path.with_suffix(path.suffix + ".cluster.json")
+        report_path.write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"[cluster] wrote {report_path}", file=stream)
+    else:
+        print(csv_text, end="")
+    if not args.quiet:
+        for line in format_cluster_report(report):
+            print(f"  {line}", file=stream)
     return 0
 
 
@@ -664,6 +773,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmerge.set_defaults(func=_cmd_campaign_merge)
 
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="fault-tolerant coordinator: run a whole campaign through "
+        "local shard workers with liveness watchdog and dead-shard "
+        "re-issue; merged CSV is byte-identical to --jobs 1",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    clrun = cluster_sub.add_parser(
+        "run",
+        help="partition the campaign into shards, run them on local "
+        "workers, re-issue dead shards, merge incrementally",
+    )
+    _campaign_common(clrun)
+    clrun.add_argument(
+        "--shards", type=int, default=2, metavar="M",
+        help="number of scenario-space shards (default 2); shard files "
+        "land in --dir and double as resume logs",
+    )
+    clrun.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="concurrent local worker processes (default 0 = all CPUs)",
+    )
+    clrun.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool size inside each worker (default 1)",
+    )
+    clrun.add_argument(
+        "--dir", required=True, metavar="PATH",
+        help="directory for shard JSONL files, worker specs and logs; "
+        "re-running resumes from whatever records it already holds",
+    )
+    clrun.add_argument(
+        "--csv", metavar="PATH",
+        help="write the merged CSV here plus the cluster report to "
+        "<csv>.cluster.json (default: CSV to stdout)",
+    )
+    clrun.add_argument(
+        "--heartbeat-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="declare a shard dead when its file gains no new record "
+        "for this long (default 300)",
+    )
+    clrun.add_argument(
+        "--max-retries", type=int, default=2,
+        help="re-issues allowed per shard after its first attempt "
+        "(default 2)",
+    )
+    clrun.add_argument(
+        "--backoff", type=float, default=1.0, metavar="SECONDS",
+        help="base of the exponential re-issue backoff (default 1.0)",
+    )
+    clrun.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="degrade instead of failing when a shard exhausts its "
+        "retries: render partial rows and an explicit coverage report",
+    )
+    clrun.add_argument(
+        "--progress",
+        action="store_true",
+        help="live cluster status line (shards done/running, graphs "
+        "merged, deaths)",
+    )
+    clrun.add_argument("--quiet", action="store_true", help="suppress progress")
+    clrun.add_argument(
+        "--emit-commands",
+        action="store_true",
+        help="print the ready-to-run `repro campaign run` command for "
+        "every shard (for remote machines) and exit",
+    )
+    clrun.add_argument(
+        "--chaos-kill",
+        action="append",
+        metavar="SHARD:RECORDS",
+        help="fault injection (testing/CI): SIGKILL the worker of this "
+        "shard after it appended RECORDS records, first attempt only "
+        "(repeatable)",
+    )
+    clrun.add_argument(
+        "--chaos-tear",
+        action="store_true",
+        help="with --chaos-kill, leave a torn half-record at the kill",
+    )
+    clrun.set_defaults(func=_cmd_cluster_run)
+
     bench = subparsers.add_parser(
         "bench",
         help="measure simulator-kernel, batch-engine (implicit and LET), "
@@ -679,7 +872,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel",
         choices=(
             "sim", "batch", "let", "columnar", "fault", "delta",
-            "structural", "analysis", "campaign", "all",
+            "structural", "analysis", "campaign", "cluster", "all",
         ),
         default="all",
         help="measure only one benchmark section (default: all; "

@@ -96,6 +96,76 @@ def _live_line(tag: str, stream, enabled: bool) -> Optional[_LiveLine]:
     return None
 
 
+class ClusterLiveLine:
+    """Self-overwriting cluster status line (the ``--progress`` view).
+
+    Fed a :class:`~repro.parallel.cluster.ClusterStatus` snapshot after
+    every coordinator poll; TTY-gated exactly like :class:`_LiveLine`
+    so piped/CI logs never fill with carriage returns.
+    """
+
+    def __init__(self, tag: str, stream) -> None:
+        self._tag = tag
+        self._stream = stream
+        self._dirty = False
+
+    def __call__(self, status) -> None:
+        deaths = f", {status.deaths} death(s)" if status.deaths else ""
+        failed = f", {status.failed} failed" if status.failed else ""
+        self._stream.write(
+            f"\r[{self._tag}] shards {status.done}/{status.shard_count} done "
+            f"({status.running} running, {status.pending} pending{failed}), "
+            f"{status.merged_records}/{status.expected_records} graphs, "
+            f"{status.rows_released} row(s){deaths}"
+        )
+        self._stream.flush()
+        self._dirty = True
+
+    def finish(self) -> None:
+        if self._dirty:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._dirty = False
+
+
+def cluster_live_line(tag: str, stream, enabled: bool) -> Optional[ClusterLiveLine]:
+    if enabled and getattr(stream, "isatty", lambda: False)():
+        return ClusterLiveLine(tag, stream)
+    return None
+
+
+def format_cluster_report(report) -> List[str]:
+    """Render a :class:`~repro.parallel.cluster.ClusterReport` as lines."""
+    lines = [report.summary()]
+    for shard in report.shards:
+        note = ""
+        if shard.deaths:
+            note = f", {shard.deaths} death(s), {shard.re_issues} re-issue(s)"
+        lines.append(
+            f"shard {shard.index}: {shard.status}, "
+            f"{shard.records}/{shard.owned} graph(s), "
+            f"{shard.attempts} attempt(s), {shard.wall_s:.2f}s{note}"
+        )
+    coverage = report.coverage
+    if not report.complete and coverage:
+        missing = coverage.get("missing_ordinals", [])
+        preview = ", ".join(str(o) for o in missing[:10])
+        if len(missing) > 10:
+            preview += f", ... ({len(missing) - 10} more)"
+        lines.append(
+            f"coverage: {coverage.get('merged_records', 0)}/"
+            f"{coverage.get('expected_records', 0)} graph(s) merged; "
+            f"missing ordinal(s) {preview}"
+        )
+        for x, point in coverage.get("points", {}).items():
+            if point["merged"] < point["expected"]:
+                lines.append(
+                    f"  x={x}: partial row over {point['merged']}/"
+                    f"{point['expected']} graph(s)"
+                )
+    return lines
+
+
 def _write_outputs(
     tag: str, rows, csv_text: str, timing, out_csv: Optional[Path], stream
 ) -> None:

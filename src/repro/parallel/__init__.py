@@ -12,6 +12,12 @@ checkpoint/resume over an append-only JSONL log
 (:mod:`repro.parallel.checkpoint`); :mod:`repro.parallel.shard`
 partitions a campaign's scenario space across machines and merges
 shard outputs back to bytes identical to a serial run.
+
+:mod:`repro.parallel.cluster` closes the loop with a fault-tolerant
+coordinator: it launches shard workers (:mod:`repro.parallel.worker`
+subprocesses), watches each shard file for liveness, re-issues dead
+shards with backoff, and folds records incrementally so the final CSV
+stays byte-identical to ``--jobs 1`` across worker deaths.
 """
 
 from repro.parallel.aggregate import (
@@ -31,7 +37,18 @@ from repro.parallel.campaign import (
 from repro.parallel.checkpoint import (
     CampaignCheckpoint,
     JsonlLog,
+    JsonlTail,
     config_fingerprint,
+)
+from repro.parallel.cluster import (
+    ClusterError,
+    ClusterFault,
+    ClusterReport,
+    ClusterShardReport,
+    ClusterStatus,
+    IncrementalMerger,
+    run_cluster,
+    write_worker_spec,
 )
 from repro.parallel.engine import (
     MapStats,
@@ -51,8 +68,15 @@ __all__ = [
     "CampaignCheckpoint",
     "CampaignPart",
     "CampaignTiming",
+    "ClusterError",
+    "ClusterFault",
+    "ClusterReport",
+    "ClusterShardReport",
+    "ClusterStatus",
     "CompletedPoint",
+    "IncrementalMerger",
     "JsonlLog",
+    "JsonlTail",
     "MapStats",
     "P2Quantile",
     "PointTiming",
@@ -67,5 +91,7 @@ __all__ = [
     "register_part",
     "resolve_jobs",
     "run_campaign",
+    "run_cluster",
     "run_shard",
+    "write_worker_spec",
 ]

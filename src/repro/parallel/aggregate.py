@@ -169,6 +169,9 @@ class CompletedPoint:
     resumed: bool = False
     busy_s: float = 0.0
     wall_s: float = 0.0
+    #: ``True`` when the row was force-folded over an incomplete result
+    #: set (degraded-mode completion; see ``flush_incomplete``).
+    partial: bool = False
 
 
 @dataclass
@@ -274,6 +277,49 @@ class CampaignAccumulator:
         self.in_flight -= len(slot.results)
         del self._slots[x]
         return self._release()
+
+    def flush_incomplete(self) -> List[CompletedPoint]:
+        """Force-fold every unreleased point over the results that arrived.
+
+        Degraded-mode completion for the cluster coordinator: when a
+        shard's retry budget is exhausted and the caller opted into
+        partial output, the remaining points are folded over whatever
+        subset of their results exists — with the same aggregation
+        callable, sorted by replica inside the fold as always — and
+        released in X order, flagged ``partial=True``.  Points that
+        received **no** results at all yield no row (there is nothing
+        to fold) and are simply skipped; callers report them through
+        their coverage accounting.
+
+        Complete points still held back by X-ordering are released
+        unflagged on the way.
+        """
+        out: List[CompletedPoint] = []
+        while self._cursor < len(self._order):
+            x = self._order[self._cursor]
+            done = self._ready.pop(x, None)
+            if done is None:
+                slot = self._slots.pop(x, None)
+                if slot is None or not slot.results:
+                    self._cursor += 1
+                    continue
+                row = self._fold(x, slot.results)
+                done = CompletedPoint(
+                    x=x,
+                    row=row,
+                    results=tuple(slot.results),
+                    busy_s=slot.busy_s,
+                    wall_s=max(
+                        0.0,
+                        slot.last_end - (slot.first_start or slot.last_end),
+                    ),
+                    partial=True,
+                )
+                self.in_flight -= len(slot.results)
+            out.append(done)
+            self._cursor += 1
+            self.rows_emitted += 1
+        return out
 
     def _release(self) -> List[CompletedPoint]:
         out: List[CompletedPoint] = []

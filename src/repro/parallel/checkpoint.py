@@ -183,6 +183,111 @@ def _complete_lines(raw: bytes) -> Iterator[Tuple[bytes, int]]:
         start = end + 1
 
 
+class JsonlTail:
+    """Incrementally read complete records appended to a JSONL log.
+
+    The coordinator's side of the shard-file liveness protocol: while a
+    worker appends to a :class:`JsonlLog`, a tail ``poll()`` returns the
+    records that became complete since the previous poll, never blocking
+    and never consuming a torn final line (the offset only advances past
+    newline-terminated parseable lines, so a record the writer is still
+    mid-``write`` on is simply picked up by a later poll).
+
+    Concurrent rewrites are tolerated structurally: if the file shrinks
+    below the consumed offset (a resuming worker truncated it, or a
+    fresh header replaced an incompatible log) the tail resets and
+    re-reads from the start — callers dedupe records by their natural
+    key, so re-delivery is harmless.  A truncation the tail never
+    observes (the file regrew past the offset between polls) surfaces
+    as an unparseable line at the misaligned offset; the tail then
+    realigns by re-reading from the start.  A header that does not match
+    ``expected_header`` yields no records (it may be a stale file the
+    worker is about to replace); it is re-examined on every poll.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        expected_header: Dict[str, object],
+    ) -> None:
+        self.path = path
+        self.expected_header = expected_header
+        self._offset = 0
+        self._header_ok = False
+        #: Complete-but-unparseable record lines skipped so far.
+        self.corrupt_lines = 0
+        #: Polls that saw a non-matching header (stale/foreign file).
+        self.header_mismatches = 0
+
+    def reset(self) -> None:
+        self._offset = 0
+        self._header_ok = False
+
+    def poll(self) -> List[dict]:
+        """Every record that became complete since the last poll."""
+        records, corrupt = self._scan()
+        if corrupt:
+            # A complete-but-unparseable line almost always means the
+            # consumed offset is misaligned: a resuming (or
+            # double-issued) worker truncated the file between polls
+            # and it grew back past the offset before the shrink check
+            # could fire, so we were reading from mid-record.
+            # Re-reading from the start realigns on the header; callers
+            # dedupe the re-delivered records.  Lines still unparseable
+            # from offset zero are genuine corruption: skipped, counted.
+            self.reset()
+            records, corrupt = self._scan()
+            self.corrupt_lines += corrupt
+        return records
+
+    def _scan(self) -> Tuple[List[dict], int]:
+        """One read from the consumed offset: ``(records, corrupt)``."""
+        try:
+            with open(self.path, "rb") as handle:
+                size = handle.seek(0, os.SEEK_END)
+                if size < self._offset:
+                    # Truncated or rewritten underneath us: start over
+                    # (callers dedupe, so re-reading is safe).
+                    self.reset()
+                handle.seek(self._offset)
+                raw = handle.read()
+        except OSError:
+            return [], 0
+        records: List[dict] = []
+        corrupt = 0
+        consumed = 0
+        for line, end in _complete_lines(raw):
+            if not self._header_ok:
+                try:
+                    data = json.loads(line)
+                except ValueError:
+                    data = None
+                if not isinstance(data, dict) or any(
+                    data.get(key) != value
+                    for key, value in self.expected_header.items()
+                ):
+                    # Stale or foreign header: report nothing and keep
+                    # watching from the start of the file.
+                    self.header_mismatches += 1
+                    self.reset()
+                    return [], 0
+                self._header_ok = True
+                consumed = end
+                continue
+            try:
+                data = json.loads(line)
+            except ValueError:
+                data = None
+            if isinstance(data, dict):
+                records.append(data)
+            else:
+                corrupt += 1
+            consumed = end
+        self._offset += consumed
+        return records, corrupt
+
+
 class CampaignCheckpoint:
     """Per-point resume log of one campaign run (append-only JSONL).
 
@@ -239,5 +344,6 @@ __all__ = [
     "CHECKPOINT_FORMAT",
     "CampaignCheckpoint",
     "JsonlLog",
+    "JsonlTail",
     "config_fingerprint",
 ]

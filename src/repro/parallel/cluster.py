@@ -1,0 +1,677 @@
+"""Cluster coordinator over campaign shards: liveness, re-issue, merge.
+
+PR 8's sharding made a campaign's scenario space a pure function of
+``(config, ShardSpec)`` — shards can run on any machine at any time and
+:func:`~repro.parallel.shard.merge_shards` folds the files back to
+bytes identical to a serial run.  What it left manual was the
+orchestration: *somebody* had to notice a dead worker, re-run its
+shard, and re-merge.  :func:`run_cluster` is that somebody.
+
+The coordinator owns the full shard partition of one campaign.  It
+launches local worker subprocesses (``python -m repro.parallel.worker``
+running :func:`~repro.parallel.shard.run_shard`; remote machines get
+the equivalent ready-to-run ``repro campaign run`` commands) and
+watches each shard's append-only JSONL file for **liveness**: progress
+is new complete records, observed through a torn-tail-tolerant
+:class:`~repro.parallel.checkpoint.JsonlTail`.  A shard whose file
+stops growing past ``heartbeat_timeout`` seconds — or whose worker
+exits without having covered its ordinals — is declared dead, its
+processes are killed, and it is **re-issued** with exponential backoff
+under a bounded retry budget.  Because the shard file doubles as the
+shard's resume log, a re-issued worker skips every recorded graph:
+completed work is never recomputed, no matter how many times a worker
+dies.
+
+Merging is **incremental**: every record is folded into the same
+bounded-memory :class:`~repro.parallel.aggregate.CampaignAccumulator`
+discipline a single-machine campaign uses (park per point, fold with
+the exact serial aggregation the moment the point completes, release
+rows in X order), deduplicated by global ordinal so double-issued
+shards and re-delivered records are harmless.  The final rows — and
+the CSV rendered from them — are therefore **byte-identical to
+``--jobs 1``** regardless of worker deaths, re-issues, or completion
+order.  When a shard exhausts its retry budget, ``allow_missing=True``
+degrades gracefully instead of failing: the remaining points are
+force-folded over the results that did arrive (flagged partial) and
+the :class:`ClusterReport` carries an explicit coverage account of
+every missing ordinal.
+
+:class:`ClusterFault` is the fault-injection layer the test suite and
+the CI smoke leg drive: a worker can be told to SIGKILL itself after N
+records (optionally leaving a torn half-record), to stall without
+exiting, or a shard can be double-issued on purpose.  Faults apply to
+the *first* issue only unless ``every_attempt`` is set, so re-issues
+demonstrate recovery rather than re-injection.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+
+from repro.parallel.aggregate import CampaignAccumulator, CompletedPoint
+from repro.parallel.campaign import CampaignPart, get_part
+from repro.parallel.checkpoint import JsonlTail, config_fingerprint
+from repro.parallel.engine import resolve_jobs
+from repro.parallel.shard import SHARD_FORMAT, ShardSpec
+
+
+class ClusterError(RuntimeError):
+    """A shard exhausted its retry budget (and partial output was not
+    requested), or shard files turned out not to belong to the campaign."""
+
+
+@dataclass(frozen=True)
+class ClusterFault:
+    """Worker-side fault plan for one shard (the test layer).
+
+    Attributes:
+        die_after_records: SIGKILL the worker right after it appended
+            this many records (per attempt).
+        tear: With ``die_after_records``, first write half a record
+            with no newline — the torn tail a mid-``write`` kill leaves.
+        stall_after_records: Stop appending after this many records but
+            keep the process alive — what a wedged worker looks like.
+        double_issue: Coordinator-side: launch two workers for this
+            shard's first issue, both appending to the same file.
+        every_attempt: Re-apply the fault on every re-issue (default:
+            first issue only, so recovery is observable).
+    """
+
+    die_after_records: Optional[int] = None
+    tear: bool = False
+    stall_after_records: Optional[int] = None
+    double_issue: bool = False
+    every_attempt: bool = False
+
+    @property
+    def worker_side(self) -> bool:
+        return (
+            self.die_after_records is not None
+            or self.stall_after_records is not None
+        )
+
+
+def write_worker_spec(
+    path: str,
+    *,
+    part: Union[str, CampaignPart],
+    config,
+    shard: ShardSpec,
+    out: str,
+    jobs: int = 1,
+    sys_path: Sequence[str] = (),
+    fault: Optional[ClusterFault] = None,
+) -> str:
+    """Write the two-pickle spec file a worker subprocess consumes.
+
+    ``sys_path`` entries are pickled separately ahead of the payload so
+    the worker can extend its import path before the part/config
+    classes (possibly defined in test or benchmark modules) unpickle.
+    The source tree of this very ``repro`` package is always included,
+    so workers resolve the same code the coordinator runs.
+    """
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    entries = [src_dir] + [os.path.abspath(p) for p in sys_path]
+    payload = {
+        "part": part if isinstance(part, str) else part,
+        "config": config,
+        "shard": str(shard),
+        "out": out,
+        "jobs": jobs,
+        "fault": fault if fault is not None and fault.worker_side else None,
+    }
+    with open(path, "wb") as handle:
+        pickle.dump(entries, handle)
+        pickle.dump(payload, handle)
+    return path
+
+
+class IncrementalMerger:
+    """Fold shard-file records into campaign rows as they appear.
+
+    One :class:`~repro.parallel.checkpoint.JsonlTail` per shard file,
+    one ordinal-deduplicated stream into a
+    :class:`~repro.parallel.aggregate.CampaignAccumulator` whose fold
+    is the part's exact serial aggregation — so the rows this merger
+    releases (in X order) are the rows ``--jobs 1`` produces, no matter
+    the arrival order, duplicates from double-issued shards, torn
+    tails, or how records are spread across re-issued attempts.
+
+    The merger is deliberately independent of process management: the
+    hypothesis suite drives it directly against synthesized write
+    interleavings, and the coordinator reuses the per-shard record
+    stream as its liveness signal.
+    """
+
+    def __init__(
+        self,
+        part: Union[str, CampaignPart],
+        config,
+        *,
+        shard_count: int,
+        paths: Dict[int, str],
+    ) -> None:
+        resolved = get_part(part)
+        self.part = resolved
+        self.config = config
+        self.shard_count = shard_count
+        self._tasks = resolved.tasks(config)
+        self._decode = resolved.decode_result
+        expected: Dict[int, int] = {x: 0 for x in config.x_values}
+        for task in self._tasks:
+            expected[task.x] += 1
+        self.expected_by_x = expected
+        self._acc = CampaignAccumulator(
+            [(x, expected[x]) for x in config.x_values],
+            resolved.aggregate,
+            metric=resolved.metric,
+        )
+        fingerprint = config_fingerprint(resolved.name, config)
+        self._owned: Dict[int, Set[int]] = {index: set() for index in paths}
+        for ordinal in range(len(self._tasks)):
+            index = ordinal % shard_count
+            if index in self._owned:
+                self._owned[index].add(ordinal)
+        self._tails: Dict[int, JsonlTail] = {
+            index: JsonlTail(
+                path,
+                expected_header={
+                    "format": SHARD_FORMAT,
+                    "part": resolved.name,
+                    "fingerprint": fingerprint,
+                    "shard_index": index,
+                    "shard_count": shard_count,
+                },
+            )
+            for index, path in paths.items()
+        }
+        #: Ordinals merged so far (across all shards).
+        self.seen: Set[int] = set()
+        #: Re-delivered or double-issued records ignored.
+        self.duplicates = 0
+        #: Records whose ordinal the polled shard does not own.
+        self.foreign_records = 0
+        #: Every released point, in X order (partial ones flagged).
+        self.rows: List[CompletedPoint] = []
+
+    @property
+    def expected_records(self) -> int:
+        return len(self._tasks)
+
+    def owned(self, index: int) -> Set[int]:
+        return self._owned[index]
+
+    def shard_done(self, index: int) -> bool:
+        """Whether every ordinal this shard owns has been merged."""
+        return self._owned[index] <= self.seen
+
+    @property
+    def done(self) -> bool:
+        return len(self.seen) == len(self._tasks)
+
+    def poll_shard(self, index: int) -> tuple:
+        """Drain one shard file; returns ``(new_records, released)``.
+
+        ``new_records`` counts every fresh complete record line — the
+        liveness signal — including duplicates (a double-issued worker
+        re-covering old ground is alive, just redundant).
+        """
+        released: List[CompletedPoint] = []
+        new = 0
+        for record in self._tails[index].poll():
+            ordinal = record.get("ordinal")
+            if (
+                not isinstance(ordinal, int)
+                or ordinal not in self._owned[index]
+                or "result" not in record
+            ):
+                self.foreign_records += 1
+                continue
+            new += 1
+            if ordinal in self.seen:
+                self.duplicates += 1
+                continue
+            self.seen.add(ordinal)
+            task = self._tasks[ordinal]
+            released.extend(
+                self._acc.add(task.x, self._decode(record["result"]))
+            )
+        self.rows.extend(released)
+        return new, released
+
+    def poll_all(self) -> List[CompletedPoint]:
+        released: List[CompletedPoint] = []
+        for index in self._tails:
+            released.extend(self.poll_shard(index)[1])
+        return released
+
+    def flush_incomplete(self) -> List[CompletedPoint]:
+        """Degraded mode: force-fold what arrived (see the accumulator)."""
+        released = self._acc.flush_incomplete()
+        self.rows.extend(released)
+        return released
+
+    def coverage(self) -> dict:
+        """The explicit account degraded-mode completion ships with."""
+        missing = [
+            ordinal
+            for ordinal in range(len(self._tasks))
+            if ordinal not in self.seen
+        ]
+        per_x: Dict[int, int] = {x: 0 for x in self.expected_by_x}
+        for ordinal in self.seen:
+            per_x[self._tasks[ordinal].x] += 1
+        return {
+            "expected_records": len(self._tasks),
+            "merged_records": len(self.seen),
+            "duplicates": self.duplicates,
+            "foreign_records": self.foreign_records,
+            "missing_ordinals": missing,
+            "points": {
+                str(x): {"merged": per_x[x], "expected": self.expected_by_x[x]}
+                for x in self.expected_by_x
+            },
+        }
+
+
+@dataclass
+class ClusterShardReport:
+    """What happened to one shard across all its issues."""
+
+    index: int
+    path: str
+    status: str
+    attempts: int
+    deaths: int
+    records: int
+    owned: int
+    wall_s: float
+
+    @property
+    def re_issues(self) -> int:
+        return max(0, self.attempts - 1)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["re_issues"] = self.re_issues
+        data["wall_s"] = round(self.wall_s, 6)
+        return data
+
+
+@dataclass
+class ClusterReport:
+    """Observability record of one :func:`run_cluster` call."""
+
+    part: str
+    shard_count: int
+    workers: int
+    wall_s: float = 0.0
+    shards: List[ClusterShardReport] = field(default_factory=list)
+    coverage: dict = field(default_factory=dict)
+    rows: int = 0
+    partial_rows: int = 0
+    complete: bool = False
+
+    @property
+    def deaths(self) -> int:
+        return sum(shard.deaths for shard in self.shards)
+
+    @property
+    def re_issues(self) -> int:
+        return sum(shard.re_issues for shard in self.shards)
+
+    def to_dict(self) -> dict:
+        return {
+            "part": self.part,
+            "shard_count": self.shard_count,
+            "workers": self.workers,
+            "wall_s": round(self.wall_s, 6),
+            "complete": self.complete,
+            "rows": self.rows,
+            "partial_rows": self.partial_rows,
+            "deaths": self.deaths,
+            "re_issues": self.re_issues,
+            "shards": [shard.to_dict() for shard in self.shards],
+            "coverage": self.coverage,
+        }
+
+    def summary(self) -> str:
+        note = ""
+        if self.deaths:
+            note = f", {self.deaths} death(s), {self.re_issues} re-issue(s)"
+        if not self.complete:
+            missing = len(self.coverage.get("missing_ordinals", ()))
+            note += f", DEGRADED: {missing} graph(s) missing"
+        return (
+            f"cluster {self.part}: {self.rows} row(s) from "
+            f"{self.shard_count} shard(s) on {self.workers} worker(s) "
+            f"in {self.wall_s:.2f}s{note}"
+        )
+
+
+@dataclass
+class ClusterStatus:
+    """Live snapshot handed to the ``heartbeat`` hook every poll."""
+
+    shard_count: int
+    done: int
+    running: int
+    pending: int
+    failed: int
+    deaths: int
+    merged_records: int
+    expected_records: int
+    rows_released: int
+    wall_s: float
+
+
+@dataclass
+class _ShardState:
+    spec: ShardSpec
+    path: str
+    status: str = "pending"  # pending | running | done | failed
+    attempts: int = 0
+    deaths: int = 0
+    procs: List[subprocess.Popen] = field(default_factory=list)
+    last_progress: float = 0.0
+    next_eligible: float = 0.0
+    issued_at: float = 0.0
+    wall_s: float = 0.0
+    records: int = 0
+
+    @property
+    def index(self) -> int:
+        return self.spec.shard_index
+
+
+def run_cluster(
+    part: Union[str, CampaignPart],
+    config,
+    *,
+    shards: int,
+    out_dir: str,
+    workers: int = 0,
+    jobs: int = 1,
+    heartbeat_timeout: float = 300.0,
+    max_retries: int = 2,
+    backoff_s: float = 1.0,
+    poll_s: float = 0.1,
+    allow_missing: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+    heartbeat: Optional[Callable[[ClusterStatus], None]] = None,
+    faults: Optional[Dict[int, ClusterFault]] = None,
+    sys_path: Sequence[str] = (),
+    python: Optional[str] = None,
+) -> tuple:
+    """Run a whole campaign through fault-tolerant local workers.
+
+    Returns ``(rows, report)``.  ``rows`` renders through
+    ``part.to_csv`` to bytes identical to ``run_campaign(..., jobs=1)``
+    whenever the run completes — enforced by the fault-injection suite
+    and the CI smoke leg even across SIGKILLed workers, torn shard
+    files, and double-issued shards.
+
+    Args:
+        part: Registered part name or a :class:`CampaignPart` whose
+            callables are module-level (workers unpickle them).
+        config: The campaign preset (must be picklable).
+        shards: Number of :class:`ShardSpec` slices to partition into.
+        out_dir: Directory for shard JSONL files, worker specs/logs.
+        workers: Concurrent local worker processes (``0`` = all CPUs).
+        jobs: ``--jobs`` inside each worker (its own process pool).
+        heartbeat_timeout: Seconds without a new complete record before
+            a running shard is declared dead and its workers killed.
+        max_retries: Re-issues allowed per shard after its first issue.
+        backoff_s: Base of the exponential re-issue backoff
+            (``backoff_s * 2**(deaths-1)`` seconds).
+        poll_s: Coordinator poll interval.
+        allow_missing: On retry exhaustion, degrade to partial rows
+            plus a coverage report instead of raising
+            :class:`ClusterError`.
+        progress: Optional line sink (row lines exactly like a serial
+            campaign, plus lifecycle lines).
+        heartbeat: Optional hook observing a :class:`ClusterStatus`
+            snapshot after every poll (feeds the CLI status line).
+        faults: Optional fault plan per shard index (the test layer).
+        sys_path: Extra import-path entries for workers (test modules).
+        python: Interpreter for workers (default: ``sys.executable``).
+    """
+    resolved = get_part(part)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    workers_n = resolve_jobs(workers)
+    faults = dict(faults or {})
+    os.makedirs(out_dir, exist_ok=True)
+    width = len(str(shards - 1))
+    states = [
+        _ShardState(
+            spec=ShardSpec(index, shards),
+            path=os.path.join(out_dir, f"shard{index:0{width}d}.jsonl"),
+        )
+        for index in range(shards)
+    ]
+    merger = IncrementalMerger(
+        resolved,
+        config,
+        shard_count=shards,
+        paths={state.index: state.path for state in states},
+    )
+    interpreter = python or sys.executable
+
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    def emit_rows(released: List[CompletedPoint]) -> None:
+        for point in released:
+            line = resolved.format_progress(point.row)
+            say(line + (" [partial]" if point.partial else ""))
+
+    def launch(state: _ShardState, now: float) -> None:
+        state.attempts += 1
+        fault = faults.get(state.index)
+        if fault is not None and state.attempts > 1 and not fault.every_attempt:
+            fault = None
+        spec_path = os.path.join(
+            out_dir, f"shard{state.index:0{width}d}.spec.pkl"
+        )
+        write_worker_spec(
+            spec_path,
+            part=part if isinstance(part, str) else resolved,
+            config=config,
+            shard=state.spec,
+            out=state.path,
+            jobs=jobs,
+            sys_path=sys_path,
+            fault=fault,
+        )
+        n_procs = 2 if fault is not None and fault.double_issue else 1
+        log_path = f"{state.path}.log"
+        with open(log_path, "ab") as log:
+            for _ in range(n_procs):
+                state.procs.append(
+                    subprocess.Popen(
+                        [interpreter, "-m", "repro.parallel.worker", spec_path],
+                        stdout=log,
+                        stderr=subprocess.STDOUT,
+                    )
+                )
+        state.status = "running"
+        state.issued_at = now
+        state.last_progress = now
+        say(
+            f"shard {state.spec}: issued (attempt {state.attempts}"
+            + (f", {n_procs} workers" if n_procs > 1 else "")
+            + ")"
+        )
+
+    def kill_workers(state: _ShardState) -> None:
+        for proc in state.procs:
+            if proc.poll() is None:
+                proc.kill()
+        for proc in state.procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                pass
+        state.procs = []
+
+    def settle(state: _ShardState, status: str, now: float) -> None:
+        state.wall_s += now - state.issued_at
+        state.status = status
+        kill_workers(state)
+
+    def on_death(state: _ShardState, reason: str, now: float) -> None:
+        state.deaths += 1
+        settle(state, "pending", now)
+        if state.attempts > max_retries:
+            state.status = "failed"
+            say(
+                f"shard {state.spec}: dead ({reason}); retry budget of "
+                f"{max_retries} exhausted"
+            )
+            if not allow_missing:
+                for other in states:
+                    kill_workers(other)
+                raise ClusterError(
+                    f"shard {state.spec} failed after {state.attempts} "
+                    f"attempt(s): {reason} (re-run with allow_missing / "
+                    f"--allow-missing for partial rows, or raise "
+                    f"max_retries)"
+                )
+            return
+        delay = backoff_s * (2 ** (state.deaths - 1))
+        state.next_eligible = now + delay
+        say(
+            f"shard {state.spec}: dead ({reason}); re-issue "
+            f"{state.deaths} in {delay:.1f}s"
+        )
+
+    started = time.perf_counter()
+    try:
+        while True:
+            now = time.perf_counter()
+            running = sum(1 for s in states if s.status == "running")
+            for state in states:
+                if (
+                    state.status == "pending"
+                    and running < workers_n
+                    and now >= state.next_eligible
+                ):
+                    launch(state, now)
+                    running += 1
+            for state in states:
+                if state.status != "running":
+                    continue
+                new, released = merger.poll_shard(state.index)
+                if new:
+                    state.last_progress = now
+                    state.records = len(
+                        merger.owned(state.index) & merger.seen
+                    )
+                emit_rows(released)
+                if merger.shard_done(state.index):
+                    settle(state, "done", now)
+                    say(
+                        f"shard {state.spec}: complete "
+                        f"({state.records} graph(s), "
+                        f"attempt {state.attempts})"
+                    )
+                elif all(proc.poll() is not None for proc in state.procs):
+                    codes = sorted(
+                        {proc.returncode for proc in state.procs}
+                    )
+                    on_death(
+                        state,
+                        f"worker exit {codes} with shard incomplete",
+                        now,
+                    )
+                elif now - state.last_progress > heartbeat_timeout:
+                    on_death(
+                        state,
+                        f"no new records for {heartbeat_timeout:.1f}s",
+                        now,
+                    )
+            if heartbeat is not None:
+                heartbeat(
+                    ClusterStatus(
+                        shard_count=shards,
+                        done=sum(1 for s in states if s.status == "done"),
+                        running=sum(
+                            1 for s in states if s.status == "running"
+                        ),
+                        pending=sum(
+                            1 for s in states if s.status == "pending"
+                        ),
+                        failed=sum(1 for s in states if s.status == "failed"),
+                        deaths=sum(s.deaths for s in states),
+                        merged_records=len(merger.seen),
+                        expected_records=merger.expected_records,
+                        rows_released=len(merger.rows),
+                        wall_s=now - started,
+                    )
+                )
+            if all(state.status == "done" for state in states):
+                break
+            if not any(
+                state.status in ("pending", "running") for state in states
+            ):
+                break  # only failed shards left (allow_missing path)
+            time.sleep(poll_s)
+    finally:
+        for state in states:
+            kill_workers(state)
+
+    partial_rows = 0
+    if not merger.done:
+        # Retry budgets exhausted under allow_missing: degraded-mode
+        # completion — fold what arrived, report what did not.
+        flushed = merger.flush_incomplete()
+        partial_rows = sum(1 for point in flushed if point.partial)
+        emit_rows(flushed)
+
+    report = ClusterReport(
+        part=resolved.name,
+        shard_count=shards,
+        workers=workers_n,
+        wall_s=time.perf_counter() - started,
+        shards=[
+            ClusterShardReport(
+                index=state.index,
+                path=state.path,
+                status=state.status,
+                attempts=state.attempts,
+                deaths=state.deaths,
+                records=len(merger.owned(state.index) & merger.seen),
+                owned=len(merger.owned(state.index)),
+                wall_s=state.wall_s,
+            )
+            for state in states
+        ],
+        coverage=merger.coverage(),
+        rows=len(merger.rows),
+        partial_rows=partial_rows,
+        complete=merger.done,
+    )
+    say(report.summary())
+    return [point.row for point in merger.rows], report
+
+
+__all__ = [
+    "ClusterError",
+    "ClusterFault",
+    "ClusterReport",
+    "ClusterShardReport",
+    "ClusterStatus",
+    "IncrementalMerger",
+    "run_cluster",
+    "write_worker_spec",
+]

@@ -182,6 +182,53 @@ def run_shard(
     return report
 
 
+def _merge_gap_message(
+    missing: Sequence[int],
+    total: int,
+    shard_count: Optional[int],
+    owners: Dict[int, List[str]],
+) -> str:
+    """Spell out a coverage gap: which ordinals, owed by which files.
+
+    Every missing ordinal is attributed to the shard index that owns it
+    under the round-robin partition, and each such index to the file(s)
+    that declared it — or to the absence of any file for it — so the
+    operator knows exactly which shard to (re-)run or fetch.
+    """
+    preview = ", ".join(str(o) for o in missing[:20])
+    if len(missing) > 20:
+        preview += f", ... ({len(missing) - 20} more)"
+    lines = [
+        f"merge incomplete: {len(missing)} of {total} graph(s) missing "
+        f"(ordinals {preview})"
+    ]
+    if shard_count:
+        by_owner: Dict[int, List[int]] = {}
+        for ordinal in missing:
+            by_owner.setdefault(ordinal % shard_count, []).append(ordinal)
+        for index in sorted(by_owner):
+            gap = by_owner[index]
+            head = ", ".join(str(o) for o in gap[:10])
+            if len(gap) > 10:
+                head += f", ... ({len(gap) - 10} more)"
+            paths = owners.get(index)
+            if paths:
+                source = (
+                    f"expected in {paths[0]} (file present but partial)"
+                    if len(paths) == 1
+                    else "expected in " + " or ".join(paths) + " (partial)"
+                )
+            else:
+                source = (
+                    f"no file supplied for shard {index}/{shard_count}"
+                )
+            lines.append(
+                f"  shard {index}/{shard_count} owes ordinal(s) {head}: "
+                f"{source}"
+            )
+    return "\n".join(lines)
+
+
 def merge_shards(
     part: Union[str, CampaignPart],
     config,
@@ -199,12 +246,14 @@ def merge_shards(
     Raises:
         ValueError: A file is not a shard file of this ``(part,
             config)``, shard counts disagree, or tasks are missing
-            (the message names the absent shard indices).
+            (the message names the missing ordinals and the shard
+            file expected to own each of them).
     """
     resolved = get_part(part)
     tasks = resolved.tasks(config)
     records: Dict[int, dict] = {}
     shard_count: Optional[int] = None
+    owners: Dict[int, List[str]] = {}
     for path in shard_paths:
         log = _shard_log(path, resolved, config, shard=None)
         rows = log.load()
@@ -222,19 +271,16 @@ def merge_shards(
                 f"{path}: shard_count {count} disagrees with {shard_count} "
                 f"from earlier files"
             )
+        index = header.get("shard_index")
+        if isinstance(index, int):
+            owners.setdefault(index, []).append(path)
         for record in rows:
             ordinal = record.get("ordinal")
             if isinstance(ordinal, int) and 0 <= ordinal < len(tasks):
                 records[ordinal] = record
     missing = [o for o in range(len(tasks)) if o not in records]
     if missing:
-        absent = sorted(
-            {o % shard_count for o in missing} if shard_count else {-1}
-        )
-        raise ValueError(
-            f"merge incomplete: {len(missing)} of {len(tasks)} graph(s) "
-            f"missing (shard index(es) {absent} absent or partial)"
-        )
+        raise ValueError(_merge_gap_message(missing, len(tasks), shard_count, owners))
     by_x: Dict[int, List[object]] = {x: [] for x in config.x_values}
     for ordinal, task in enumerate(tasks):
         by_x[task.x].append(resolved.decode_result(records[ordinal]["result"]))

@@ -1,0 +1,103 @@
+"""Subprocess entry point of cluster workers.
+
+The coordinator (:mod:`repro.parallel.cluster`) launches each shard as
+``python -m repro.parallel.worker SPECFILE``.  The spec file holds two
+consecutive pickles: first a plain list of ``sys.path`` entries to
+prepend (so the campaign part's defining modules resolve before the
+second pickle is loaded), then the payload dict — the part (a name to
+resolve through the registry, or a pickled :class:`CampaignPart`
+whose callables are module-level functions), the config, the shard
+spec, the output path, the per-worker ``jobs`` count, and an optional
+:class:`~repro.parallel.cluster.ClusterFault`.
+
+A worker is deliberately nothing more than :func:`run_shard` plus the
+fault-injection layer: all coordination (liveness, retry, merge) lives
+on the coordinator side, reading the shard's append-only JSONL file.
+The fault layer wraps ``JsonlLog.append`` *in this process only* so a
+test or CI leg can make a worker SIGKILL itself mid-shard, leave a torn
+half-record behind, or stall without exiting — the failure modes the
+coordinator's watchdog must survive.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import sys
+import time
+
+
+def _install_fault(fault) -> None:
+    """Wrap ``JsonlLog.append`` in this process with the fault plan."""
+    from repro.parallel.checkpoint import JsonlLog
+
+    original = JsonlLog.append
+    state = {"count": 0}
+
+    def faulted_append(self, record) -> None:
+        original(self, record)
+        state["count"] += 1
+        n = state["count"]
+        if (
+            fault.stall_after_records is not None
+            and n >= fault.stall_after_records
+        ):  # pragma: no cover - subprocess only
+            while True:
+                time.sleep(3600)
+        if (
+            fault.die_after_records is not None
+            and n >= fault.die_after_records
+        ):  # pragma: no cover - subprocess only
+            if fault.tear:
+                # A kill mid-write: half a record, no newline.  The
+                # coordinator's tail must never consume it and the
+                # re-issued worker must truncate it away.
+                os.write(self._fd, b'{"ordinal": 0, "x": 0, "resu')
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    JsonlLog.append = faulted_append
+
+
+def load_spec(path: str) -> dict:
+    """Read a worker spec file, extending ``sys.path`` first.
+
+    The path entries are pickled separately *before* the payload so the
+    part/config classes (which may live in a test or benchmark module)
+    are importable by the time the payload unpickles.
+    """
+    with open(path, "rb") as handle:
+        for entry in pickle.load(handle):
+            if entry not in sys.path:
+                sys.path.insert(0, entry)
+        return pickle.load(handle)
+
+
+def run_spec(path: str) -> int:
+    """Execute one worker spec: ``run_shard`` under the fault plan."""
+    payload = load_spec(path)
+    fault = payload.get("fault")
+    if fault is not None:
+        _install_fault(fault)
+    from repro.parallel.shard import ShardSpec, run_shard
+
+    run_shard(
+        payload["part"],
+        payload["config"],
+        ShardSpec.parse(payload["shard"]),
+        payload["out"],
+        jobs=payload.get("jobs", 1),
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.parallel.worker SPECFILE", file=sys.stderr)
+        return 2
+    return run_spec(argv[0])
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

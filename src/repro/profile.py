@@ -41,6 +41,12 @@ optimization work:
   points-heavy synthetic campaign, rows asserted identical; the entry
   also records the streaming arm's measured peak result residency next
   to the legacy arm's whole-campaign row dict.
+* :func:`bench_cluster_kernel` measures the cluster coordinator
+  (:func:`repro.parallel.cluster.run_cluster` — worker subprocesses,
+  shard-file liveness polling, incremental merge) against a plain
+  single-machine process pool on the same campaign, rows asserted
+  identical; the entry reports the coordinator's overhead ratio — the
+  measured price of fault tolerance.
 * :func:`bench_analysis_scaling` measures the *per-chain* cost of the
   backward-bounds analysis on diamond-ladder graphs whose chain count
   doubles per rung; the DAG-shared prefix DP
@@ -1032,6 +1038,88 @@ def bench_campaign_kernel(
     }
 
 
+def bench_cluster_kernel(
+    *,
+    points: int = 200,
+    graphs_per_point: int = 1,
+    sims_per_graph: int = 2,
+    duration_s: float = 0.2,
+    n_tasks: int = 5,
+    seed: int = 2023,
+    shards: int = 2,
+    workers: int = 2,
+) -> Dict[str, Any]:
+    """Cluster coordinator vs a single process pool, paired, rows equal.
+
+    Runs the same points-heavy campaign twice: once through
+    :func:`repro.parallel.campaign.run_campaign` with a ``workers``-wide
+    process pool (the single-machine fast path) and once through
+    :func:`repro.parallel.cluster.run_cluster` with ``shards`` shards on
+    ``workers`` local worker subprocesses — subprocess launch, shard
+    JSONL writes, file-tail polling and incremental merge included.
+    Rows are asserted identical (the coordinator's byte-identity
+    contract), and the entry reports the coordinator's **overhead
+    ratio** over the plain pool — the price of fault tolerance, which
+    amortizes as campaigns grow and must stay small enough to be worth
+    paying on a single machine.
+    """
+    import tempfile
+
+    from repro.parallel.campaign import run_campaign
+    from repro.parallel.cluster import run_cluster
+
+    config = _BenchCampaignConfig(
+        x_values=tuple(range(points)),
+        graphs_per_point=graphs_per_point,
+        sims_per_graph=sims_per_graph,
+        duration_s=duration_s,
+        n_tasks=n_tasks,
+        seed=seed,
+    )
+    part = bench_campaign_part()
+    with tempfile.TemporaryDirectory() as tmpdir:
+        start = time.perf_counter()
+        pool_rows, _ = run_campaign(part, config, jobs=workers)
+        pool_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cluster_rows, report = run_cluster(
+            part,
+            config,
+            shards=shards,
+            workers=workers,
+            out_dir=tmpdir,
+            heartbeat_timeout=300.0,
+            poll_s=0.02,
+        )
+        cluster_s = time.perf_counter() - start
+    if cluster_rows != pool_rows:
+        raise AssertionError(
+            "cluster coordinator rows diverged from the single-pool run"
+        )
+    if report.deaths:
+        raise AssertionError(
+            f"benchmark run saw {report.deaths} unexpected worker death(s)"
+        )
+    scenarios = points * graphs_per_point * sims_per_graph
+    return {
+        "points": points,
+        "graphs_per_point": graphs_per_point,
+        "sims_per_graph": sims_per_graph,
+        "n_tasks": n_tasks,
+        "duration_s": duration_s,
+        "scenarios": scenarios,
+        "shards": shards,
+        "workers": workers,
+        "pool_s": round(pool_s, 4),
+        "cluster_s": round(cluster_s, 4),
+        "overhead": round(cluster_s / pool_s, 2) if pool_s else 0.0,
+        "scenarios_per_s": round(
+            scenarios / cluster_s, 1
+        ) if cluster_s else 0.0,
+    }
+
+
 # ----------------------------------------------------------------------
 # analysis scaling (prefix-shared backward bounds)
 # ----------------------------------------------------------------------
@@ -1132,7 +1220,7 @@ def bench_analysis_scaling(
 #: Benchmark sections of :func:`run_benchmarks`, in document order.
 KERNELS = (
     "sim", "batch", "let", "columnar", "fault", "delta", "structural",
-    "campaign", "analysis",
+    "campaign", "cluster", "analysis",
 )
 
 
@@ -1203,6 +1291,12 @@ def run_benchmarks(
             bench_campaign_kernel(points=120, sims_per_graph=2)
             if quick
             else bench_campaign_kernel()
+        )
+    if "cluster" in kernels:
+        document["cluster"] = (
+            bench_cluster_kernel(points=24, sims_per_graph=2)
+            if quick
+            else bench_cluster_kernel()
         )
     if "analysis" in kernels:
         document["analysis"] = (
@@ -1292,6 +1386,16 @@ def format_benchmarks(results: Dict[str, Any]) -> str:
             f"{campaign['scenarios_per_s']:,.1f} scens/s, "
             f"peak {campaign['peak_in_flight_results']} results in flight "
             f"vs {campaign['legacy_resident_rows']} resident rows)"
+        )
+    cluster = results.get("cluster")
+    if cluster is not None:
+        lines.append(
+            f"cluster      {cluster['scenarios']:>9} scens"
+            f"  {cluster['pool_s']:.2f}s single pool ->"
+            f" {cluster['cluster_s']:.2f}s coordinated"
+            f"  ({cluster['overhead']:.2f}x overhead, "
+            f"{cluster['scenarios_per_s']:,.1f} scens/s, "
+            f"{cluster['shards']} shards on {cluster['workers']} workers)"
         )
     for row in results.get("analysis", ()):
         lines.append(
@@ -1433,6 +1537,26 @@ def compare_to_baseline(
                 f"streaming campaign speedup {cur_speedup:.2f}x is "
                 f"{(1 - cur_speedup / base_speedup) * 100:.0f}% below the "
                 f"committed {base_speedup:.2f}x"
+            )
+    cur_cluster = current.get("cluster")
+    base_cluster = baseline.get("cluster")
+    if (
+        cur_cluster is not None
+        and base_cluster is not None
+        # The coordinator's fixed costs (subprocess launch, polling)
+        # amortize over campaign size, so the overhead ratio is only
+        # comparable at the same shape.
+        and cur_cluster["points"] == base_cluster["points"]
+        and cur_cluster["sims_per_graph"] == base_cluster["sims_per_graph"]
+        and cur_cluster["shards"] == base_cluster["shards"]
+    ):
+        cur_overhead = cur_cluster["overhead"]
+        base_overhead = base_cluster["overhead"]
+        if cur_overhead > base_overhead * (1.0 + tolerance):
+            regressions.append(
+                f"cluster coordinator overhead {cur_overhead:.2f}x is "
+                f"{(cur_overhead / base_overhead - 1) * 100:.0f}% above the "
+                f"committed {base_overhead:.2f}x"
             )
     base_by_shape = {
         (row["levels"], row["width"]): row

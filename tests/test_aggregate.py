@@ -144,6 +144,35 @@ class TestCampaignAccumulator:
         # delivery: (101 - 1) .. 103.
         assert done.wall_s == pytest.approx(3.0)
 
+    def test_flush_incomplete_force_folds_partial_points(self):
+        # Degraded-mode completion (cluster coordinator with
+        # allow_missing): points fold over the subset that arrived,
+        # flagged partial; points with nothing at all yield no row.
+        acc = CampaignAccumulator([(1, 2), (2, 2), (3, 2)], _concat_fold)
+        acc.add(1, "a1")
+        acc.add(1, "a2")  # complete: released normally
+        acc.add(2, "b1")  # half of x=2 arrived; x=3 got nothing
+        flushed = acc.flush_incomplete()
+        assert [p.x for p in flushed] == [2]
+        assert flushed[0].partial
+        assert flushed[0].row == (2, ("b1",))
+        assert acc.in_flight == 0
+
+    def test_flush_incomplete_releases_held_complete_points_unflagged(self):
+        acc = CampaignAccumulator([(1, 2), (2, 2)], _concat_fold)
+        acc.add(2, "b1")
+        acc.add(2, "b2")  # complete but held back waiting on x=1
+        acc.add(1, "a1")
+        flushed = acc.flush_incomplete()
+        assert [(p.x, p.partial) for p in flushed] == [(1, True), (2, False)]
+        assert flushed[0].row == (1, ("a1",))
+        assert flushed[1].row == (2, ("b1", "b2"))
+
+    def test_flush_incomplete_on_empty_accumulator(self):
+        acc = CampaignAccumulator([(1, 1)], _concat_fold)
+        assert acc.flush_incomplete() == []
+        assert acc.flush_incomplete() == []  # idempotent
+
     def test_unknown_x_rejected(self):
         acc = CampaignAccumulator([(1, 1)], _concat_fold)
         with pytest.raises(KeyError):

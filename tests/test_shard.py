@@ -195,8 +195,35 @@ class TestMergeValidation:
         config = CONFIGS["implicit"]
         path = str(tmp_path / "s0.jsonl")
         run_shard(AB_PART, config, ShardSpec(0, 3), path)
-        with pytest.raises(ValueError, match=r"\[1, 2\]"):
+        with pytest.raises(ValueError) as err:
             merge_shards(AB_PART, config, [path])
+        message = str(err.value)
+        # The error attributes every missing ordinal to the shard that
+        # owns it and says no file was supplied for those shards.
+        assert "merge incomplete" in message
+        assert "ordinal(s) 1" in message
+        assert "ordinal(s) 2" in message
+        assert "no file supplied for shard 1/3" in message
+        assert "no file supplied for shard 2/3" in message
+
+    def test_partial_file_named_with_its_missing_ordinals(self, tmp_path):
+        # Regression: a shard file that is present but lost records must
+        # be named as the expected owner of the missing ordinals, not
+        # just summarized as "shard absent or partial".
+        config = CONFIGS["implicit"]
+        paths = []
+        for index in range(2):
+            path = str(tmp_path / f"s{index}.jsonl")
+            run_shard(AB_PART, config, ShardSpec(index, 2), path)
+            paths.append(path)
+        lines = open(paths[1]).read().splitlines(keepends=True)
+        dropped = json.loads(lines[-1])["ordinal"]
+        open(paths[1], "w").writelines(lines[:-1])
+        with pytest.raises(ValueError) as err:
+            merge_shards(AB_PART, config, paths)
+        message = str(err.value)
+        assert f"ordinal(s) {dropped}" in message
+        assert f"expected in {paths[1]} (file present but partial)" in message
 
     def test_disagreeing_shard_counts_rejected(self, tmp_path):
         config = CONFIGS["implicit"]
